@@ -1,0 +1,117 @@
+"""Ablation: NCCL-ring vs Blink spanning-tree collectives (section 6).
+
+The paper positions MAPA against Blink [67]: "these works seek to
+optimize bad allocations, while our work seeks to reduce the number of
+bad allocations".  This ablation quantifies both halves on the DGX-V:
+
+* how much bandwidth Blink recovers per allocation quality class
+  (recovery is largest exactly on the fragmented allocations);
+* how much of Blink's recovery MAPA's Preserve makes redundant by
+  avoiding fragmented allocations in the first place.
+"""
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.comm.microbench import peak_effective_bandwidth
+from repro.comm.spanning_trees import blink_effective_bandwidth, recovery_ratio
+from repro.policies.registry import make_policy
+from repro.sim.cluster import run_policy
+from repro.workloads.generator import generate_job_file
+
+from conftest import emit
+
+
+def build_recovery_table(dgx) -> str:
+    rows = []
+    for k in (2, 3, 4, 5):
+        ratios = [recovery_ratio(dgx, s) for s in combinations(dgx.gpus, k)]
+        rings = [peak_effective_bandwidth(dgx, s) for s in combinations(dgx.gpus, k)]
+        fragmented = [
+            r for r, bw in zip(ratios, rings) if bw <= 12.0
+        ]
+        healthy = [r for r, bw in zip(ratios, rings) if bw > 12.0]
+        rows.append(
+            [
+                k,
+                float(np.mean(ratios)),
+                float(np.mean(fragmented)) if fragmented else 1.0,
+                float(np.mean(healthy)) if healthy else 1.0,
+                len(fragmented),
+            ]
+        )
+    return format_table(
+        ["NumGPUs", "mean recovery", "on fragmented", "on healthy", "#fragmented"],
+        rows,
+        title="Blink recovery ratio (tree EffBW / ring EffBW), DGX-V",
+        float_fmt="{:.2f}",
+    )
+
+
+def build_policy_table(dgx, dgx_model) -> str:
+    """Fraction of sensitive multi-GPU jobs landing on fragmented
+    allocations per policy — the population Blink would have to rescue."""
+    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    rows = []
+    for name in ("baseline", "topo-aware", "greedy", "preserve"):
+        log = run_policy(dgx, make_policy(name, dgx_model), trace, dgx_model)
+        sens = [r for r in log.sensitive() if r.num_gpus > 1]
+        fragmented = [r for r in sens if r.measured_effective_bw <= 12.0]
+        blink_gain = np.mean(
+            [
+                blink_effective_bandwidth(dgx, r.allocation)
+                / r.measured_effective_bw
+                for r in sens
+            ]
+        )
+        rows.append(
+            [name, len(fragmented) / len(sens), float(blink_gain)]
+        )
+    return format_table(
+        ["Policy", "fragmented sensitive share", "mean Blink gain if deployed"],
+        rows,
+        title="How much work MAPA leaves for Blink",
+        float_fmt="{:.3f}",
+    )
+
+
+def test_blink_recovery(benchmark, dgx):
+    table = benchmark(build_recovery_table, dgx)
+    emit("ablation_blink_recovery", table)
+    from repro.comm.spanning_trees import pack_spanning_trees
+
+    # Blink recovers every fragmented-but-NVLink-connected allocation...
+    recoverable = [
+        recovery_ratio(dgx, s)
+        for s in combinations(dgx.gpus, 3)
+        if peak_effective_bandwidth(dgx, s) <= 12.0
+        and not pack_spanning_trees(dgx, s).uses_pcie
+    ]
+    assert recoverable
+    assert min(recoverable) > 1.5
+    # ...and is powerless on NVLink-disconnected ones (PCIe for both).
+    stuck = [
+        recovery_ratio(dgx, s)
+        for s in combinations(dgx.gpus, 3)
+        if pack_spanning_trees(dgx, s).uses_pcie
+    ]
+    assert all(abs(r - 1.0) < 1e-9 for r in stuck)
+
+
+def test_blink_vs_mapa_positioning(benchmark, dgx, dgx_model):
+    table = benchmark.pedantic(
+        build_policy_table, args=(dgx, dgx_model), rounds=1, iterations=1
+    )
+    emit("ablation_blink_vs_mapa", table)
+    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    frac = {}
+    for name in ("baseline", "preserve"):
+        log = run_policy(dgx, make_policy(name, dgx_model), trace, dgx_model)
+        sens = [r for r in log.sensitive() if r.num_gpus > 1]
+        frac[name] = sum(
+            1 for r in sens if r.measured_effective_bw <= 12.0
+        ) / len(sens)
+    # MAPA reduces the number of bad allocations (the paper's framing).
+    assert frac["preserve"] <= frac["baseline"]

@@ -1,0 +1,63 @@
+"""Ablation: node-selection policies on a multi-server MAPA cluster.
+
+The multi-node extension (DESIGN.md): four DGX-V servers behind one
+queue, MAPA/Preserve inside each node, and four node-selection policies.
+Packing keeps whole servers free for large jobs (Philly's locality
+argument); best-score chases the best topology match across nodes.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cluster import run_cluster
+from repro.topology.builders import dgx1_v100
+from repro.workloads.generator import generate_job_file
+
+from conftest import emit
+
+NODE_POLICIES = ("first-fit", "pack", "spread", "best-score")
+
+
+def build_table(dgx_model) -> str:
+    servers = [dgx1_v100() for _ in range(4)]
+    trace = generate_job_file(400, seed=2021, max_gpus=5)
+    rows = []
+    for node_policy in NODE_POLICIES:
+        sim = run_cluster(
+            servers, trace, gpu_policy="preserve",
+            node_policy=node_policy, model=dgx_model,
+        )
+        sens = [r for r in sim.log.sensitive() if r.num_gpus > 1]
+        rows.append(
+            [
+                node_policy,
+                sim.log.makespan,
+                float(np.mean([r.measured_effective_bw for r in sens])),
+                float(np.mean([r.wait_time for r in sim.log.records])),
+                str(list(sim.jobs_per_server().values())),
+            ]
+        )
+    return format_table(
+        ["Node policy", "makespan (s)", "mean EffBW", "mean wait (s)", "jobs/server"],
+        rows,
+        title="Multi-server ablation: 4x DGX-V, 400 jobs, Preserve inside nodes",
+        float_fmt="{:.1f}",
+    )
+
+
+def test_cluster_node_policies(benchmark, dgx_model):
+    table = benchmark.pedantic(
+        build_table, args=(dgx_model,), rounds=1, iterations=1
+    )
+    emit("ablation_cluster", table)
+    servers = [dgx1_v100() for _ in range(4)]
+    trace = generate_job_file(400, seed=2021, max_gpus=5)
+    makespans = {}
+    for node_policy in NODE_POLICIES:
+        sim = run_cluster(
+            servers, trace, node_policy=node_policy, model=dgx_model
+        )
+        assert len(sim.log) == 400
+        makespans[node_policy] = sim.log.makespan
+    # All disciplines finish the trace in the same ballpark.
+    assert max(makespans.values()) <= 1.5 * min(makespans.values())

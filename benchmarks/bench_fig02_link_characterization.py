@@ -1,0 +1,89 @@
+"""Fig. 2: link characterisation on the DGX-V.
+
+(a) NCCL all-reduce bandwidth vs transfer size for the three link classes
+    (double NVLink via GPUs 1+5, single via 1+2, PCIe via 1+6) — the
+    curves separate at large sizes and converge (latency-bound) at small.
+(b) Per-network 2-GPU training speedup of each link over PCIe — VGG-16
+    approaches 3x on a double NVLink while GoogleNet barely moves.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.comm.microbench import bandwidth_sweep
+from repro.workloads.catalog import ML_NETWORKS, get_workload
+from repro.workloads.exectime import execution_time
+
+from conftest import emit
+
+PAIRS = {"NV2-Double": (1, 5), "NV2-Single": (1, 2), "PCIe": (1, 6)}
+SIZES = [10**e for e in range(4, 10)]
+
+#: Fig. 2b reference shape: double-NVLink speedup over PCIe per network.
+PAPER_2B_DOUBLE = {
+    "alexnet": 2.6,
+    "googlenet": 1.2,
+    "vgg-16": 3.0,
+    "resnet-50": 1.6,
+    "inception-v3": 1.9,
+    "caffenet": 1.15,
+}
+
+
+def build_fig2a(dgx) -> str:
+    rows = []
+    curves = {
+        name: dict(bandwidth_sweep(dgx, pair, SIZES))
+        for name, pair in PAIRS.items()
+    }
+    for size in SIZES:
+        rows.append(
+            [f"{size:.0e}"]
+            + [curves[name][size] for name in ("NV2-Double", "NV2-Single", "PCIe")]
+        )
+    return format_table(
+        ["Data size (B)", "NV2-Double", "NV2-Single", "PCIe"],
+        rows,
+        title="Fig. 2a: all-reduce bandwidth (GB/s) vs data size",
+        float_fmt="{:.2f}",
+    )
+
+
+def build_fig2b(dgx) -> str:
+    from repro.comm.microbench import peak_effective_bandwidth
+
+    bws = {name: peak_effective_bandwidth(dgx, pair) for name, pair in PAIRS.items()}
+    rows = []
+    for net in ML_NETWORKS:
+        w = get_workload(net)
+        t = {name: execution_time(w, 2, bw) for name, bw in bws.items()}
+        rows.append(
+            [
+                net,
+                t["PCIe"] / t["NV2-Double"],
+                t["PCIe"] / t["NV2-Single"],
+                1.0,
+                PAPER_2B_DOUBLE[net],
+            ]
+        )
+    return format_table(
+        ["Network", "NV2-Double", "NV2-Single", "PCIe", "paper (double)"],
+        rows,
+        title="Fig. 2b: network speedup vs PCIe (2 GPUs)",
+        float_fmt="{:.2f}",
+    )
+
+
+def test_fig2a_bandwidth_characterization(benchmark, dgx):
+    table = benchmark(build_fig2a, dgx)
+    emit("fig02a_link_bandwidth", table)
+    # Link ordering at the saturated end must match Table 1 ordering.
+    lines = table.splitlines()
+    last = [float(x.strip()) for x in lines[-1].split("|")[1:]]
+    assert last[0] > last[1] > last[2]
+
+
+def test_fig2b_network_speedups(benchmark, dgx):
+    table = benchmark(build_fig2b, dgx)
+    emit("fig02b_network_speedup", table)
+    assert "vgg-16" in table

@@ -1,0 +1,31 @@
+"""Fig. 3: Top500 accelerator trends, 2017–2021.
+
+(a) accelerator-equipped systems by year (GPU vs other), (b) share of
+GPU systems with heterogeneous interconnects.  Regenerated from the
+embedded census (survey data, not a system under test — see DESIGN.md).
+"""
+
+from repro.analysis.tables import format_table
+from repro.data.top500 import TOP500_CENSUS, is_monotonic_growth
+
+from conftest import emit
+
+
+def build_fig3() -> str:
+    rows = [
+        [c.year, c.gpu_systems, c.other_accelerator_systems,
+         c.heterogeneous_interconnect_pct]
+        for c in TOP500_CENSUS
+    ]
+    return format_table(
+        ["Year", "GPU systems", "Other accel.", "heterogeneous %"],
+        rows,
+        title="Fig. 3: Top500 accelerator census",
+        float_fmt="{:.0f}",
+    )
+
+
+def test_fig3_top500_trends(benchmark):
+    table = benchmark(build_fig3)
+    emit("fig03_top500", table)
+    assert is_monotonic_growth()

@@ -1,0 +1,62 @@
+"""Fig. 5: communication properties of the ML workloads.
+
+(a) CDF of collective message sizes per network; (b) the calls-per-
+iteration and bandwidth-sensitivity table (regenerated verbatim from the
+catalogue's paper-recorded counts).
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.workloads.catalog import ML_NETWORKS, WORKLOADS
+
+from conftest import emit
+
+CDF_POINTS = [10**e for e in range(2, 10)]
+
+
+def build_fig5a() -> str:
+    rows = []
+    for size in CDF_POINTS:
+        row = [f"{size:.0e}"]
+        for net in ML_NETWORKS:
+            row.append(float(WORKLOADS[net].profile.message_size_cdf([size])[0]))
+        rows.append(row)
+    return format_table(
+        ["Size (B)"] + ML_NETWORKS,
+        rows,
+        title="Fig. 5a: CDF of collective message sizes",
+        float_fmt="{:.2f}",
+    )
+
+
+def build_fig5b() -> str:
+    rows = []
+    for net in ML_NETWORKS:
+        w = WORKLOADS[net]
+        rows.append(
+            [
+                net,
+                w.profile.paper_calls_per_iter,
+                "Yes" if w.bandwidth_sensitive else "No",
+            ]
+        )
+    return format_table(
+        ["Network", "Comm. calls per iter. (paper)", "Bandwidth Sensitive"],
+        rows,
+        title="Fig. 5b: communication calls and sensitivity",
+    )
+
+
+def test_fig5a_message_size_cdf(benchmark):
+    table = benchmark(build_fig5a)
+    emit("fig05a_message_cdf", table)
+    # GoogleNet's mass sits left of 1e5 (the high-speed-link threshold).
+    g = WORKLOADS["googlenet"].profile
+    assert g.message_size_cdf([1e5])[0] > 0.5
+
+
+def test_fig5b_call_counts(benchmark):
+    table = benchmark(build_fig5b)
+    emit("fig05b_call_counts", table)
+    assert "2830001" in table.replace(",", "") or "2830001" in table

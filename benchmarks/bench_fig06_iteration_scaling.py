@@ -1,0 +1,63 @@
+"""Fig. 6: execution time vs iteration count, NVLink vs PCIe, 2/4 GPUs.
+
+The bandwidth-sensitive network (VGG-16) fans out: PCIe runs grow much
+faster with iterations than NVLink runs, and more GPUs widen the gap.
+The insensitive network (GoogleNet) stays in a tight band regardless of
+link or GPU count.
+"""
+
+from repro.analysis.tables import format_table
+from repro.workloads.catalog import get_workload
+from repro.workloads.exectime import execution_time
+
+from conftest import emit
+
+NVLINK_BW = 46.0  # modelled double-NVLink-pair effective bandwidth
+PCIE_BW = 11.04
+ITERS = [1000, 2000, 3000, 4000, 5000, 6000, 7000]
+
+
+def build_fig6(network: str) -> str:
+    w = get_workload(network)
+    rows = []
+    for it in ITERS:
+        rows.append(
+            [
+                it,
+                execution_time(w, 2, NVLINK_BW, iterations=it),
+                execution_time(w, 2, PCIE_BW, iterations=it),
+                execution_time(w, 4, NVLINK_BW, iterations=it),
+                execution_time(w, 4, PCIE_BW, iterations=it),
+            ]
+        )
+    return format_table(
+        ["Iterations", "2GPU NVLink", "2GPU PCIe", "4GPU NVLink", "4GPU PCIe"],
+        rows,
+        title=f"Fig. 6: execution time (s) vs iterations — {network}",
+        float_fmt="{:.1f}",
+    )
+
+
+def test_fig6a_googlenet_insensitive(benchmark):
+    table = benchmark(build_fig6, "googlenet")
+    emit("fig06a_googlenet", table)
+    w = get_workload("googlenet")
+    spread = execution_time(w, 4, PCIE_BW, 7000) / execution_time(
+        w, 4, NVLINK_BW, 7000
+    )
+    assert spread < 1.25  # tight band
+
+
+def test_fig6b_vgg_sensitive(benchmark):
+    table = benchmark(build_fig6, "vgg-16")
+    emit("fig06b_vgg16", table)
+    w = get_workload("vgg-16")
+    spread = execution_time(w, 4, PCIE_BW, 7000) / execution_time(
+        w, 4, NVLINK_BW, 7000
+    )
+    assert spread > 2.0  # wide fan-out
+
+    # Linear growth in iterations for every configuration.
+    t1 = execution_time(w, 2, NVLINK_BW, 1000)
+    t7 = execution_time(w, 2, NVLINK_BW, 7000)
+    assert abs(t7 / t1 - 7.0) < 1e-6

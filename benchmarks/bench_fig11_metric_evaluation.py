@@ -1,0 +1,44 @@
+"""Fig. 11: evaluating the pattern-scoring metrics.
+
+(a) AggBW vs VGG-16 execution time over enumerated 4/5-GPU allocations:
+    weak, inconsistent correlation.
+(b) AggBW vs measured EffBW: allocations with more aggregate bandwidth
+    are often slower in practice.
+(c) EffBW vs execution time: strong monotone (inverse) relationship —
+    the justification for Eq. 2.
+"""
+
+from repro.analysis.correlation import (
+    enumerate_allocation_points,
+    metric_correlations,
+)
+from repro.analysis.tables import format_table
+from repro.workloads.catalog import get_workload
+
+from conftest import emit
+
+
+def build_fig11(dgx) -> str:
+    points = enumerate_allocation_points(dgx, get_workload("vgg-16"), sizes=(4, 5))
+    corr = metric_correlations(points)
+    rows = [
+        ["AggBW vs exec time (11a)", corr["aggbw_vs_time"], "weak/inconsistent"],
+        ["AggBW vs EffBW (11b)", corr["aggbw_vs_effbw"], "imperfect proxy"],
+        ["EffBW vs exec time (11c)", corr["effbw_vs_time"], "strong inverse"],
+    ]
+    return format_table(
+        ["Relationship", "Spearman ρ", "paper reading"],
+        rows,
+        title=f"Fig. 11: scoring-metric evaluation ({len(points)} allocations)",
+        float_fmt="{:+.3f}",
+    )
+
+
+def test_fig11_metric_evaluation(benchmark, dgx):
+    table = benchmark(build_fig11, dgx)
+    emit("fig11_metric_evaluation", table)
+    points = enumerate_allocation_points(dgx, get_workload("vgg-16"), sizes=(4, 5))
+    corr = metric_correlations(points)
+    # The paper's core claim: EffBW predicts time, AggBW does not.
+    assert abs(corr["effbw_vs_time"]) > abs(corr["aggbw_vs_time"])
+    assert corr["effbw_vs_time"] < -0.75

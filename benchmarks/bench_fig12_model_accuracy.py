@@ -1,0 +1,41 @@
+"""Fig. 12: predicted vs actual effective bandwidth, by job size.
+
+Every 2–5-GPU allocation of the DGX-V is scored with the refit Eq. 2
+model and compared with the simulated microbenchmark's measurement; the
+paper's claim is that the model correlates strongly and generalises
+across job sizes.
+"""
+
+from repro.analysis.correlation import pearson, predicted_vs_actual
+from repro.analysis.tables import format_table
+
+from conftest import emit
+
+
+def build_fig12(dgx, dgx_model) -> str:
+    pairs = predicted_vs_actual(dgx, dgx_model)
+    rows = []
+    for k in sorted(pairs):
+        actual = [a for a, _ in pairs[k]]
+        pred = [p for _, p in pairs[k]]
+        spread = max(actual) - min(actual)
+        corr = pearson(actual, pred) if spread > 0 else float("nan")
+        rows.append([f"{k}-GPU", len(pairs[k]), corr])
+    overall_actual = [a for k in pairs for a, _ in pairs[k]]
+    overall_pred = [p for k in pairs for _, p in pairs[k]]
+    rows.append(["overall", len(overall_actual), pearson(overall_actual, overall_pred)])
+    return format_table(
+        ["Job size", "allocations", "Pearson r (actual vs predicted)"],
+        rows,
+        title="Fig. 12: predicted vs actual EffBW",
+        float_fmt="{:.3f}",
+    )
+
+
+def test_fig12_model_accuracy(benchmark, dgx, dgx_model):
+    table = benchmark(build_fig12, dgx, dgx_model)
+    emit("fig12_model_accuracy", table)
+    pairs = predicted_vs_actual(dgx, dgx_model)
+    overall_actual = [a for k in pairs for a, _ in pairs[k]]
+    overall_pred = [p for k in pairs for _, p in pairs[k]]
+    assert pearson(overall_actual, overall_pred) > 0.85

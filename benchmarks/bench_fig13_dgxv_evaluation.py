@@ -1,0 +1,98 @@
+"""Fig. 13: the DGX-V evaluation — 300 jobs under all four policies.
+
+(a/b) execution-time distributions per workload for bandwidth-sensitive
+and insensitive jobs; (c/d) the corresponding predicted-effective-
+bandwidth distributions.  Expected shape: Baseline suffers long tails
+for sensitive workloads; Greedy/Preserve lift effective bandwidth
+dramatically; Preserve protects the lower tail.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_boxplot_rows
+from repro.sim.metrics import boxplot_stats, effective_bw_distribution
+from repro.workloads.catalog import INSENSITIVE_WORKLOADS, SENSITIVE_WORKLOADS
+
+from conftest import emit
+
+
+def _exec_time_stats(logs, workloads):
+    out = {}
+    for policy, log in logs.items():
+        vals = [
+            r.execution_time
+            for r in log.records
+            if r.workload in workloads and r.num_gpus > 1
+        ]
+        out[policy] = boxplot_stats(vals)
+    return out
+
+
+def _effbw_stats(logs, sensitive):
+    return {
+        policy: boxplot_stats(effective_bw_distribution(log, sensitive=sensitive))
+        for policy, log in logs.items()
+    }
+
+
+def _per_workload_medians(dgx_logs, workloads) -> str:
+    """Per-workload median execution time per policy (the per-network
+    bars of Figs. 13a/13b)."""
+    from repro.analysis.tables import format_table
+
+    policies = list(dgx_logs)
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for policy in policies:
+            vals = [
+                r.execution_time
+                for r in dgx_logs[policy].by_workload(workload)
+                if r.num_gpus > 1
+            ]
+            row.append(float(np.median(vals)) if vals else float("nan"))
+        rows.append(row)
+    return format_table(
+        ["Workload"] + policies,
+        rows,
+        title="median execution time (s) per workload, multi-GPU jobs",
+        float_fmt="{:.0f}",
+    )
+
+
+def build_fig13(dgx_logs) -> str:
+    parts = [
+        format_boxplot_rows(
+            "Fig. 13a: execution time (s), bandwidth-sensitive jobs",
+            _exec_time_stats(dgx_logs, set(SENSITIVE_WORKLOADS)),
+        ),
+        format_boxplot_rows(
+            "Fig. 13b: execution time (s), bandwidth-insensitive jobs",
+            _exec_time_stats(dgx_logs, set(INSENSITIVE_WORKLOADS)),
+        ),
+        format_boxplot_rows(
+            "Fig. 13c: predicted EffBW (GB/s), sensitive jobs",
+            _effbw_stats(dgx_logs, True),
+        ),
+        format_boxplot_rows(
+            "Fig. 13d: predicted EffBW (GB/s), insensitive jobs",
+            _effbw_stats(dgx_logs, False),
+        ),
+        _per_workload_medians(dgx_logs, SENSITIVE_WORKLOADS),
+        _per_workload_medians(dgx_logs, INSENSITIVE_WORKLOADS),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_fig13_dgxv_evaluation(benchmark, dgx_logs):
+    report = benchmark.pedantic(
+        build_fig13, args=(dgx_logs,), rounds=1, iterations=1
+    )
+    emit("fig13_dgxv_evaluation", report)
+    # Shape checks: MAPA policies lift sensitive jobs' EffBW medians.
+    eff = _effbw_stats(dgx_logs, True)
+    assert eff["greedy"]["median"] >= eff["baseline"]["median"]
+    assert eff["preserve"]["median"] >= eff["baseline"]["median"]
+    # And Preserve's sensitive exec-time q3 beats baseline's.
+    t = _exec_time_stats(dgx_logs, set(SENSITIVE_WORKLOADS))
+    assert t["preserve"]["q3"] <= t["baseline"]["q3"]

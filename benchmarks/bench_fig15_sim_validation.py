@@ -1,0 +1,39 @@
+"""Fig. 15: simulator validation — simulated vs reference effective BW.
+
+The simulator logs, per multi-GPU job, both the Eq. 2 predicted
+effective bandwidth (the simulator's quality metric) and the ring-model
+microbenchmark measurement (standing in for the real DGX-V run).  Their
+correlation validates using the prediction as the simulation currency.
+"""
+
+from repro.analysis.correlation import pearson, simulated_vs_reference, spearman
+from repro.analysis.tables import format_table
+
+from conftest import emit
+
+
+def build_fig15(dgx_logs) -> str:
+    rows = []
+    for policy, log in dgx_logs.items():
+        pairs = simulated_vs_reference(log)
+        ref = [a for a, _ in pairs]
+        sim = [b for _, b in pairs]
+        rows.append([policy, len(pairs), pearson(ref, sim), spearman(ref, sim)])
+    return format_table(
+        ["Policy trace", "jobs", "Pearson r", "Spearman ρ"],
+        rows,
+        title="Fig. 15: simulated (Eq. 2) vs reference (ring model) EffBW",
+        float_fmt="{:.3f}",
+    )
+
+
+def test_fig15_sim_validation(benchmark, dgx_logs):
+    table = benchmark.pedantic(
+        build_fig15, args=(dgx_logs,), rounds=1, iterations=1
+    )
+    emit("fig15_sim_validation", table)
+    for log in dgx_logs.values():
+        pairs = simulated_vs_reference(log)
+        ref = [a for a, _ in pairs]
+        sim = [b for _, b in pairs]
+        assert pearson(ref, sim) > 0.7

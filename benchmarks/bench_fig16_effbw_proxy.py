@@ -1,0 +1,42 @@
+"""Fig. 16: effective bandwidth vs execution time per workload.
+
+Sensitive networks' execution time falls steeply with effective
+bandwidth and flattens past ~50 GB/s; insensitive workloads are flat
+throughout — justifying EffBW as the simulator's execution-time proxy.
+"""
+
+from repro.analysis.correlation import effbw_time_curve
+from repro.analysis.tables import format_table
+from repro.workloads.catalog import ML_NETWORKS, get_workload
+
+from conftest import emit
+
+BWS = [10, 20, 30, 40, 50, 60, 70, 80]
+
+
+def build_fig16() -> str:
+    rows = []
+    for bw in BWS:
+        row = [bw]
+        for net in ML_NETWORKS:
+            t = effbw_time_curve(get_workload(net), [bw])[0][1]
+            row.append(t)
+        rows.append(row)
+    return format_table(
+        ["EffBW (GB/s)"] + ML_NETWORKS,
+        rows,
+        title="Fig. 16: execution time (s) vs effective bandwidth (4-GPU jobs)",
+        float_fmt="{:.0f}",
+    )
+
+
+def test_fig16_effbw_proxy(benchmark):
+    table = benchmark(build_fig16)
+    emit("fig16_effbw_proxy", table)
+    # Sensitive: steep then flattening.
+    vgg = [t for _, t in effbw_time_curve(get_workload("vgg-16"), BWS)]
+    assert vgg == sorted(vgg, reverse=True)
+    assert (vgg[0] - vgg[4]) > 4 * (vgg[4] - vgg[-1])  # flattens past 50
+    # Insensitive: flat.
+    goog = [t for _, t in effbw_time_curve(get_workload("googlenet"), BWS)]
+    assert goog[0] / goog[-1] < 1.2

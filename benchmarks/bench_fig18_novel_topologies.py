@@ -1,0 +1,63 @@
+"""Fig. 18: simulation on novel 16-GPU topologies (Torus-2d, Cube-mesh).
+
+The 300-job trace is replayed through the simulator on each topology
+(Eq. 2 refit per topology, as the model generalises by link census).
+Reported metric: the predicted effective bandwidth distribution of
+bandwidth-sensitive jobs — the paper's claim is that MAPA's benefit
+grows as topologies get larger and more irregular, with Preserve/Greedy
+lifting the lower tail well above the topology-blind policies.
+"""
+
+from repro.analysis.tables import format_boxplot_rows
+from repro.scoring.regression import fit_for_hardware
+from repro.sim.cluster import run_all_policies
+from repro.sim.metrics import boxplot_stats, effective_bw_distribution
+from repro.workloads.generator import generate_job_file
+
+from conftest import emit
+
+
+def run_topology(hw):
+    model, _, _ = fit_for_hardware(hw)
+    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    return run_all_policies(hw, trace, model)
+
+
+def build_fig18(hw) -> str:
+    logs = run_topology(hw)
+    stats = {
+        policy: boxplot_stats(effective_bw_distribution(log, sensitive=True))
+        for policy, log in logs.items()
+    }
+    return format_boxplot_rows(
+        f"Fig. 18 ({hw.name}): predicted EffBW (GB/s), sensitive jobs",
+        stats,
+    )
+
+
+def test_fig18a_torus(benchmark, torus):
+    report = benchmark.pedantic(build_fig18, args=(torus,), rounds=1, iterations=1)
+    emit("fig18a_torus", report)
+    logs = run_topology(torus)
+    stats = {
+        p: boxplot_stats(effective_bw_distribution(l, sensitive=True))
+        for p, l in logs.items()
+    }
+    # Greedy does well on the uniform torus; both MAPA policies lift q1.
+    assert stats["greedy"]["q1"] >= stats["baseline"]["q1"]
+    assert stats["preserve"]["q1"] >= stats["baseline"]["q1"]
+
+
+def test_fig18b_cube_mesh(benchmark, cubemesh):
+    report = benchmark.pedantic(
+        build_fig18, args=(cubemesh,), rounds=1, iterations=1
+    )
+    emit("fig18b_cube_mesh", report)
+    logs = run_topology(cubemesh)
+    stats = {
+        p: boxplot_stats(effective_bw_distribution(l, sensitive=True))
+        for p, l in logs.items()
+    }
+    # On the irregular cube-mesh the MAPA policies pull further ahead.
+    assert stats["preserve"]["q1"] > 1.15 * stats["baseline"]["q1"]
+    assert stats["preserve"]["median"] > stats["baseline"]["median"]

@@ -1,0 +1,80 @@
+"""Fig. 19: scheduling overhead of MAPA with the Preserve policy.
+
+Times a full allocation decision (match enumeration + scoring +
+selection) on an *idle* hardware graph — the paper's stated upper bound
+— for growing job sizes across Summit (6 GPUs), DGX-V (8) and the two
+16-GPU topologies.  The expected shape: milliseconds for small jobs,
+growing steeply with job size and hardware-graph size as the number of
+matching patterns explodes.
+
+Ring patterns above 7 GPUs on 16-GPU graphs are capped (the exact
+enumeration is combinatorial; the paper's own overhead there reaches
+tens of seconds), recorded as such in the output.
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.appgraph import patterns
+from repro.policies.preserve import PreservePolicy
+from repro.policies.base import AllocationRequest
+from repro.scoring.effective import PAPER_MODEL
+from repro.topology.builders import cube_mesh_16, dgx1_v100, summit_node, torus_2d_16
+
+from conftest import emit
+
+TOPOLOGIES = {
+    "summit": summit_node(),
+    "dgx1-v100": dgx1_v100(),
+    "torus-2d-16": torus_2d_16(),
+    "cube-mesh-16": cube_mesh_16(),
+}
+
+#: Largest ring size exactly enumerated per hardware-graph size.
+MAX_JOB = {6: 6, 8: 8, 16: 7}
+
+
+def time_allocation(hw, k: int) -> float:
+    """Seconds for one Preserve allocation of a k-GPU ring on idle hw."""
+    policy = PreservePolicy(PAPER_MODEL)
+    request = AllocationRequest(pattern=patterns.ring(k), bandwidth_sensitive=True)
+    start = time.perf_counter()
+    alloc = policy.allocate(request, hw, frozenset(hw.gpus))
+    elapsed = time.perf_counter() - start
+    assert alloc is not None
+    return elapsed
+
+
+def build_fig19() -> str:
+    rows = []
+    for k in range(2, 10):
+        row = [k]
+        for name, hw in TOPOLOGIES.items():
+            if k > hw.num_gpus or k > MAX_JOB[hw.num_gpus]:
+                row.append("-")
+            else:
+                row.append(time_allocation(hw, k) * 1e3)
+        rows.append(row)
+    return format_table(
+        ["NumGPUs requested"] + list(TOPOLOGIES),
+        rows,
+        title="Fig. 19: MAPA/Preserve scheduling overhead (ms), idle server",
+        float_fmt="{:.2f}",
+    )
+
+
+def test_fig19_overhead(benchmark):
+    table = benchmark.pedantic(build_fig19, rounds=1, iterations=1)
+    emit("fig19_overhead", table)
+    # Small jobs schedule in milliseconds.
+    assert time_allocation(TOPOLOGIES["dgx1-v100"], 2) < 0.05
+    # Overhead grows with job size on the large graphs.
+    small = time_allocation(TOPOLOGIES["torus-2d-16"], 3)
+    large = time_allocation(TOPOLOGIES["torus-2d-16"], 6)
+    assert large > small
+
+
+def test_fig19_single_allocation_timing(benchmark):
+    """pytest-benchmark timing of the headline case: 5-GPU ring, DGX-V."""
+    hw = TOPOLOGIES["dgx1-v100"]
+    benchmark(time_allocation, hw, 5)

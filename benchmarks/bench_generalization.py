@@ -1,0 +1,68 @@
+"""Generalisation across server topologies (the abstract's claim).
+
+"MAPA is able to provide generalized benefits across various accelerator
+topologies" — beyond the DGX-V of section 4 and the 16-GPU fabrics of
+section 5, run the evaluation trace on every other registered server
+(Summit node, DGX-1 P100, the Li et al. DGX-1V variant, DGX-2) and check
+the MAPA policies never lose to Baseline on the sensitive-job tail.
+
+The DGX-2 is the control: on an NVSwitch all-to-all fabric every
+allocation is equivalent, so all policies must converge — topology
+awareness only matters when there is topology to be aware of.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.scoring.regression import fit_for_hardware
+from repro.sim.cluster import run_all_policies
+from repro.topology.builders import by_name
+from repro.workloads.generator import generate_job_file
+
+from conftest import emit
+
+TOPOLOGIES = ("summit", "dgx1-p100", "dgx1-v100-cube-mesh", "dgx2")
+
+
+def _tail_q3(log):
+    times = [r.execution_time for r in log.sensitive() if r.num_gpus > 1]
+    return float(np.quantile(times, 0.75))
+
+
+def run_topology(name: str):
+    hw = by_name(name)
+    model, _, _ = fit_for_hardware(hw, sizes=(2, 3, 4, 5))
+    trace = generate_job_file(200, seed=2021, max_gpus=min(5, hw.num_gpus))
+    return run_all_policies(hw, trace, model)
+
+
+def build_table() -> str:
+    rows = []
+    for name in TOPOLOGIES:
+        logs = run_topology(name)
+        base = _tail_q3(logs["baseline"])
+        for policy in ("topo-aware", "greedy", "preserve"):
+            rows.append(
+                [name, policy, base, _tail_q3(logs[policy]),
+                 base / _tail_q3(logs[policy])]
+            )
+    return format_table(
+        ["Topology", "Policy", "baseline q3 (s)", "policy q3 (s)", "speedup"],
+        rows,
+        title="Sensitive-job 75th-pct execution time across topologies",
+        float_fmt="{:.3f}",
+    )
+
+
+def test_generalization(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("generalization", table)
+    for name in TOPOLOGIES:
+        logs = run_topology(name)
+        base = _tail_q3(logs["baseline"])
+        for policy in ("greedy", "preserve"):
+            assert _tail_q3(logs[policy]) <= base * 1.02, (name, policy)
+    # Control: on the NVSwitch crossbar every policy is equivalent.
+    logs = run_topology("dgx2")
+    q3s = {p: _tail_q3(log) for p, log in logs.items()}
+    assert max(q3s.values()) <= 1.05 * min(q3s.values())

@@ -1,0 +1,37 @@
+"""Table 1: peak bandwidths per link type.
+
+Paper values: single NVLink-v1 = 20, single NVLink-v2 = 25, double
+NVLink-v2 = 50, 16-lane PCIe Gen3 = 12 GB/s.  Trivially regenerated from
+the link constants; benchmarked to time the lookup path.
+"""
+
+from repro.analysis.tables import format_table
+from repro.topology.links import LINK_BANDWIDTH_GBPS, LinkType, bandwidth_of
+
+from conftest import emit
+
+_PAPER_ROWS = [
+    ("Single NVLink-v1", LinkType.NVLINK1_SINGLE, 20.0),
+    ("Single NVLink-v2", LinkType.NVLINK2_SINGLE, 25.0),
+    ("Double NVLink-v2", LinkType.NVLINK2_DOUBLE, 50.0),
+    ("16-lanes PCIe Gen 3", LinkType.PCIE, 12.0),
+]
+
+
+def build_table1() -> str:
+    rows = []
+    for label, link, paper in _PAPER_ROWS:
+        ours = bandwidth_of(link)
+        rows.append([label, paper, ours, "ok" if ours == paper else "MISMATCH"])
+    return format_table(
+        ["Link", "paper (GBps)", "ours (GBps)", "check"],
+        rows,
+        title="Table 1: Peak Bandwidths per link",
+        float_fmt="{:.0f}",
+    )
+
+
+def test_table1_links(benchmark):
+    table = benchmark(build_table1)
+    emit("table1_links", table)
+    assert "MISMATCH" not in table

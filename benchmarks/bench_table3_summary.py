@@ -1,0 +1,63 @@
+"""Table 3: normalized execution-time speedup and throughput on DGX-V.
+
+Paper row targets (normalised to Baseline):
+
+=============  =====  ======  ======  ======  =====  =====
+Policy         MIN    25th    50th    75th    MAX    Tput
+=============  =====  ======  ======  ======  =====  =====
+Baseline       1.000  1.000   1.000   1.000   1.000  1.00
+Topo-aware     1.002  1.029   1.385   1.014   1.075  1.07
+Greedy         0.997  1.059   1.519   1.048   1.319  1.08
+Preservation   1.006  1.057   1.119   1.124   1.352  1.12
+=============  =====  ======  ======  ======  =====  =====
+
+We assert the qualitative structure: Preserve best at the 75th
+percentile and throughput; MAPA policies ≥ baseline everywhere that
+matters.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.metrics import TABLE3_QUANTILES, speedup_summary
+
+from conftest import emit
+
+PAPER_ROWS = {
+    "baseline": [1.000, 1.000, 1.000, 1.000, 1.000, 1.00],
+    "topo-aware": [1.002, 1.029, 1.385, 1.014, 1.075, 1.07],
+    "greedy": [0.997, 1.059, 1.519, 1.048, 1.319, 1.08],
+    "preserve": [1.006, 1.057, 1.119, 1.124, 1.352, 1.12],
+}
+
+
+def build_table3(dgx_logs) -> str:
+    summaries = speedup_summary(dgx_logs)
+    headers = (
+        ["Policy"]
+        + [name for name, _ in TABLE3_QUANTILES]
+        + ["Tput", "paper 75th", "paper Tput"]
+    )
+    rows = []
+    for s in summaries:
+        paper = PAPER_ROWS[s.policy]
+        rows.append([s.policy] + list(s.row()) + [paper[3], paper[5]])
+    return format_table(
+        headers,
+        rows,
+        title="Table 3: normalized speedup vs baseline (sensitive jobs) + throughput",
+    )
+
+
+def test_table3_summary(benchmark, dgx_logs):
+    table = benchmark.pedantic(
+        build_table3, args=(dgx_logs,), rounds=1, iterations=1
+    )
+    emit("table3_summary", table)
+    rows = {s.policy: s for s in speedup_summary(dgx_logs)}
+    # Structure of the paper's conclusions:
+    assert rows["preserve"].speedup["75th %"] == max(
+        r.speedup["75th %"] for r in rows.values()
+    )
+    assert rows["preserve"].throughput_gain == max(
+        r.throughput_gain for r in rows.values()
+    )
+    assert rows["greedy"].speedup["50th %"] >= rows["baseline"].speedup["50th %"]

@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results
+are printed and also written to ``benchmarks/results/<experiment>.txt``
+so EXPERIMENTS.md's paper-vs-measured index can be refreshed from a
+single ``pytest benchmarks/ --benchmark-only`` run.
+
+Expensive artefacts (the 300-job trace simulated under all four
+policies) are computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.scoring.regression import fit_for_hardware
+from repro.sim.cluster import run_all_policies
+from repro.topology.builders import cube_mesh_16, dgx1_v100, torus_2d_16
+from repro.workloads.generator import generate_job_file
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {experiment} =====\n"
+    print(banner + text)
+    with open(
+        os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w", encoding="utf-8"
+    ) as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def dgx():
+    return dgx1_v100()
+
+
+@pytest.fixture(scope="session")
+def torus():
+    return torus_2d_16()
+
+
+@pytest.fixture(scope="session")
+def cubemesh():
+    return cube_mesh_16()
+
+
+@pytest.fixture(scope="session")
+def dgx_model(dgx):
+    model, _, _ = fit_for_hardware(dgx)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trace300():
+    """The paper's evaluation trace: 300 jobs, uniform mix, 1–5 GPUs."""
+    return generate_job_file(300, seed=2021, max_gpus=5)
+
+
+@pytest.fixture(scope="session")
+def dgx_logs(dgx, dgx_model, trace300) -> Dict[str, object]:
+    """The 300-job trace simulated under all four policies on DGX-V."""
+    return run_all_policies(dgx, trace300, dgx_model)

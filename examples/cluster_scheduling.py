@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Multi-server scheduling: MAPA inside every node of a small cluster.
+
+Composes MAPA (intra-node GPU selection) with node-selection policies
+(which server hosts each job) on a heterogeneous four-server cluster —
+two DGX-Vs, a Summit node and a DGX-1 P100 — and compares node policies.
+
+Run:  python examples/cluster_scheduling.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cluster import run_cluster
+from repro.topology import dgx1_p100, dgx1_v100, summit_node
+from repro.workloads import generate_job_file
+
+
+def main() -> None:
+    servers = [dgx1_v100(), dgx1_v100(), summit_node(), dgx1_p100()]
+    names = [hw.name for hw in servers]
+    trace = generate_job_file(300, seed=11, max_gpus=5)
+    print(f"cluster: {names} ({sum(h.num_gpus for h in servers)} GPUs), "
+          f"{len(trace)} jobs\n")
+
+    rows = []
+    for node_policy in ("first-fit", "pack", "spread", "best-score"):
+        sim = run_cluster(
+            servers, trace, gpu_policy="preserve", node_policy=node_policy
+        )
+        sens = [r for r in sim.log.sensitive() if r.num_gpus > 1]
+        rows.append(
+            [
+                node_policy,
+                f"{sim.log.makespan:.0f}",
+                f"{np.mean([r.measured_effective_bw for r in sens]):.1f}",
+                f"{np.mean([r.wait_time for r in sim.log.records]):.0f}",
+                " ".join(str(v) for v in sim.jobs_per_server().values()),
+            ]
+        )
+    print(format_table(
+        ["node policy", "makespan (s)", "mean sens. EffBW", "mean wait (s)",
+         "jobs/server"],
+        rows,
+        title="Node-selection policy comparison (Preserve inside each node)",
+    ))
+    print(
+        "\nbest-score chases the fastest topology for each job (the Summit"
+        "\nnode's all-double triples attract 3-GPU sensitive jobs); pack"
+        "\nconcentrates load to keep whole servers free for 5-GPU jobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The effective-bandwidth story (paper section 3.4) end to end.
+
+1. Shows why Aggregated Bandwidth misleads: enumerates DGX-V allocations
+   where more aggregate bandwidth means *slower* training.
+2. Reproduces the Eq. 2 regression: exhaustive 2–5-GPU census sweep,
+   least-squares fit, error metrics, and our θ side by side with the
+   paper's Table 2.
+3. Uses the fitted model to rank candidate allocations for a job.
+
+Run:  python examples/effective_bandwidth_model.py
+"""
+
+from itertools import combinations
+
+from repro.analysis.correlation import enumerate_allocation_points
+from repro.analysis.tables import format_table
+from repro.scoring.effective import FEATURE_NAMES, PAPER_COEFFICIENTS
+from repro.scoring.census import census_of_allocation
+from repro.scoring.regression import evaluate_fit, fit_for_hardware
+from repro.topology import dgx1_v100
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    hw = dgx1_v100()
+
+    # --- 1. AggBW inversions -------------------------------------------
+    points = enumerate_allocation_points(hw, get_workload("vgg-16"), sizes=(4,))
+    inversions = []
+    for i, a in enumerate(points):
+        for b in points[i + 1:]:
+            if a.agg_bw > b.agg_bw and a.exec_time > b.exec_time * 1.2:
+                inversions.append((a, b))
+    print(f"{len(inversions)} allocation pairs where MORE aggregate "
+          f"bandwidth is ≥20% SLOWER (Fig. 11a's scatter).  Example:")
+    a, b = inversions[0]
+    print(f"  {a.gpus}: AggBW {a.agg_bw:.0f} GB/s -> {a.exec_time:.0f} s")
+    print(f"  {b.gpus}: AggBW {b.agg_bw:.0f} GB/s -> {b.exec_time:.0f} s")
+
+    # --- 2. The regression ---------------------------------------------
+    model, quality, samples = fit_for_hardware(hw)
+    print(f"\nEq. 2 refit: {len(samples)} unique (x,y,z) censuses "
+          f"(paper: 31)")
+    print(f"  rel.err={quality.relative_error:.4f}  RMSE={quality.rmse:.3f}"
+          f"  MAE={quality.mae:.3f}  R²={quality.r_squared:.4f}")
+    rows = [
+        [f"θ{i+1}", FEATURE_NAMES[i], PAPER_COEFFICIENTS[i],
+         model.coefficients[i]]
+        for i in range(14)
+    ]
+    print()
+    print(format_table(
+        ["coeff", "feature", "paper", "refit"], rows,
+        title="Table 2: coefficients",
+    ))
+
+    # --- 3. Ranking allocations ----------------------------------------
+    print("\nTop 5 3-GPU allocations by predicted EffBW:")
+    scored = sorted(
+        ((model.predict_census(census_of_allocation(hw, s)), s)
+         for s in combinations(hw.gpus, 3)),
+        reverse=True,
+    )
+    for bw, subset in scored[:5]:
+        census = census_of_allocation(hw, subset)
+        print(f"  {subset}  census (x,y,z)={census.as_tuple()}  "
+              f"predicted {bw:.1f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-tenant trace study: the paper's DGX-V evaluation in miniature.
+
+Generates the 300-job trace of section 4 (uniform workload mix, uniform
+1–5 GPU requests), simulates it under all four allocation policies and
+prints the Fig. 13 / Table 3 style summaries: per-policy effective-
+bandwidth box plots for sensitive jobs and the normalized speedup table.
+
+Run:  python examples/multi_tenant_trace.py [num_jobs] [seed]
+"""
+
+import sys
+
+from repro.analysis.tables import format_boxplot_rows, format_table
+from repro.scoring.regression import fit_for_hardware
+from repro.sim import (
+    TABLE3_QUANTILES,
+    boxplot_stats,
+    effective_bw_distribution,
+    run_all_policies,
+    speedup_summary,
+)
+from repro.topology import dgx1_v100
+from repro.workloads import generate_job_file
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2021
+
+    hw = dgx1_v100()
+    model, _, _ = fit_for_hardware(hw)
+    trace = generate_job_file(num_jobs, seed=seed, max_gpus=5)
+    print(f"simulating {num_jobs} jobs (seed {seed}) on {hw.name} "
+          f"under 4 policies...")
+    logs = run_all_policies(hw, trace, model)
+
+    # Fig. 13c: predicted effective bandwidth of sensitive jobs.
+    stats = {
+        name: boxplot_stats(effective_bw_distribution(log, sensitive=True))
+        for name, log in logs.items()
+    }
+    print()
+    print(format_boxplot_rows(
+        "Predicted EffBW (GB/s) of bandwidth-sensitive jobs", stats
+    ))
+
+    # Table 3: speedups normalised to baseline + throughput.
+    print()
+    headers = ["Policy"] + [n for n, _ in TABLE3_QUANTILES] + ["Tput"]
+    rows = [[s.policy] + [f"{v:.3f}" for v in s.row()]
+            for s in speedup_summary(logs)]
+    print(format_table(
+        headers, rows,
+        title="Normalized execution-time speedup vs baseline (sensitive jobs)",
+    ))
+
+    # Makespans.
+    print()
+    for name, log in logs.items():
+        print(f"  {name:<11} makespan {log.makespan:>10.0f} s   "
+              f"throughput {3600 * log.throughput:.1f} jobs/h")
+
+
+if __name__ == "__main__":
+    main()

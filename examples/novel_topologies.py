@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Exploring novel 16-GPU topologies (paper section 5).
+
+Replays the evaluation trace on the Torus-2d and Cube-mesh 16-GPU
+servers (Fig. 17) and on a DGX-2-style NVSwitch crossbar for contrast,
+showing how each policy's allocation quality changes as the
+interconnect scales and becomes non-uniform — the paper's conclusion is
+that pattern-aware allocation matters *more* on bigger, more irregular
+fabrics.
+
+Run:  python examples/novel_topologies.py
+"""
+
+from repro.analysis.tables import format_boxplot_rows
+from repro.scoring.regression import fit_for_hardware
+from repro.sim import boxplot_stats, effective_bw_distribution, run_all_policies
+from repro.topology import by_name
+from repro.workloads import generate_job_file
+
+
+def study(topology_name: str) -> None:
+    hw = by_name(topology_name)
+    model, quality, samples = fit_for_hardware(hw)
+    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    logs = run_all_policies(hw, trace, model)
+    stats = {
+        name: boxplot_stats(effective_bw_distribution(log, sensitive=True))
+        for name, log in logs.items()
+    }
+    print()
+    print(format_boxplot_rows(
+        f"{hw.name}: predicted EffBW (GB/s), sensitive jobs "
+        f"(Eq. 2 fit R²={quality.r_squared:.2f} on {len(samples)} censuses)",
+        stats,
+    ))
+
+
+def main() -> None:
+    for name in ("torus-2d-16", "cube-mesh-16", "dgx2"):
+        study(name)
+    print(
+        "\nReading: on the uniform torus Greedy closes most of the gap; on"
+        "\nthe irregular cube-mesh the MAPA policies pull furthest ahead of"
+        "\nBaseline/Topo-aware; on an NVSwitch crossbar (DGX-2) every"
+        "\nallocation is equivalent and policies converge."
+    )
+
+
+if __name__ == "__main__":
+    main()

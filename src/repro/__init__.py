@@ -1,0 +1,57 @@
+"""repro — a from-scratch reproduction of MAPA (SC '21).
+
+MAPA (Multi-Accelerator Pattern Allocation) schedules multi-GPU jobs on
+multi-tenant servers by mining the server's hardware topology graph for
+the job's communication-pattern graph, scoring each match by predicted
+effective bandwidth, and selecting matches so that bandwidth-sensitive
+jobs get fast links while insensitive jobs preserve bandwidth for the
+future.
+
+Quick start::
+
+    import repro
+
+    hw = repro.topology.dgx1_v100()
+    mapa = repro.allocator.Mapa(hw, repro.policies.PreservePolicy())
+    request = repro.policies.AllocationRequest(
+        pattern=repro.appgraph.ring(3), bandwidth_sensitive=True
+    )
+    allocation = mapa.try_allocate(request)
+    print(allocation.gpus, allocation.scores)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured experiment index.
+"""
+
+from . import (
+    allocator,
+    analysis,
+    appgraph,
+    cluster,
+    comm,
+    data,
+    matching,
+    policies,
+    scoring,
+    sim,
+    topology,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "allocator",
+    "analysis",
+    "appgraph",
+    "cluster",
+    "comm",
+    "data",
+    "matching",
+    "policies",
+    "scoring",
+    "sim",
+    "topology",
+    "workloads",
+    "__version__",
+]

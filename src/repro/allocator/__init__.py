@@ -1,0 +1,21 @@
+"""MAPA allocation engine: hardware state management and the
+match → score → select → update pipeline of paper Fig. 7."""
+
+from .state import AllocationError, AllocationState
+from .mapa import Mapa
+from .sharing import (
+    DEFAULT_CAPACITY,
+    SharedAllocationState,
+    SharedJobSpec,
+    allocate_shared,
+)
+
+__all__ = [
+    "AllocationError",
+    "AllocationState",
+    "Mapa",
+    "DEFAULT_CAPACITY",
+    "SharedAllocationState",
+    "SharedJobSpec",
+    "allocate_shared",
+]

@@ -1,0 +1,106 @@
+"""The MAPA framework (paper Fig. 7): match → score → select → update.
+
+:class:`Mapa` wires together the pieces: it owns the server's
+:class:`~repro.allocator.state.AllocationState`, runs the configured
+pattern-selection policy over the free GPUs for each request, commits the
+chosen allocation, and restores the hardware graph when jobs finish.  It
+also annotates every successful allocation with the full score vector
+(AggBW, predicted EffBW, PreservedBW) so downstream logging (the
+simulator's Fig. 14 log file) needs no recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..matching.candidates import Match
+from ..policies.base import Allocation, AllocationPolicy, AllocationRequest
+from ..scoring.aggregate import aggregated_bandwidth
+from ..scoring.census import census_of_allocation
+from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
+from ..scoring.preserved import preserved_bandwidth
+from ..topology.hardware import HardwareGraph
+from .state import AllocationState
+
+
+class Mapa:
+    """Multi-Accelerator Pattern Allocation engine for one server.
+
+    Parameters
+    ----------
+    hardware:
+        The server's hardware graph.
+    policy:
+        Pattern-selection policy (Baseline / Topo-aware / Greedy /
+        Preserve).
+    model:
+        Eq. 2 model used to annotate allocations with a predicted
+        effective bandwidth (independent of whatever the policy used
+        internally), so every policy's decisions are scored on the same
+        yardstick — exactly how Fig. 13(c, d) compares policies.
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareGraph,
+        policy: AllocationPolicy,
+        model: EffectiveBandwidthModel = PAPER_MODEL,
+    ) -> None:
+        self.hardware = hardware
+        self.policy = policy
+        self.model = model
+        self.state = AllocationState(hardware)
+
+    # ------------------------------------------------------------------ #
+    def can_ever_fit(self, request: AllocationRequest) -> bool:
+        """Whether the request fits an *idle* server at all."""
+        return request.num_gpus <= self.hardware.num_gpus
+
+    def try_allocate(self, request: AllocationRequest) -> Optional[Allocation]:
+        """Attempt to place ``request`` on the currently free GPUs.
+
+        On success the allocation is committed to the state and returned
+        with a complete score annotation; on failure (not enough suitable
+        GPUs) the state is untouched and ``None`` is returned.
+        """
+        if not self.can_ever_fit(request):
+            raise ValueError(
+                f"job needs {request.num_gpus} GPUs but "
+                f"{self.hardware.name} has only {self.hardware.num_gpus}"
+            )
+        available = self.state.free_gpus
+        proposal = self.policy.allocate(request, self.hardware, available)
+        if proposal is None:
+            return None
+        annotated = self._annotate(proposal, available)
+        job_id: Hashable = request.job_id if request.job_id is not None else object()
+        self.state.allocate(job_id, annotated.gpus)
+        return annotated
+
+    def release(self, job_id: Hashable) -> Tuple[int, ...]:
+        """Hand a finished job's GPUs back (the "Job Finished" signal)."""
+        return self.state.release(job_id)
+
+    def reset(self) -> None:
+        self.state.reset()
+
+    # ------------------------------------------------------------------ #
+    def _annotate(self, alloc: Allocation, available) -> Allocation:
+        scores = dict(alloc.scores)
+        match = alloc.match
+        if match is not None:
+            scores.setdefault("agg_bw", aggregated_bandwidth(self.hardware, match))
+            # Eq. 2 operates on the induced census of the matched GPU set
+            # (E(P) ⊆ E(M): the match is the induced subgraph).
+            census = census_of_allocation(self.hardware, alloc.gpus)
+            scores["census_x"] = float(census.x)
+            scores["census_y"] = float(census.y)
+            scores["census_z"] = float(census.z)
+            scores.setdefault(
+                "effective_bw", self.model.predict_census(census)
+            )
+            scores.setdefault(
+                "preserved_bw",
+                preserved_bandwidth(self.hardware, match, available),
+            )
+        return Allocation(gpus=alloc.gpus, match=match, scores=scores)

@@ -1,0 +1,185 @@
+"""GPU sharing / MIG-style many-to-one allocation (paper section 3.3).
+
+The paper's proposed extension for virtualized accelerators: label
+hardware vertices with physical resource capacities (MIG compute
+slices, memory), label application slots with requirements, and run
+label-aware matching.  :class:`SharedAllocationState` tracks fractional
+occupancy per GPU, and :func:`allocate_shared` finds a feasible
+many-to-one placement for a resource-annotated job.
+
+An NVIDIA A100-style device exposes up to 7 MIG compute slices; we use
+``slices`` and ``memory_gb`` as the default resource axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..appgraph.application import ApplicationGraph
+from ..matching.labeled import labeled_monomorphisms, resources_fit
+from ..topology.hardware import HardwareGraph
+from ..topology.links import is_nvlink
+
+Resources = Mapping[str, float]
+
+#: Default per-GPU capacity: a 7-slice MIG device with 80 GB of memory.
+DEFAULT_CAPACITY: Dict[str, float] = {"slices": 7.0, "memory_gb": 80.0}
+
+
+@dataclass(frozen=True)
+class SharedJobSpec:
+    """A job whose slots carry resource requirements."""
+
+    pattern: ApplicationGraph
+    requirements: Tuple[Resources, ...]
+    job_id: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if len(self.requirements) != self.pattern.num_gpus:
+            raise ValueError(
+                "one requirement vector per pattern slot is required"
+            )
+
+    @classmethod
+    def uniform(
+        cls,
+        pattern: ApplicationGraph,
+        slices: float = 1.0,
+        memory_gb: float = 10.0,
+        job_id: Optional[Hashable] = None,
+    ) -> "SharedJobSpec":
+        req = tuple(
+            {"slices": slices, "memory_gb": memory_gb}
+            for _ in range(pattern.num_gpus)
+        )
+        return cls(pattern=pattern, requirements=req, job_id=job_id)
+
+
+class SharedAllocationState:
+    """Fractional per-GPU occupancy bookkeeping."""
+
+    def __init__(
+        self,
+        hardware: HardwareGraph,
+        capacity: Optional[Mapping[int, Resources]] = None,
+    ) -> None:
+        self.hardware = hardware
+        if capacity is None:
+            capacity = {g: dict(DEFAULT_CAPACITY) for g in hardware.gpus}
+        self._capacity: Dict[int, Dict[str, float]] = {
+            g: dict(c) for g, c in capacity.items()
+        }
+        self._used: Dict[int, Dict[str, float]] = {
+            g: {k: 0.0 for k in c} for g, c in self._capacity.items()
+        }
+        self._jobs: Dict[Hashable, List[Tuple[int, Resources]]] = {}
+
+    # ------------------------------------------------------------------ #
+    def available(self, gpu: int) -> Dict[str, float]:
+        """Remaining capacity of one GPU."""
+        cap = self._capacity[gpu]
+        used = self._used[gpu]
+        return {k: cap[k] - used.get(k, 0.0) for k in cap}
+
+    def availability(self) -> Dict[int, Dict[str, float]]:
+        return {g: self.available(g) for g in self._capacity}
+
+    def utilization(self, resource: str = "slices") -> float:
+        """Fleet-wide fraction of ``resource`` currently in use."""
+        total = sum(c.get(resource, 0.0) for c in self._capacity.values())
+        used = sum(u.get(resource, 0.0) for u in self._used.values())
+        return used / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    def commit(
+        self, job_id: Hashable, placements: List[Tuple[int, Resources]]
+    ) -> None:
+        """Record slot placements (gpu, resources) for a job."""
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id!r} already placed")
+        for gpu, req in placements:
+            if not resources_fit(req, self.available(gpu)):
+                raise ValueError(f"GPU {gpu} lacks capacity for {req}")
+        for gpu, req in placements:
+            for k, v in req.items():
+                self._used[gpu][k] = self._used[gpu].get(k, 0.0) + v
+        self._jobs[job_id] = list(placements)
+
+    def release(self, job_id: Hashable) -> None:
+        try:
+            placements = self._jobs.pop(job_id)
+        except KeyError:
+            raise ValueError(f"job {job_id!r} holds no placement") from None
+        for gpu, req in placements:
+            for k, v in req.items():
+                self._used[gpu][k] -= v
+
+    def check_invariants(self) -> None:
+        for g, used in self._used.items():
+            for k, v in used.items():
+                if v < -1e-9 or v > self._capacity[g].get(k, 0.0) + 1e-9:
+                    raise AssertionError(f"GPU {g} resource {k} out of range: {v}")
+
+
+def allocate_shared(
+    job: SharedJobSpec,
+    state: SharedAllocationState,
+    require_nvlink_edges: bool = False,
+    max_candidates: int = 2000,
+) -> Optional[List[Tuple[int, Resources]]]:
+    """Find and commit a many-to-one placement for ``job``.
+
+    Among feasible label-aware matches, picks the one that co-locates on
+    the fewest distinct GPUs (densest packing) and, at equal density,
+    the one using the fastest links between distinct placements.
+
+    Returns the committed (gpu, resources) list, or ``None``.
+    """
+    hw = state.hardware
+    pattern = job.pattern
+    pattern_adj = {v: set(pattern.neighbors(v)) for v in pattern.vertices}
+    data_adj = {
+        g: {h for h in hw.gpus if h != g} for g in hw.gpus
+    }  # complete graph: PCIe fallback always exists
+
+    edge_ok = None
+    if require_nvlink_edges:
+        def edge_ok(pu, pv, du, dv):  # noqa: ANN001 - predicate signature
+            return is_nvlink(hw.link(du, dv))
+
+    best_mapping: Optional[Dict[int, int]] = None
+    best_key: Optional[Tuple] = None
+    for mapping in labeled_monomorphisms(
+        pattern_adj,
+        data_adj,
+        {v: job.requirements[v] for v in pattern.vertices},
+        state.availability(),
+        edge_ok=edge_ok,
+        many_to_one=True,
+        max_results=max_candidates,
+    ):
+        distinct = len(set(mapping.values()))
+        link_bw = sum(
+            hw.bandwidth(mapping[u], mapping[v])
+            for u, v in pattern.edges
+            if mapping[u] != mapping[v]
+        )
+        # Densest packing first, then fastest links, then lowest GPU ids.
+        key = (
+            -distinct,
+            link_bw,
+            tuple(-mapping[v] for v in pattern.vertices),
+        )
+        if best_key is None or key > best_key:
+            best_key = key
+            best_mapping = mapping
+    if best_mapping is None:
+        return None
+    mapping = best_mapping
+    placements = [
+        (mapping[v], job.requirements[v]) for v in pattern.vertices
+    ]
+    job_key = job.job_id if job.job_id is not None else object()
+    state.commit(job_key, placements)
+    return placements

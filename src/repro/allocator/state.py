@@ -1,0 +1,122 @@
+"""Hardware allocation state management (paper section 3.6).
+
+The hardware graph is updated whenever a job is scheduled (its GPUs and
+their incident links leave the pool) and whenever a job finishes (they
+return).  :class:`AllocationState` tracks which GPUs are free, which job
+owns which GPUs, and enforces the obvious invariants: no GPU is ever
+double-allocated and releases restore exactly what was allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple
+
+from ..topology.hardware import HardwareGraph
+
+
+class AllocationError(RuntimeError):
+    """Raised on conflicting allocate / release operations."""
+
+
+class AllocationState:
+    """Mutable view of which GPUs a server currently has free."""
+
+    def __init__(self, hardware: HardwareGraph) -> None:
+        self.hardware = hardware
+        self._free: Set[int] = set(hardware.gpus)
+        self._owner: Dict[int, Hashable] = {}
+        self._jobs: Dict[Hashable, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def free_gpus(self) -> FrozenSet[int]:
+        """GPUs currently available for allocation."""
+        return frozenset(self._free)
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_allocated(self) -> int:
+        return self.hardware.num_gpus - len(self._free)
+
+    @property
+    def active_jobs(self) -> Tuple[Hashable, ...]:
+        return tuple(self._jobs)
+
+    def is_free(self, gpu: int) -> bool:
+        if gpu not in self.hardware:
+            raise KeyError(f"unknown GPU {gpu}")
+        return gpu in self._free
+
+    def owner_of(self, gpu: int) -> Hashable | None:
+        """Job currently holding ``gpu`` (None if free)."""
+        if gpu not in self.hardware:
+            raise KeyError(f"unknown GPU {gpu}")
+        return self._owner.get(gpu)
+
+    def gpus_of(self, job_id: Hashable) -> Tuple[int, ...]:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} holds no allocation") from None
+
+    # ------------------------------------------------------------------ #
+    def allocate(self, job_id: Hashable, gpus: Iterable[int]) -> None:
+        """Assign ``gpus`` to ``job_id``, removing them from the free pool."""
+        chosen = tuple(sorted(set(gpus)))
+        if not chosen:
+            raise AllocationError("empty allocation")
+        if job_id in self._jobs:
+            raise AllocationError(f"job {job_id!r} already holds an allocation")
+        for g in chosen:
+            if g not in self.hardware:
+                raise KeyError(f"unknown GPU {g}")
+            if g not in self._free:
+                raise AllocationError(
+                    f"GPU {g} is busy (owned by {self._owner[g]!r})"
+                )
+        for g in chosen:
+            self._free.discard(g)
+            self._owner[g] = job_id
+        self._jobs[job_id] = chosen
+
+    def release(self, job_id: Hashable) -> Tuple[int, ...]:
+        """Return ``job_id``'s GPUs to the pool; returns the freed GPUs."""
+        try:
+            gpus = self._jobs.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} holds no allocation") from None
+        for g in gpus:
+            del self._owner[g]
+            self._free.add(g)
+        return gpus
+
+    def reset(self) -> None:
+        """Release everything (e.g. between simulation runs)."""
+        self._free = set(self.hardware.gpus)
+        self._owner.clear()
+        self._jobs.clear()
+
+    def check_invariants(self) -> None:
+        """Internal consistency check, used heavily by property tests."""
+        busy = set(self._owner)
+        if busy & self._free:
+            raise AssertionError("GPU marked both free and owned")
+        if busy | self._free != set(self.hardware.gpus):
+            raise AssertionError("GPU neither free nor owned")
+        from_jobs = {g for gpus in self._jobs.values() for g in gpus}
+        if from_jobs != busy:
+            raise AssertionError("job table and owner table disagree")
+        for job, gpus in self._jobs.items():
+            for g in gpus:
+                if self._owner[g] != job:
+                    raise AssertionError(f"GPU {g} owner mismatch")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AllocationState({self.hardware.name!r}, "
+            f"free={sorted(self._free)}, jobs={len(self._jobs)})"
+        )

@@ -1,0 +1,46 @@
+"""Analyses over simulation results: fragmentation, metric correlation
+and table rendering."""
+
+from .fragmentation import (
+    FragmentationSummary,
+    allocation_quality,
+    quality_by_job_size,
+    summarize_fragmentation,
+)
+from .correlation import (
+    AllocationPoint,
+    effbw_time_curve,
+    enumerate_allocation_points,
+    metric_correlations,
+    pearson,
+    predicted_vs_actual,
+    simulated_vs_reference,
+    spearman,
+)
+from .tables import format_boxplot_rows, format_series, format_table
+from .export import boxplot_to_csv, log_to_csv, scatter_to_csv, series_to_csv
+from .report import generate_report, write_report
+
+__all__ = [
+    "FragmentationSummary",
+    "allocation_quality",
+    "quality_by_job_size",
+    "summarize_fragmentation",
+    "AllocationPoint",
+    "effbw_time_curve",
+    "enumerate_allocation_points",
+    "metric_correlations",
+    "pearson",
+    "predicted_vs_actual",
+    "simulated_vs_reference",
+    "spearman",
+    "format_boxplot_rows",
+    "format_series",
+    "format_table",
+    "boxplot_to_csv",
+    "log_to_csv",
+    "scatter_to_csv",
+    "series_to_csv",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,97 @@
+"""Fragmentation analysis (paper Fig. 4 and section 2.2).
+
+Quantifies allocation quality as ``BW_Allocated / BW_IdealAllocation``:
+the aggregate pairwise bandwidth of the GPUs a job received, relative to
+the best aggregate bandwidth any same-sized allocation on the idle server
+achieves.  Running a trace under the Baseline policy and grouping the
+ratio by job size reproduces the box plot of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..scoring.aggregate import ideal_allocation_bandwidth
+from ..sim.records import JobRecord, SimulationLog
+from ..topology.hardware import HardwareGraph
+
+
+@lru_cache(maxsize=None)
+def _ideal_bw_cached(hardware: HardwareGraph, num_gpus: int) -> float:
+    return ideal_allocation_bandwidth(hardware, num_gpus)
+
+
+def allocation_quality(
+    hardware: HardwareGraph, gpus: Sequence[int]
+) -> float:
+    """``BW_Allocated / BW_IdealAllocation`` for one allocation.
+
+    Single-GPU allocations have no interconnect and score a perfect 1.0.
+    """
+    k = len(set(gpus))
+    if k <= 1:
+        return 1.0
+    ideal = _ideal_bw_cached(hardware, k)
+    if ideal <= 0:
+        return 1.0
+    return hardware.aggregate_bandwidth(gpus) / ideal
+
+
+def quality_by_job_size(
+    hardware: HardwareGraph,
+    log: SimulationLog,
+    sizes: Sequence[int] = (2, 3, 4, 5),
+) -> Dict[int, List[float]]:
+    """Allocation-quality samples grouped by requested GPU count.
+
+    This is the raw data behind the Fig. 4 box plot: run a trace under
+    Baseline, then look at how far each job's allocation falls short of
+    ideal.
+    """
+    out: Dict[int, List[float]] = {k: [] for k in sizes}
+    for record in log.records:
+        if record.num_gpus in out:
+            out[record.num_gpus].append(
+                allocation_quality(hardware, record.allocation)
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class FragmentationSummary:
+    """Quartiles of allocation quality for one job size."""
+
+    num_gpus: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    samples: int
+
+
+def summarize_fragmentation(
+    quality: Mapping[int, Sequence[float]]
+) -> List[FragmentationSummary]:
+    """Box-plot statistics per job size."""
+    import numpy as np
+
+    out: List[FragmentationSummary] = []
+    for k in sorted(quality):
+        vals = np.asarray(quality[k], dtype=float)
+        if vals.size == 0:
+            continue
+        out.append(
+            FragmentationSummary(
+                num_gpus=k,
+                minimum=float(vals.min()),
+                q1=float(np.quantile(vals, 0.25)),
+                median=float(np.quantile(vals, 0.5)),
+                q3=float(np.quantile(vals, 0.75)),
+                maximum=float(vals.max()),
+                samples=int(vals.size),
+            )
+        )
+    return out

@@ -1,0 +1,116 @@
+"""One-shot reproduction report.
+
+Regenerates the headline experiments (fragmentation, metric evaluation,
+model fit, DGX-V policy comparison, 16-GPU exploration) and renders them
+as a single markdown document — the ``mapa report`` command.  Heavier
+than any single benchmark (a few minutes of simulation) but entirely
+self-contained.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+from ..policies.registry import make_policy
+from ..scoring.effective import FEATURE_NAMES, PAPER_COEFFICIENTS
+from ..scoring.regression import fit_for_hardware
+from ..sim.cluster import run_all_policies, run_policy
+from ..sim.metrics import (
+    TABLE3_QUANTILES,
+    boxplot_stats,
+    effective_bw_distribution,
+    speedup_summary,
+)
+from ..sim.utilization import summarize_utilization
+from ..topology.builders import by_name
+from ..workloads.generator import generate_job_file
+from .fragmentation import quality_by_job_size, summarize_fragmentation
+from .tables import format_boxplot_rows, format_table
+
+
+def _md_block(text: str) -> str:
+    return "```\n" + text + "\n```\n"
+
+
+def generate_report(
+    num_jobs: int = 300,
+    seed: int = 2021,
+    topologies: Sequence[str] = ("dgx1-v100", "torus-2d-16", "cube-mesh-16"),
+) -> str:
+    """Build the markdown reproduction report; returns the text."""
+    out = io.StringIO()
+    out.write("# MAPA reproduction report\n\n")
+    out.write(
+        f"Trace: {num_jobs} jobs, seed {seed}, uniform workload mix, "
+        "uniform 1-5 GPU requests, FIFO.\n\n"
+    )
+
+    primary = by_name(topologies[0])
+    model, quality, samples = fit_for_hardware(primary)
+
+    # --- Eq. 2 fit ------------------------------------------------------
+    out.write("## Effective-bandwidth model (Table 2)\n\n")
+    rows = [
+        [f"θ{i+1}", FEATURE_NAMES[i], PAPER_COEFFICIENTS[i], model.coefficients[i]]
+        for i in range(len(FEATURE_NAMES))
+    ]
+    out.write(_md_block(format_table(
+        ["coeff", "feature", "paper", "refit"], rows,
+        title=f"{primary.name}: {len(samples)} census samples, "
+              f"R²={quality.r_squared:.3f}",
+    )))
+    out.write("\n")
+
+    # --- fragmentation (Fig. 4) -----------------------------------------
+    out.write("## Fragmentation under Baseline (Fig. 4)\n\n")
+    frag_trace = generate_job_file(100, seed=seed, min_gpus=2, max_gpus=5)
+    frag_log = run_policy(primary, make_policy("baseline"), frag_trace, model)
+    frag_rows = [
+        [s.num_gpus, s.minimum, s.q1, s.median, s.q3, s.maximum]
+        for s in summarize_fragmentation(quality_by_job_size(primary, frag_log))
+    ]
+    out.write(_md_block(format_table(
+        ["NumGPUs", "min", "q1", "median", "q3", "max"],
+        frag_rows,
+        title="BW_Allocated / BW_IdealAllocation",
+    )))
+    out.write("\n")
+
+    # --- per-topology policy comparison ----------------------------------
+    for name in topologies:
+        hw = by_name(name)
+        topo_model, _, _ = fit_for_hardware(hw)
+        trace = generate_job_file(
+            num_jobs, seed=seed, max_gpus=min(5, hw.num_gpus)
+        )
+        logs = run_all_policies(hw, trace, topo_model)
+        out.write(f"## {hw.name}: {num_jobs}-job policy comparison\n\n")
+        stats = {
+            p: boxplot_stats(effective_bw_distribution(log, sensitive=True))
+            for p, log in logs.items()
+        }
+        out.write(_md_block(format_boxplot_rows(
+            "Predicted EffBW (GB/s), sensitive jobs", stats
+        )))
+        headers = (
+            ["Policy"] + [n for n, _ in TABLE3_QUANTILES] + ["Tput", "GPU util"]
+        )
+        rows = []
+        for s in speedup_summary(logs):
+            util = summarize_utilization(logs[s.policy], hw).gpu_utilization
+            rows.append([s.policy] + [f"{v:.3f}" for v in s.row()] + [f"{util:.3f}"])
+        out.write(_md_block(format_table(
+            headers, rows, title="Speedup vs baseline (sensitive jobs)"
+        )))
+        out.write("\n")
+
+    return out.getvalue()
+
+
+def write_report(path: str, **kwargs) -> str:
+    """Generate the report and write it to ``path``; returns the text."""
+    text = generate_report(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,77 @@
+"""Plain-text rendering of tables and figure series.
+
+Benchmarks and examples print their results through these helpers so
+every experiment emits the same paper-style rows regardless of where it
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Iterable[Sequence[float]],
+    labels: Sequence[str] = ("x", "y"),
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an (x, y, ...) point series as labelled rows."""
+    lines = [name]
+    for pt in points:
+        parts = [
+            f"{lab}={float_fmt.format(v) if isinstance(v, float) else v}"
+            for lab, v in zip(labels, pt)
+        ]
+        lines.append("  " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def format_boxplot_rows(
+    title: str,
+    stats_by_group: Mapping[object, Mapping[str, float]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render per-group box-plot statistics (min/q1/median/q3/max)."""
+    headers = ["group", "min", "q1", "median", "q3", "max"]
+    rows = [
+        [
+            str(group),
+            s.get("min", float("nan")),
+            s.get("q1", float("nan")),
+            s.get("median", float("nan")),
+            s.get("q3", float("nan")),
+            s.get("max", float("nan")),
+        ]
+        for group, s in stats_by_group.items()
+    ]
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

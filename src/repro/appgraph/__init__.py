@@ -1,0 +1,41 @@
+"""Application topology graphs and NCCL-style pattern constructors."""
+
+from .application import ApplicationGraph
+from .extraction import (
+    COLLECTIVE_SHAPES,
+    CommCall,
+    classify_extracted,
+    from_call_log,
+    from_traffic_matrix,
+)
+from .patterns import (
+    PATTERN_BUILDERS,
+    all_to_all,
+    by_name,
+    chain,
+    from_edges,
+    ring,
+    ring_tree,
+    single,
+    star,
+    tree,
+)
+
+__all__ = [
+    "ApplicationGraph",
+    "COLLECTIVE_SHAPES",
+    "CommCall",
+    "classify_extracted",
+    "from_call_log",
+    "from_traffic_matrix",
+    "PATTERN_BUILDERS",
+    "all_to_all",
+    "by_name",
+    "chain",
+    "from_edges",
+    "ring",
+    "ring_tree",
+    "single",
+    "star",
+    "tree",
+]

@@ -1,0 +1,156 @@
+"""Application topology graphs (paper section 3.1).
+
+An application graph abstracts a multi-accelerator workload: vertices are
+the logical accelerator slots the job needs (numbered ``0..k-1``) and edges
+mark pairs of slots that communicate.  The paper derives these graphs from
+NCCL API usage (collectives build rings and/or trees over the job's GPUs)
+or from runtime interconnect profiling; here they are constructed
+programmatically by :mod:`repro.appgraph.patterns`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+Edge = Tuple[int, int]
+
+
+class ApplicationGraph:
+    """Communication pattern of a multi-accelerator job.
+
+    Parameters
+    ----------
+    name:
+        Pattern name (``"ring"``, ``"tree"``, ...).
+    num_gpus:
+        Number of accelerator slots; vertices are ``0..num_gpus-1``.
+    edges:
+        Iterable of vertex pairs that communicate.  Self-loops and
+        out-of-range vertices are rejected; duplicates collapse.
+    """
+
+    def __init__(self, name: str, num_gpus: int, edges: Iterable[Edge]) -> None:
+        if num_gpus < 1:
+            raise ValueError("application graph needs at least one GPU slot")
+        self.name = name
+        self._n = num_gpus
+        edge_set: Set[FrozenSet[int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-communication edge on vertex {u}")
+            if not (0 <= u < num_gpus and 0 <= v < num_gpus):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {num_gpus}-GPU pattern"
+                )
+            edge_set.add(frozenset((u, v)))
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(
+            sorted(tuple(sorted(e)) for e in edge_set)
+        )
+        self._adj: Dict[int, Set[int]] = {v: set() for v in range(num_gpus)}
+        for u, v in self._edges:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_gpus(self) -> int:
+        """Number of accelerator slots this pattern requires."""
+        return self._n
+
+    @property
+    def vertices(self) -> range:
+        return range(self._n)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted tuple of undirected communication edges."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """Vertices that communicate directly with ``v``."""
+        return frozenset(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj.get(u, ())
+
+    def is_connected(self) -> bool:
+        """True if every slot is (transitively) reachable from slot 0.
+
+        Single-GPU patterns are trivially connected.  Patterns of jobs with
+        zero inter-GPU communication (e.g. embarrassingly parallel solvers)
+        may legitimately be disconnected.
+        """
+        if self._n == 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self._n
+
+    def union(self, other: "ApplicationGraph", name: str | None = None) -> "ApplicationGraph":
+        """Edge-union of two patterns over the same slot count.
+
+        NCCL programs mix collectives (rings for large messages, trees for
+        small ones); the job's application graph is the union of the graphs
+        of every collective it calls (section 3.1).
+        """
+        if other.num_gpus != self._n:
+            raise ValueError("patterns must have the same number of GPU slots")
+        return ApplicationGraph(
+            name or f"{self.name}+{other.name}",
+            self._n,
+            list(self._edges) + list(other.edges),
+        )
+
+    def relabel(self, mapping: Sequence[int]) -> "ApplicationGraph":
+        """Return an isomorphic copy with vertex ``i`` renamed ``mapping[i]``.
+
+        ``mapping`` must be a permutation of ``0..num_gpus-1``.  Useful for
+        testing matcher invariance under relabelling.
+        """
+        if sorted(mapping) != list(range(self._n)):
+            raise ValueError("mapping must be a permutation of the slots")
+        return ApplicationGraph(
+            self.name,
+            self._n,
+            [(mapping[u], mapping[v]) for u, v in self._edges],
+        )
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Non-increasing degree sequence (an isomorphism invariant)."""
+        return tuple(sorted((len(s) for s in self._adj.values()), reverse=True))
+
+    def to_networkx(self) -> nx.Graph:
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(self.vertices)
+        g.add_edges_from(self._edges)
+        return g
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ApplicationGraph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApplicationGraph({self.name!r}, gpus={self._n}, "
+            f"edges={len(self._edges)})"
+        )

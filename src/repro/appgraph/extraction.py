@@ -1,0 +1,166 @@
+"""Application-topology extraction (paper section 3.1, Fig. 9).
+
+The paper describes two ways to obtain a job's application graph:
+
+* **source-code analysis** — multi-GPU communication goes through
+  well-defined APIs (NCCL collectives, ``cudaMemcpyPeer``); identifying
+  the calls yields the communication pattern.  :func:`from_call_log`
+  consumes a log of such calls and builds the union graph, exactly the
+  "combining the graph of all NCCL API calls" rule of §3.1.
+* **runtime profiling** — per-link traffic counters (``nvidia-smi``
+  style) reveal which GPU pairs actually talked.
+  :func:`from_traffic_matrix` thresholds a pairwise byte matrix into an
+  application graph, avoiding the conservative fully-connected
+  assumption for implicit-communication programs (Unified Memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from . import patterns
+from .application import ApplicationGraph
+
+#: NCCL collectives and the shape of the logical topology they induce
+#: over the participating ranks (per §3.1's discussion of Fig. 8).
+COLLECTIVE_SHAPES: Dict[str, str] = {
+    "allreduce": "ring",
+    "reducescatter": "ring",
+    "allgather": "ring",
+    "broadcast": "tree",
+    "reduce": "tree",
+    "alltoall": "alltoall",
+}
+
+
+@dataclass(frozen=True)
+class CommCall:
+    """One logged communication call.
+
+    ``op`` is a collective name (see :data:`COLLECTIVE_SHAPES`) or
+    ``"p2p"`` for an explicit peer copy, in which case ``src``/``dst``
+    identify the two ranks involved.
+    """
+
+    op: str
+    ranks: Tuple[int, ...]
+    bytes: float = 0.0
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+
+def from_call_log(
+    calls: Iterable[CommCall],
+    num_gpus: int,
+    name: str = "extracted",
+) -> ApplicationGraph:
+    """Union of the topologies induced by every logged call (§3.1).
+
+    Collective calls contribute the canonical shape of their collective
+    over the participating ranks (ring for bandwidth-bound collectives,
+    tree for latency-bound ones); p2p calls contribute a single edge.
+    """
+    edges: List[Tuple[int, int]] = []
+    for call in calls:
+        op = call.op.lower()
+        if op == "p2p":
+            if call.src is None or call.dst is None:
+                raise ValueError("p2p call needs src and dst ranks")
+            edges.append((call.src, call.dst))
+            continue
+        try:
+            shape = COLLECTIVE_SHAPES[op]
+        except KeyError:
+            known = ", ".join(sorted(COLLECTIVE_SHAPES) + ["p2p"])
+            raise ValueError(f"unknown op {call.op!r}; known: {known}") from None
+        ranks = tuple(call.ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in collective: {ranks}")
+        if any(not 0 <= r < num_gpus for r in ranks):
+            raise ValueError(f"rank out of range in {ranks}")
+        if len(ranks) < 2:
+            continue  # single-rank collective: no communication
+        local = patterns.by_name(shape, len(ranks))
+        for u, v in local.edges:
+            edges.append((ranks[u], ranks[v]))
+    return ApplicationGraph(name, num_gpus, edges)
+
+
+def from_traffic_matrix(
+    traffic_bytes: Mapping[Tuple[int, int], float] | Sequence[Sequence[float]],
+    num_gpus: int,
+    threshold_fraction: float = 0.01,
+    name: str = "profiled",
+) -> ApplicationGraph:
+    """Threshold a pairwise traffic matrix into an application graph.
+
+    Parameters
+    ----------
+    traffic_bytes:
+        Either a dict of unordered pair → bytes, or a square matrix
+        (symmetrised by summing both triangles).
+    threshold_fraction:
+        Pairs carrying less than this fraction of the *busiest* pair's
+        traffic are treated as noise and dropped — profiling counters
+        pick up stray page migrations that are not part of the pattern.
+    """
+    pair_bytes: Dict[Tuple[int, int], float] = {}
+    if isinstance(traffic_bytes, Mapping):
+        for (u, v), b in traffic_bytes.items():
+            if u == v:
+                raise ValueError(f"self-traffic on rank {u}")
+            key = (min(u, v), max(u, v))
+            pair_bytes[key] = pair_bytes.get(key, 0.0) + float(b)
+    else:
+        matrix = traffic_bytes
+        if len(matrix) != num_gpus or any(len(row) != num_gpus for row in matrix):
+            raise ValueError("matrix must be num_gpus x num_gpus")
+        for u in range(num_gpus):
+            for v in range(u + 1, num_gpus):
+                total = float(matrix[u][v]) + float(matrix[v][u])
+                if total > 0:
+                    pair_bytes[(u, v)] = total
+    for (u, v) in pair_bytes:
+        if not (0 <= u < num_gpus and 0 <= v < num_gpus):
+            raise ValueError(f"rank pair ({u}, {v}) out of range")
+    if not pair_bytes:
+        return ApplicationGraph(name, num_gpus, [])
+    peak = max(pair_bytes.values())
+    cutoff = peak * threshold_fraction
+    edges = [pair for pair, b in pair_bytes.items() if b >= cutoff]
+    return ApplicationGraph(name, num_gpus, edges)
+
+
+def classify_extracted(graph: ApplicationGraph) -> str:
+    """Name the canonical pattern an extracted graph matches, if any.
+
+    Returns ``"ring"``, ``"chain"``, ``"tree"``, ``"star"``,
+    ``"alltoall"``, ``"single"`` or ``"irregular"``.  Comparison is up to
+    relabelling (degree-sequence + edge-count fingerprint, exact for
+    these tiny shapes, verified by isomorphism for the ambiguous cases).
+    """
+    k = graph.num_gpus
+    if graph.num_edges == 0:
+        return "single"
+    candidates = {
+        "ring": patterns.ring(k),
+        "chain": patterns.chain(k),
+        "tree": patterns.tree(k),
+        "star": patterns.star(k),
+        "alltoall": patterns.all_to_all(k),
+    }
+    from ..matching.isomorphism import adjacency_from_edges, subgraph_monomorphisms
+
+    g_adj = adjacency_from_edges(graph.vertices, graph.edges)
+    for label, cand in candidates.items():
+        if cand.num_edges != graph.num_edges:
+            continue
+        if cand.degree_sequence() != graph.degree_sequence():
+            continue
+        c_adj = adjacency_from_edges(cand.vertices, cand.edges)
+        if next(
+            iter(subgraph_monomorphisms(c_adj, g_adj, induced=True)), None
+        ) is not None:
+            return label
+    return "irregular"

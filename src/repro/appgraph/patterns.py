@@ -1,0 +1,112 @@
+"""Constructors for the application patterns used by NCCL-style workloads.
+
+Paper Fig. 8 shows the three shapes a 5-GPU NCCL job can take: a ring (used
+for large messages), a tree (small messages / broadcast) or the union of
+both.  We also provide chains, stars and all-to-all for MPI-style
+workloads, plus a ``by_name`` registry used by job files.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .application import ApplicationGraph
+
+Edge = Tuple[int, int]
+
+
+def single(num_gpus: int = 1) -> ApplicationGraph:
+    """A job with no inter-GPU communication (one or more isolated slots).
+
+    Used for 1-GPU jobs and for embarrassingly parallel multi-GPU codes
+    (Cusimann / GMM in the paper have negligible inter-GPU traffic)."""
+    return ApplicationGraph("single", num_gpus, [])
+
+
+def ring(num_gpus: int) -> ApplicationGraph:
+    """NCCL ring: slot *i* talks to slot *(i+1) mod k*.
+
+    For ``num_gpus == 2`` the ring degenerates to the single pair edge; for
+    1 GPU there is nothing to connect."""
+    if num_gpus < 1:
+        raise ValueError("ring needs at least one GPU")
+    if num_gpus == 1:
+        return ApplicationGraph("ring", 1, [])
+    if num_gpus == 2:
+        return ApplicationGraph("ring", 2, [(0, 1)])
+    edges = [(i, (i + 1) % num_gpus) for i in range(num_gpus)]
+    return ApplicationGraph("ring", num_gpus, edges)
+
+
+def chain(num_gpus: int) -> ApplicationGraph:
+    """Open chain (pipeline parallelism): slot *i* talks to slot *i+1*."""
+    if num_gpus < 1:
+        raise ValueError("chain needs at least one GPU")
+    return ApplicationGraph("chain", num_gpus, [(i, i + 1) for i in range(num_gpus - 1)])
+
+
+def tree(num_gpus: int) -> ApplicationGraph:
+    """NCCL binary reduction tree rooted at slot 0 (paper Fig. 8, middle).
+
+    Slot *i* has children *2i+1* and *2i+2* when they exist."""
+    if num_gpus < 1:
+        raise ValueError("tree needs at least one GPU")
+    edges: List[Edge] = []
+    for i in range(num_gpus):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < num_gpus:
+                edges.append((i, child))
+    return ApplicationGraph("tree", num_gpus, edges)
+
+
+def star(num_gpus: int) -> ApplicationGraph:
+    """Parameter-server shape: slot 0 talks to every other slot."""
+    if num_gpus < 1:
+        raise ValueError("star needs at least one GPU")
+    return ApplicationGraph("star", num_gpus, [(0, i) for i in range(1, num_gpus)])
+
+
+def all_to_all(num_gpus: int) -> ApplicationGraph:
+    """Fully connected pattern (alltoall collectives, conservative default
+    when the communication pattern cannot be extracted — section 3.1)."""
+    if num_gpus < 1:
+        raise ValueError("all_to_all needs at least one GPU")
+    edges = [
+        (u, v) for u in range(num_gpus) for v in range(u + 1, num_gpus)
+    ]
+    return ApplicationGraph("alltoall", num_gpus, edges)
+
+
+def ring_tree(num_gpus: int) -> ApplicationGraph:
+    """Union of the NCCL ring and tree over the same slots (Fig. 8, right):
+    what a job using both large- and small-message collectives exhibits."""
+    g = ring(num_gpus).union(tree(num_gpus), name="ring+tree")
+    return g
+
+
+def from_edges(name: str, num_gpus: int, edges: List[Edge]) -> ApplicationGraph:
+    """Custom pattern, e.g. extracted from profiling traces."""
+    return ApplicationGraph(name, num_gpus, edges)
+
+
+#: Pattern registry used by job files (column "Topology" in Fig. 14).
+PATTERN_BUILDERS: Dict[str, Callable[[int], ApplicationGraph]] = {
+    "single": single,
+    "ring": ring,
+    "chain": chain,
+    "tree": tree,
+    "star": star,
+    "alltoall": all_to_all,
+    "ring+tree": ring_tree,
+}
+
+
+def by_name(name: str, num_gpus: int) -> ApplicationGraph:
+    """Instantiate a registered pattern by name for ``num_gpus`` slots."""
+    key = name.lower()
+    try:
+        builder = PATTERN_BUILDERS[key]
+    except KeyError:
+        known = ", ".join(sorted(PATTERN_BUILDERS))
+        raise KeyError(f"unknown pattern {name!r}; known: {known}") from None
+    return builder(num_gpus)

@@ -1,0 +1,253 @@
+"""Command-line interface: ``mapa`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``topos``
+    List registered server topologies.
+``alloc``
+    Allocate one pattern on an idle server and print the decision.
+``trace``
+    Generate (or load) a job trace, simulate all four policies and print
+    the Table-3-style summary.
+``fit``
+    Fit the Eq. 2 effective-bandwidth model for a topology and print the
+    coefficients next to the paper's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .appgraph import patterns
+from .allocator.mapa import Mapa
+from .policies.base import AllocationRequest
+from .policies.registry import POLICY_NAMES, make_policy
+from .scoring.effective import FEATURE_NAMES, PAPER_COEFFICIENTS
+from .scoring.regression import fit_for_hardware
+from .sim.cluster import run_all_policies
+from .sim.metrics import TABLE3_QUANTILES, speedup_summary
+from .topology.builders import TOPOLOGY_BUILDERS, by_name
+from .workloads.generator import generate_job_file
+from .workloads.jobs import JobFile
+
+
+def _cmd_topos(_: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(TOPOLOGY_BUILDERS):
+        hw = by_name(name)
+        rows.append(
+            [
+                name,
+                hw.num_gpus,
+                sum(1 for _ in hw.nvlink_links()),
+                f"{hw.aggregate_bandwidth():.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["topology", "gpus", "nvlinks", "total BW (GB/s)"], rows,
+            title="Registered server topologies",
+        )
+    )
+    return 0
+
+
+def _cmd_alloc(args: argparse.Namespace) -> int:
+    hw = by_name(args.topology)
+    policy = make_policy(args.policy)
+    mapa = Mapa(hw, policy)
+    pattern = patterns.by_name(args.pattern, args.gpus)
+    request = AllocationRequest(
+        pattern=pattern, bandwidth_sensitive=not args.insensitive
+    )
+    allocation = mapa.try_allocate(request)
+    if allocation is None:
+        print("allocation failed: not enough free GPUs")
+        return 1
+    print(f"policy     : {policy.name}")
+    print(f"topology   : {hw.name}")
+    print(f"pattern    : {pattern.name} ({args.gpus} GPUs)")
+    print(f"allocation : {allocation.gpus}")
+    for key, value in sorted(allocation.scores.items()):
+        print(f"  {key:<14}= {value:.3f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    hw = by_name(args.topology)
+    if args.jobfile:
+        job_file = JobFile.load(args.jobfile)
+    else:
+        job_file = generate_job_file(
+            num_jobs=args.jobs, seed=args.seed, max_gpus=min(5, hw.num_gpus)
+        )
+    model, _, _ = fit_for_hardware(hw)
+    logs = run_all_policies(hw, job_file, model)
+    summaries = speedup_summary(logs)
+    headers = ["Policy"] + [name for name, _ in TABLE3_QUANTILES] + ["Tput"]
+    rows = [[s.policy] + [f"{v:.3f}" for v in s.row()] for s in summaries]
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Normalized speedup vs baseline — {hw.name}, "
+                f"{len(job_file)} jobs (sensitive jobs)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .cluster import NODE_POLICIES, run_cluster
+
+    servers = [by_name(name) for name in args.servers]
+    job_file = generate_job_file(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        max_gpus=min(5, min(hw.num_gpus for hw in servers)),
+    )
+    rows = []
+    for node_policy in NODE_POLICIES:
+        sim = run_cluster(
+            servers, job_file, gpu_policy=args.policy, node_policy=node_policy
+        )
+        sens = [r for r in sim.log.sensitive() if r.num_gpus > 1]
+        mean_bw = float(np.mean([r.measured_effective_bw for r in sens])) if sens else 0.0
+        rows.append(
+            [
+                node_policy,
+                f"{sim.log.makespan:.0f}",
+                f"{mean_bw:.1f}",
+                " ".join(str(v) for v in sim.jobs_per_server().values()),
+            ]
+        )
+    print(
+        format_table(
+            ["node policy", "makespan (s)", "mean sens. EffBW", "jobs/server"],
+            rows,
+            title=(
+                f"Cluster of {len(servers)} servers "
+                f"({', '.join(hw.name for hw in servers)}), "
+                f"{len(job_file)} jobs, {args.policy} inside nodes"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    hw = by_name(args.topology)
+    model, quality, samples = fit_for_hardware(hw)
+    rows = [
+        [f"θ{i+1}", FEATURE_NAMES[i], PAPER_COEFFICIENTS[i], model.coefficients[i]]
+        for i in range(len(FEATURE_NAMES))
+    ]
+    print(
+        format_table(
+            ["coeff", "feature", "paper", "refit"],
+            rows,
+            title=f"Eq. 2 coefficients — {hw.name} ({len(samples)} census samples)",
+        )
+    )
+    print(
+        f"fit quality: rel.err={quality.relative_error:.4f} "
+        f"RMSE={quality.rmse:.3f} MAE={quality.mae:.3f} R²={quality.r_squared:.4f}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report, write_report
+
+    if args.output:
+        write_report(
+            args.output,
+            num_jobs=args.jobs,
+            seed=args.seed,
+            topologies=args.topologies,
+        )
+        print(f"report written to {args.output}")
+    else:
+        print(
+            generate_report(
+                num_jobs=args.jobs, seed=args.seed, topologies=args.topologies
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mapa", description="MAPA (SC '21) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topos", help="list server topologies").set_defaults(
+        func=_cmd_topos
+    )
+
+    p_alloc = sub.add_parser("alloc", help="allocate one pattern on an idle server")
+    p_alloc.add_argument("--topology", default="dgx1-v100")
+    p_alloc.add_argument("--policy", default="preserve", choices=POLICY_NAMES)
+    p_alloc.add_argument("--pattern", default="ring")
+    p_alloc.add_argument("--gpus", type=int, default=3)
+    p_alloc.add_argument(
+        "--insensitive", action="store_true", help="mark the job bandwidth-insensitive"
+    )
+    p_alloc.set_defaults(func=_cmd_alloc)
+
+    p_trace = sub.add_parser("trace", help="simulate a job trace under all policies")
+    p_trace.add_argument("--topology", default="dgx1-v100")
+    p_trace.add_argument("--jobs", type=int, default=300)
+    p_trace.add_argument("--seed", type=int, default=2021)
+    p_trace.add_argument("--jobfile", help="CSV job file to replay instead")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
+    p_fit.add_argument("--topology", default="dgx1-v100")
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="compare node-selection policies on a server fleet"
+    )
+    p_cluster.add_argument(
+        "--servers",
+        nargs="+",
+        default=["dgx1-v100", "dgx1-v100"],
+        help="topology names, one per server",
+    )
+    p_cluster.add_argument("--policy", default="preserve", choices=POLICY_NAMES)
+    p_cluster.add_argument("--jobs", type=int, default=100)
+    p_cluster.add_argument("--seed", type=int, default=2021)
+    p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the full reproduction report (markdown)"
+    )
+    p_report.add_argument("--jobs", type=int, default=300)
+    p_report.add_argument("--seed", type=int, default=2021)
+    p_report.add_argument("--output", help="write to file instead of stdout")
+    p_report.add_argument(
+        "--topologies",
+        nargs="+",
+        default=["dgx1-v100", "torus-2d-16", "cube-mesh-16"],
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

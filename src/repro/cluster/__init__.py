@@ -1,0 +1,17 @@
+"""Multi-server extension: MAPA within each node, placement across nodes."""
+
+from .scheduler import (
+    NODE_POLICIES,
+    ClusterPlacement,
+    MultiServerScheduler,
+)
+from .simulator import ClusterJobRecord, ClusterSimulator, run_cluster
+
+__all__ = [
+    "NODE_POLICIES",
+    "ClusterPlacement",
+    "MultiServerScheduler",
+    "ClusterJobRecord",
+    "ClusterSimulator",
+    "run_cluster",
+]

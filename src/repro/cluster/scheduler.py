@@ -1,0 +1,154 @@
+"""Multi-server scheduling: MAPA inside each node, placement across nodes.
+
+The paper scopes MAPA to fragmentation *within* one server and calls
+cross-node scheduling complementary (Philly / Gandiva, section 6).  This
+extension composes them: a cluster of MAPA-managed servers, a node-
+selection policy that picks which server hosts each job, and MAPA
+choosing the GPUs within the chosen server.
+
+Node-selection policies:
+
+* ``first-fit``  — lowest-index server that can place the job now;
+* ``pack``       — feasible server with the fewest free GPUs (bin-packing:
+  keeps whole servers idle for large jobs, Philly's locality goal);
+* ``spread``     — feasible server with the most free GPUs;
+* ``best-score`` — run MAPA's policy speculatively on every feasible
+  server and take the placement with the highest predicted effective
+  bandwidth (costlier, topology-aware across nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..allocator.mapa import Mapa
+from ..policies.base import Allocation, AllocationPolicy, AllocationRequest
+from ..policies.registry import make_policy
+from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
+from ..topology.hardware import HardwareGraph
+
+NODE_POLICIES = ("first-fit", "pack", "spread", "best-score")
+
+
+@dataclass(frozen=True)
+class ClusterPlacement:
+    """Where a job landed: which server, which GPUs, with what scores."""
+
+    server_index: int
+    allocation: Allocation
+
+    @property
+    def gpus(self) -> Tuple[int, ...]:
+        return self.allocation.gpus
+
+
+class MultiServerScheduler:
+    """A fleet of MAPA-managed servers behind one queue."""
+
+    def __init__(
+        self,
+        servers: Sequence[HardwareGraph],
+        gpu_policy: str = "preserve",
+        node_policy: str = "first-fit",
+        model: EffectiveBandwidthModel = PAPER_MODEL,
+    ) -> None:
+        if not servers:
+            raise ValueError("cluster needs at least one server")
+        if node_policy not in NODE_POLICIES:
+            raise ValueError(
+                f"unknown node policy {node_policy!r}; known: {NODE_POLICIES}"
+            )
+        self.node_policy = node_policy
+        self.model = model
+        self.engines: List[Mapa] = [
+            Mapa(hw, make_policy(gpu_policy, model), model) for hw in servers
+        ]
+        self._job_server: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        return len(self.engines)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(e.hardware.num_gpus for e in self.engines)
+
+    @property
+    def total_free(self) -> int:
+        return sum(e.state.num_free for e in self.engines)
+
+    def can_ever_fit(self, request: AllocationRequest) -> bool:
+        return any(
+            request.num_gpus <= e.hardware.num_gpus for e in self.engines
+        )
+
+    # ------------------------------------------------------------------ #
+    def _candidate_order(self, request: AllocationRequest) -> List[int]:
+        feasible = [
+            i
+            for i, e in enumerate(self.engines)
+            if e.state.num_free >= request.num_gpus
+            and request.num_gpus <= e.hardware.num_gpus
+        ]
+        if self.node_policy == "pack":
+            feasible.sort(key=lambda i: (self.engines[i].state.num_free, i))
+        elif self.node_policy == "spread":
+            feasible.sort(key=lambda i: (-self.engines[i].state.num_free, i))
+        # first-fit / best-score keep index order.
+        return feasible
+
+    def try_place(self, request: AllocationRequest) -> Optional[ClusterPlacement]:
+        """Place a job on some server, committing the allocation."""
+        if request.job_id is None:
+            raise ValueError("cluster placement requires a job_id")
+        order = self._candidate_order(request)
+        if not order:
+            return None
+        if self.node_policy == "best-score":
+            return self._place_best_score(request, order)
+        for idx in order:
+            allocation = self.engines[idx].try_allocate(request)
+            if allocation is not None:
+                self._job_server[request.job_id] = idx
+                return ClusterPlacement(server_index=idx, allocation=allocation)
+        return None
+
+    def _place_best_score(
+        self, request: AllocationRequest, order: List[int]
+    ) -> Optional[ClusterPlacement]:
+        best_idx: Optional[int] = None
+        best_alloc: Optional[Allocation] = None
+        best_score = float("-inf")
+        for idx in order:
+            engine = self.engines[idx]
+            proposal = engine.policy.allocate(
+                request, engine.hardware, engine.state.free_gpus
+            )
+            if proposal is None:
+                continue
+            annotated = engine._annotate(proposal, engine.state.free_gpus)
+            score = annotated.scores.get("effective_bw", 0.0)
+            if score > best_score:
+                best_score = score
+                best_idx = idx
+                best_alloc = annotated
+        if best_idx is None or best_alloc is None:
+            return None
+        self.engines[best_idx].state.allocate(request.job_id, best_alloc.gpus)
+        self._job_server[request.job_id] = best_idx
+        return ClusterPlacement(server_index=best_idx, allocation=best_alloc)
+
+    def release(self, job_id: Hashable) -> Tuple[int, Tuple[int, ...]]:
+        """Free a finished job; returns (server index, freed GPUs)."""
+        try:
+            idx = self._job_server.pop(job_id)
+        except KeyError:
+            raise KeyError(f"job {job_id!r} is not placed") from None
+        return idx, self.engines[idx].release(job_id)
+
+    def reset(self) -> None:
+        for e in self.engines:
+            e.reset()
+        self._job_server.clear()

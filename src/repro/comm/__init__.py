@@ -1,0 +1,58 @@
+"""NCCL-like collective communication substrate: ring construction,
+all-reduce microbenchmark simulation, and point-to-point routing."""
+
+from .rings import Ring, RingDecomposition, build_rings
+from .microbench import (
+    LAUNCH_LATENCY_SECONDS,
+    PROTOCOL_EFFICIENCY,
+    SATURATED_SIZE_BYTES,
+    allreduce_time_seconds,
+    bandwidth_sweep,
+    effective_bandwidth,
+    peak_effective_bandwidth,
+    size_efficiency,
+)
+from .routing import effective_pair_bandwidth, pair_bandwidth, widest_nvlink_path
+from .collectives import (
+    CollectiveEstimate,
+    best_cost,
+    collective_on_allocation,
+    crossover_size,
+    ring_cost,
+    tree_cost,
+)
+from .spanning_trees import (
+    SpanningTree,
+    TreePacking,
+    blink_effective_bandwidth,
+    pack_spanning_trees,
+    recovery_ratio,
+)
+
+__all__ = [
+    "Ring",
+    "RingDecomposition",
+    "build_rings",
+    "LAUNCH_LATENCY_SECONDS",
+    "PROTOCOL_EFFICIENCY",
+    "SATURATED_SIZE_BYTES",
+    "allreduce_time_seconds",
+    "bandwidth_sweep",
+    "effective_bandwidth",
+    "peak_effective_bandwidth",
+    "size_efficiency",
+    "effective_pair_bandwidth",
+    "pair_bandwidth",
+    "widest_nvlink_path",
+    "CollectiveEstimate",
+    "best_cost",
+    "collective_on_allocation",
+    "crossover_size",
+    "ring_cost",
+    "tree_cost",
+    "SpanningTree",
+    "TreePacking",
+    "blink_effective_bandwidth",
+    "pack_spanning_trees",
+    "recovery_ratio",
+]

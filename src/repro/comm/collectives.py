@@ -1,0 +1,170 @@
+"""Collective-communication cost models (rings *and* trees, §3.1).
+
+"NCCL handles collective communications by building rings or trees and
+utilizes them depending on the data transfer size" — rings amortise
+bandwidth for large buffers, trees cut latency for small ones.  This
+module provides alpha–beta cost functions for the common collectives
+over an allocation's measured topology, including the size-based
+algorithm switch, so workload models and examples can reason about
+individual operations rather than just the saturated all-reduce used by
+the EffBW microbenchmark.
+
+Costs are per call, in seconds, for ``k`` ranks moving ``S`` bytes at
+bus bandwidth ``B`` (GB/s) with per-hop latency ``α``:
+
+=================  =====================================  ==================
+collective         ring                                   tree
+=================  =====================================  ==================
+allreduce          2(k-1)/k · S/B   + 2(k-1)·α            2·S/B + 2⌈log₂k⌉·α
+allgather          (k-1)/k · S/B    + (k-1)·α             —
+reduce-scatter     (k-1)/k · S/B    + (k-1)·α             —
+broadcast          S/B + (k-1)·α  (pipelined chain)       S/B + ⌈log₂k⌉·α
+reduce             S/B + (k-1)·α                          S/B + ⌈log₂k⌉·α
+=================  =====================================  ==================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..topology.hardware import HardwareGraph
+from .microbench import LAUNCH_LATENCY_SECONDS, peak_effective_bandwidth
+from .spanning_trees import blink_effective_bandwidth
+
+RING_ALGORITHMS = ("allreduce", "allgather", "reducescatter", "broadcast", "reduce")
+TREE_ALGORITHMS = ("allreduce", "broadcast", "reduce")
+
+
+def _check(k: int, data_bytes: float, bandwidth_gbps: float) -> None:
+    if k < 1:
+        raise ValueError("need at least one rank")
+    if data_bytes < 0:
+        raise ValueError("negative data size")
+    if k > 1 and bandwidth_gbps <= 0:
+        raise ValueError("multi-rank collective needs positive bandwidth")
+
+
+def ring_cost(
+    op: str,
+    k: int,
+    data_bytes: float,
+    bandwidth_gbps: float,
+    alpha: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Seconds for one ring-algorithm collective."""
+    op = op.lower()
+    if op not in RING_ALGORITHMS:
+        raise ValueError(f"no ring algorithm for {op!r}")
+    _check(k, data_bytes, bandwidth_gbps)
+    if k == 1:
+        return 0.0
+    bps = bandwidth_gbps * 1e9
+    if op == "allreduce":
+        return 2.0 * (k - 1) / k * data_bytes / bps + 2 * (k - 1) * alpha
+    if op in ("allgather", "reducescatter"):
+        return (k - 1) / k * data_bytes / bps + (k - 1) * alpha
+    # broadcast / reduce: pipelined chain moves the whole buffer once.
+    return data_bytes / bps + (k - 1) * alpha
+
+
+def tree_cost(
+    op: str,
+    k: int,
+    data_bytes: float,
+    bandwidth_gbps: float,
+    alpha: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Seconds for one tree-algorithm collective."""
+    op = op.lower()
+    if op not in TREE_ALGORITHMS:
+        raise ValueError(f"no tree algorithm for {op!r}")
+    _check(k, data_bytes, bandwidth_gbps)
+    if k == 1:
+        return 0.0
+    bps = bandwidth_gbps * 1e9
+    depth = math.ceil(math.log2(k))
+    if op == "allreduce":  # reduce then broadcast down the double tree
+        return 2.0 * data_bytes / bps + 2 * depth * alpha
+    return data_bytes / bps + depth * alpha
+
+
+def best_cost(
+    op: str,
+    k: int,
+    data_bytes: float,
+    bandwidth_gbps: float,
+    alpha: float = LAUNCH_LATENCY_SECONDS,
+) -> Tuple[float, str]:
+    """(seconds, algorithm) for the faster of ring and tree.
+
+    Reproduces NCCL's behaviour: small transfers pick the tree (latency
+    scales with log k, not k), large transfers pick the ring (bandwidth
+    term has the (k-1)/k advantage).
+    """
+    op = op.lower()
+    costs = {}
+    if op in RING_ALGORITHMS:
+        costs["ring"] = ring_cost(op, k, data_bytes, bandwidth_gbps, alpha)
+    if op in TREE_ALGORITHMS:
+        costs["tree"] = tree_cost(op, k, data_bytes, bandwidth_gbps, alpha)
+    if not costs:
+        raise ValueError(f"unknown collective {op!r}")
+    algo = min(costs, key=costs.get)
+    return costs[algo], algo
+
+
+@dataclass(frozen=True)
+class CollectiveEstimate:
+    """Cost of one collective on a concrete allocation."""
+
+    op: str
+    algorithm: str
+    seconds: float
+    bandwidth_gbps: float
+
+
+def collective_on_allocation(
+    hardware: HardwareGraph,
+    gpus: Sequence[int],
+    op: str,
+    data_bytes: float,
+    use_blink: bool = False,
+    alpha: float = LAUNCH_LATENCY_SECONDS,
+) -> CollectiveEstimate:
+    """Estimate a collective's cost over an allocation's real topology.
+
+    ``use_blink=True`` swaps the NCCL-ring bandwidth model for the
+    spanning-tree (Blink) model — relevant on fragmented allocations.
+    """
+    k = len(set(gpus))
+    if k == 1:
+        return CollectiveEstimate(op=op, algorithm="none", seconds=0.0,
+                                  bandwidth_gbps=0.0)
+    bw = (
+        blink_effective_bandwidth(hardware, gpus)
+        if use_blink
+        else peak_effective_bandwidth(hardware, gpus)
+    )
+    seconds, algo = best_cost(op, k, data_bytes, bw, alpha)
+    return CollectiveEstimate(
+        op=op, algorithm=algo, seconds=seconds, bandwidth_gbps=bw
+    )
+
+
+def crossover_size(
+    k: int, bandwidth_gbps: float, alpha: float = LAUNCH_LATENCY_SECONDS
+) -> float:
+    """Buffer size (bytes) where ring and tree all-reduce costs cross.
+
+    Below this size the tree wins, above it the ring wins; solving
+    ``2(k-1)/k·S/B + 2(k-1)α = 2S/B + 2⌈log₂k⌉α`` for S.  Infinite for
+    k ≤ 2 (the algorithms coincide).
+    """
+    if k <= 2:
+        return float("inf")
+    depth = math.ceil(math.log2(k))
+    lat_gap = 2 * ((k - 1) - depth) * alpha
+    bw_gap_per_byte = (2.0 - 2.0 * (k - 1) / k) / (bandwidth_gbps * 1e9)
+    return lat_gap / bw_gap_per_byte

@@ -1,0 +1,108 @@
+"""Simulated NCCL all-reduce microbenchmark (the paper's EffBW ground truth).
+
+The paper measures an allocation's *effective bandwidth* by running the
+NCCL all-reduce microbenchmark on it (section 3.4.1).  With no GPUs, we
+simulate the benchmark: ring decomposition (:mod:`repro.comm.rings`)
+gives the peak bus bandwidth, and an alpha–beta (latency–bandwidth) cost
+model reproduces the data-size dependence of Fig. 2a:
+
+    time(S) = α + S / (η · peak)          per ring traversal
+    bw(S)   = S / time(S) = η·peak · S / (S + α·η·peak)
+
+so small transfers are launch-latency bound and *link independent* (all
+of Fig. 2a's curves converge at the left), while large transfers approach
+η·peak.  η = 0.92 captures protocol overhead (a measured double
+NVLink-v2 pair tops out near 46 GB/s, not 50); α = 20 µs per collective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..topology.hardware import HardwareGraph
+from .rings import RingDecomposition, build_rings
+
+#: Fraction of theoretical link bandwidth an all-reduce actually sustains.
+PROTOCOL_EFFICIENCY = 0.92
+
+#: Launch + protocol latency of one collective call, seconds.
+LAUNCH_LATENCY_SECONDS = 20e-6
+
+#: Data size used when reporting "the" effective bandwidth of an
+#: allocation — deep in the saturated regime, like the paper's peak numbers.
+SATURATED_SIZE_BYTES = 256 * 2**20
+
+
+def size_efficiency(
+    data_size_bytes: float,
+    peak_gbps: float,
+    alpha_seconds: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Fraction of ``peak_gbps`` achieved at a given transfer size.
+
+    Derived from the alpha–beta model: the half-saturation size is
+    ``α · peak`` — faster links need larger transfers to saturate, which is
+    exactly the shape of Fig. 2a.
+    """
+    if data_size_bytes <= 0:
+        return 0.0
+    half_saturation = alpha_seconds * peak_gbps * 1e9
+    return data_size_bytes / (data_size_bytes + half_saturation)
+
+
+def peak_effective_bandwidth(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    efficiency: float = PROTOCOL_EFFICIENCY,
+) -> float:
+    """Saturated all-reduce bus bandwidth of an allocation, in GB/s.
+
+    Single-GPU allocations have no inter-GPU traffic and report 0.
+    """
+    decomposition = build_rings(hardware, gpus)
+    return decomposition.total_bandwidth_gbps * efficiency
+
+
+def effective_bandwidth(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    data_size_bytes: float = SATURATED_SIZE_BYTES,
+    efficiency: float = PROTOCOL_EFFICIENCY,
+    alpha_seconds: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Simulated NCCL all-reduce bandwidth for an allocation and size."""
+    peak = peak_effective_bandwidth(hardware, gpus, efficiency)
+    return peak * size_efficiency(data_size_bytes, peak, alpha_seconds)
+
+
+def bandwidth_sweep(
+    hardware: HardwareGraph,
+    gpus: Sequence[int],
+    data_sizes_bytes: Sequence[float],
+) -> Tuple[Tuple[float, float], ...]:
+    """(size, bandwidth) series for one allocation — one Fig. 2a curve."""
+    peak = peak_effective_bandwidth(hardware, gpus)
+    return tuple((s, peak * size_efficiency(s, peak)) for s in data_sizes_bytes)
+
+
+def allreduce_time_seconds(
+    hardware: HardwareGraph,
+    gpus: Sequence[int],
+    data_size_bytes: float,
+    alpha_seconds: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Time for one ring all-reduce of ``data_size_bytes`` over ``gpus``.
+
+    Ring all-reduce moves ``2·(k-1)/k`` of the buffer through the
+    bottleneck at the allocation's peak bandwidth, plus ``(k-1)`` latency
+    hops.  Single-GPU "collectives" are free.
+    """
+    k = len(set(gpus))
+    if k < 2:
+        return 0.0
+    peak = peak_effective_bandwidth(hardware, gpus)
+    if peak <= 0:
+        raise ValueError(f"allocation {tuple(gpus)} has zero effective bandwidth")
+    volume = 2.0 * (k - 1) / k * data_size_bytes
+    return volume / (peak * 1e9) + (k - 1) * alpha_seconds

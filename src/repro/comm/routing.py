@@ -1,0 +1,76 @@
+"""Point-to-point routing utilities over hardware graphs.
+
+Small helpers for reasoning about pairwise communication: the widest
+(maximum-bottleneck) path between two GPUs restricted to NVLink edges, as
+used by re-routing schemes such as WOTIR (paper reference [51]) and by
+runtime profiling (section 3.1) to attribute observed traffic to links.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..topology.hardware import HardwareGraph
+from ..topology.links import LinkType, bandwidth_of, is_nvlink
+
+
+def widest_nvlink_path(
+    hardware: HardwareGraph, src: int, dst: int
+) -> Optional[Tuple[Tuple[int, ...], float]]:
+    """Maximum-bottleneck path from ``src`` to ``dst`` using NVLink only.
+
+    Returns ``(path, bottleneck_gbps)`` or ``None`` when the two GPUs are
+    not NVLink-connected even transitively (traffic must cross the host).
+    Implemented as a max-bottleneck variant of Dijkstra.
+    """
+    if src not in hardware or dst not in hardware:
+        raise KeyError(f"unknown GPU pair ({src}, {dst})")
+    if src == dst:
+        return (src,), float("inf")
+    best: Dict[int, float] = {src: float("inf")}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(-float("inf"), src)]
+    visited = set()
+    while heap:
+        neg_width, u = heapq.heappop(heap)
+        width = -neg_width
+        if u in visited:
+            continue
+        visited.add(u)
+        if u == dst:
+            path = [dst]
+            while path[-1] != src:
+                path.append(prev[path[-1]])
+            return tuple(reversed(path)), width
+        for v in hardware.gpus:
+            if v == u or v in visited:
+                continue
+            link = hardware.link(u, v)
+            if not is_nvlink(link):
+                continue
+            w = min(width, bandwidth_of(link))
+            if w > best.get(v, 0.0):
+                best[v] = w
+                prev[v] = u
+                heapq.heappush(heap, (-w, v))
+    return None
+
+
+def pair_bandwidth(hardware: HardwareGraph, u: int, v: int) -> float:
+    """Best single-hop bandwidth between two GPUs (direct link, PCIe
+    fallback included) — what peer-to-peer cudaMemcpy would see."""
+    return hardware.bandwidth(u, v)
+
+
+def effective_pair_bandwidth(hardware: HardwareGraph, u: int, v: int) -> float:
+    """Best achievable P2P bandwidth allowing multi-hop NVLink re-routing.
+
+    The maximum of the direct link and the widest transitive NVLink path;
+    never below the direct (PCIe) bandwidth.
+    """
+    direct = hardware.bandwidth(u, v)
+    routed = widest_nvlink_path(hardware, u, v)
+    if routed is None:
+        return direct
+    return max(direct, routed[1])

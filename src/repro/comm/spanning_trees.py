@@ -1,0 +1,163 @@
+"""Blink-style spanning-tree collectives (paper reference [67]).
+
+The paper contrasts MAPA with Blink: given a (possibly fragmented)
+allocation, Blink *recovers* bandwidth by building packing of spanning
+trees over whatever NVLink connectivity exists, instead of requiring a
+full NVLink ring like NCCL.  Because links are full duplex, one spanning
+tree carries a broadcast/reduce pipeline at the bottleneck link rate, and
+edge-disjoint trees stack.
+
+This substrate lets the repository quantify the paper's positioning
+("these works seek to optimize bad allocations, while our work seeks to
+reduce the number of bad allocations"): the ablation benchmark compares
+allocation-time EffBW under the NCCL ring model against Blink's
+tree-packing model on the same allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..topology.hardware import HardwareGraph
+from ..topology.links import (
+    LinkType,
+    bandwidth_of,
+    channels_of,
+    is_nvlink,
+    per_channel_bandwidth,
+)
+
+Pair = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """One tree of the packing: its edges and bottleneck bandwidth."""
+
+    edges: Tuple[Tuple[int, int], ...]
+    bottleneck_gbps: float
+
+
+@dataclass(frozen=True)
+class TreePacking:
+    """Edge-disjoint spanning trees packed over an allocation."""
+
+    gpus: Tuple[int, ...]
+    trees: Tuple[SpanningTree, ...]
+    uses_pcie: bool = False
+
+    @property
+    def total_bandwidth_gbps(self) -> float:
+        return sum(t.bottleneck_gbps for t in self.trees)
+
+
+def _spanning_tree(
+    gpus: Sequence[int], channels: Dict[Pair, int], bw: Dict[Pair, float]
+) -> Optional[List[Tuple[int, int]]]:
+    """Maximum-bottleneck spanning tree over remaining channels (greedy
+    Kruskal on descending bandwidth), or None if disconnected."""
+    parent = {g: g for g in gpus}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    edges = sorted(
+        (pair for pair, c in channels.items() if c > 0),
+        key=lambda p: (-bw[p], tuple(sorted(p))),
+    )
+    tree: List[Tuple[int, int]] = []
+    for pair in edges:
+        u, v = sorted(pair)
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.append((u, v))
+            if len(tree) == len(gpus) - 1:
+                return tree
+    return None
+
+
+def pack_spanning_trees(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    pcie_bandwidth_gbps: float = bandwidth_of(LinkType.PCIE),
+) -> TreePacking:
+    """Pack edge-disjoint NVLink spanning trees over an allocation.
+
+    Greedy peel: repeatedly extract the max-bottleneck spanning tree from
+    the remaining channel multigraph.  When no NVLink spanning tree exists
+    at all (NVLink-disconnected allocation), a single host-routed PCIe
+    tree is used — Blink also falls back to PCIe for stranded GPUs.
+    """
+    verts = tuple(sorted(set(gpus)))
+    for g in verts:
+        if g not in hardware:
+            raise KeyError(f"unknown GPU {g}")
+    if len(verts) < 2:
+        return TreePacking(gpus=verts, trees=())
+
+    channels: Dict[Pair, int] = {}
+    bw: Dict[Pair, float] = {}
+    for i, u in enumerate(verts):
+        for v in verts[i + 1 :]:
+            link = hardware.link(u, v)
+            if is_nvlink(link):
+                key = frozenset((u, v))
+                channels[key] = channels_of(link)
+                bw[key] = per_channel_bandwidth(link)
+
+    trees: List[SpanningTree] = []
+    while True:
+        tree = _spanning_tree(verts, channels, bw)
+        if tree is None:
+            break
+        bottleneck = min(bw[frozenset(e)] for e in tree)
+        for e in tree:
+            channels[frozenset(e)] -= 1
+        trees.append(SpanningTree(edges=tuple(tree), bottleneck_gbps=bottleneck))
+    if trees:
+        return TreePacking(gpus=verts, trees=tuple(trees))
+    star = tuple((verts[0], v) for v in verts[1:])
+    return TreePacking(
+        gpus=verts,
+        trees=(SpanningTree(edges=star, bottleneck_gbps=pcie_bandwidth_gbps),),
+        uses_pcie=True,
+    )
+
+
+def blink_effective_bandwidth(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    efficiency: float = 0.92,
+) -> float:
+    """Blink-model effective bandwidth of an allocation, in GB/s.
+
+    Blink searches over transfer plans and never does worse than NCCL's
+    ring schedule, so the model takes the better of the (greedy) tree
+    packing and the ring decomposition — the greedy tree peel alone can
+    strand channels on dense graphs where rings pack perfectly.
+    """
+    from .rings import build_rings
+
+    verts = tuple(sorted(set(gpus)))
+    trees = pack_spanning_trees(hardware, verts).total_bandwidth_gbps
+    rings = build_rings(hardware, verts).total_bandwidth_gbps
+    return max(trees, rings) * efficiency
+
+
+def recovery_ratio(hardware: HardwareGraph, gpus: Iterable[int]) -> float:
+    """Blink EffBW / NCCL-ring EffBW for one allocation.
+
+    ≥ 1 by construction on NVLink-connected allocations; the gap is the
+    bandwidth Blink recovers on fragmented allocations that lack a full
+    NVLink ring.
+    """
+    from .microbench import peak_effective_bandwidth
+
+    ring = peak_effective_bandwidth(hardware, gpus)
+    blink = blink_effective_bandwidth(hardware, gpus)
+    return blink / ring if ring > 0 else float("inf")

@@ -1,0 +1,19 @@
+"""Embedded datasets: the Top500 accelerator census behind paper Fig. 3."""
+
+from .top500 import (
+    TOP500_CENSUS,
+    YearCensus,
+    census_by_year,
+    gpu_trend,
+    heterogeneity_trend,
+    is_monotonic_growth,
+)
+
+__all__ = [
+    "TOP500_CENSUS",
+    "YearCensus",
+    "census_by_year",
+    "gpu_trend",
+    "heterogeneity_trend",
+    "is_monotonic_growth",
+]

@@ -1,0 +1,37 @@
+"""Graph pattern matching: generic VF2 engine and MAPA match enumeration."""
+
+from .isomorphism import (
+    adjacency_from_edges,
+    automorphisms,
+    count_monomorphisms,
+    subgraph_monomorphisms,
+)
+from .candidates import (
+    Match,
+    enumerate_matches,
+    enumerate_subsets,
+    match_from_mapping,
+    num_distinct_matches,
+    orbit_permutations,
+)
+from .labeled import (
+    count_labeled_monomorphisms,
+    labeled_monomorphisms,
+    resources_fit,
+)
+
+__all__ = [
+    "adjacency_from_edges",
+    "automorphisms",
+    "count_monomorphisms",
+    "subgraph_monomorphisms",
+    "Match",
+    "enumerate_matches",
+    "enumerate_subsets",
+    "match_from_mapping",
+    "num_distinct_matches",
+    "orbit_permutations",
+    "count_labeled_monomorphisms",
+    "labeled_monomorphisms",
+    "resources_fit",
+]

@@ -1,0 +1,181 @@
+"""Enumeration of candidate allocations (pattern matches) for MAPA.
+
+MAPA's hardware graphs are *complete* (any GPU pair can at least talk over
+host-routed PCIe — section 3.2), so every injective mapping of the pattern
+onto available GPUs is a valid match.  What distinguishes matches is which
+hardware edges the pattern's communication edges land on: all of MAPA's
+scores (AggBW, predicted EffBW, PreservedBW) are functions of the matched
+vertex set and the multiset of matched link types alone.
+
+Distinct pattern mappings that induce the same hardware edge set are
+therefore interchangeable.  We exploit this by precomputing, per pattern,
+the *orbit permutations* — one slot permutation per distinct edge-image
+under the pattern's automorphism group — so a 5-GPU ring costs 12
+candidates per GPU subset instead of 120.
+
+For non-complete data graphs (e.g. matching against the NVLink-only
+subgraph) fall back to :func:`repro.matching.isomorphism.
+subgraph_monomorphisms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations, permutations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..appgraph.application import ApplicationGraph
+from ..topology.hardware import HardwareGraph
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One candidate allocation: an image of the pattern in the hardware.
+
+    Attributes
+    ----------
+    vertices:
+        The hardware GPUs used, sorted ascending.  ``V(M)`` in the paper.
+    mapping:
+        ``mapping[i]`` is the hardware GPU assigned to pattern slot ``i``.
+    edges:
+        The hardware edges the pattern's communication edges occupy
+        (``E(P) ∩ E(M)`` — the links the job will actually use), as sorted
+        pairs, sorted.
+    """
+
+    vertices: Tuple[int, ...]
+    mapping: Tuple[int, ...]
+    edges: Tuple[Pair, ...]
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.vertices)
+
+
+def _pattern_key(pattern: ApplicationGraph) -> Tuple[int, Tuple[Pair, ...]]:
+    return (pattern.num_gpus, pattern.edges)
+
+
+@lru_cache(maxsize=256)
+def _orbit_permutations(key: Tuple[int, Tuple[Pair, ...]]) -> Tuple[Tuple[int, ...], ...]:
+    """Slot permutations producing pairwise-distinct edge images.
+
+    Enumerates all ``k!`` permutations of the pattern slots and keeps one
+    representative per distinct image of the pattern edge set.  ``k ≤ 9``
+    in the paper's experiments, and the result is cached per pattern shape.
+    """
+    k, edges = key
+    if not edges:
+        return ((tuple(range(k)),))
+    seen: Set[FrozenSet[Pair]] = set()
+    orbits: List[Tuple[int, ...]] = []
+    for perm in permutations(range(k)):
+        image = frozenset(
+            (perm[u], perm[v]) if perm[u] < perm[v] else (perm[v], perm[u])
+            for u, v in edges
+        )
+        if image not in seen:
+            seen.add(image)
+            orbits.append(perm)
+    return tuple(orbits)
+
+
+def orbit_permutations(pattern: ApplicationGraph) -> Tuple[Tuple[int, ...], ...]:
+    """Public wrapper around the cached orbit computation."""
+    return _orbit_permutations(_pattern_key(pattern))
+
+
+def num_distinct_matches(pattern: ApplicationGraph, available: int) -> int:
+    """Number of distinct matches a complete data graph of ``available``
+    vertices admits: C(available, k) × k!/|Aut(P)|."""
+    k = pattern.num_gpus
+    if available < k:
+        return 0
+    from math import comb
+
+    return comb(available, k) * len(orbit_permutations(pattern))
+
+
+def enumerate_matches(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: Optional[Iterable[int]] = None,
+    max_matches: Optional[int] = None,
+) -> Iterator[Match]:
+    """Yield every distinct match of ``pattern`` on the free GPUs.
+
+    Parameters
+    ----------
+    pattern:
+        The application graph ``P``.
+    hardware:
+        The server's hardware graph ``G`` (complete by construction).
+    available:
+        Free GPUs to allocate from; defaults to all GPUs.
+    max_matches:
+        Optional cap on the number of matches produced (the paper's Fig. 19
+        shows match counts explode for large patterns on large servers; a
+        cap turns the exhaustive search into a best-effort one).
+    """
+    verts = tuple(sorted(hardware.gpus if available is None else set(available)))
+    for g in verts:
+        if g not in hardware:
+            raise KeyError(f"unknown GPU {g}")
+    k = pattern.num_gpus
+    if k > len(verts):
+        return
+    orbits = orbit_permutations(pattern)
+    p_edges = pattern.edges
+    produced = 0
+    for subset in combinations(verts, k):
+        for perm in orbits:
+            if max_matches is not None and produced >= max_matches:
+                return
+            mapping = tuple(subset[perm[i]] for i in range(k))
+            edges = tuple(
+                sorted(
+                    (mapping[u], mapping[v]) if mapping[u] < mapping[v] else (mapping[v], mapping[u])
+                    for u, v in p_edges
+                )
+            )
+            produced += 1
+            yield Match(vertices=subset, mapping=mapping, edges=edges)
+
+
+def enumerate_subsets(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: Optional[Iterable[int]] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield just the candidate GPU subsets (vertex sets of matches).
+
+    Scores that depend only on the vertex set — PreservedBW, and the
+    fragmentation metric of Fig. 4 — can skip mapping enumeration entirely.
+    """
+    verts = tuple(sorted(hardware.gpus if available is None else set(available)))
+    k = pattern.num_gpus
+    if k > len(verts):
+        return
+    yield from combinations(verts, k)
+
+
+def match_from_mapping(
+    pattern: ApplicationGraph, mapping: Sequence[int]
+) -> Match:
+    """Build a :class:`Match` from an explicit slot→GPU assignment."""
+    if len(mapping) != pattern.num_gpus:
+        raise ValueError("mapping length must equal the pattern slot count")
+    if len(set(mapping)) != len(mapping):
+        raise ValueError("mapping must be injective")
+    m = tuple(mapping)
+    edges = tuple(
+        sorted(
+            (m[u], m[v]) if m[u] < m[v] else (m[v], m[u])
+            for u, v in pattern.edges
+        )
+    )
+    return Match(vertices=tuple(sorted(m)), mapping=m, edges=edges)

@@ -1,0 +1,161 @@
+"""Subgraph-isomorphism engine (the paper's Peregrine substitute).
+
+MAPA (section 3.3) formulates allocation as subgraph matching: find every
+subgraph ``M`` of the hardware graph ``G`` isomorphic to the application
+pattern ``P`` — an injective mapping of ``V(P)`` into ``V(G)`` such that
+adjacent pattern vertices map to adjacent data vertices.  The paper uses
+the Peregrine graph-mining system; we implement a VF2-style backtracking
+matcher from scratch.
+
+Two notions of "match" exist in the literature:
+
+* **monomorphism** (used by MAPA): pattern edges must be present in the
+  data graph; extra data edges between matched vertices are fine
+  (``E(P) ⊆ E(M)`` in the paper's notation);
+* **induced isomorphism**: pattern non-edges must also be absent.
+
+Both are supported via the ``induced`` flag; MAPA uses the default
+(monomorphism).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+Adjacency = Mapping[int, Set[int]]
+
+
+def adjacency_from_edges(
+    vertices: Sequence[int], edges: Sequence[Tuple[int, int]]
+) -> Dict[int, Set[int]]:
+    """Build an undirected adjacency dict from an edge list."""
+    adj: Dict[int, Set[int]] = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v:
+            raise ValueError(f"self-loop on {u}")
+        adj[u].add(v)
+        adj[v].add(u)
+    return adj
+
+
+def _order_pattern_vertices(adj: Adjacency) -> List[int]:
+    """Connectivity-first search order: each vertex after the first is
+    preferably adjacent to an already-ordered vertex, highest degree first.
+
+    This is the classic VF2 heuristic — it maximises the number of
+    adjacency constraints active at each search depth, pruning early.
+    """
+    remaining = set(adj)
+    order: List[int] = []
+    ordered: Set[int] = set()
+    while remaining:
+        connected = [v for v in remaining if adj[v] & ordered]
+        pool = connected or list(remaining)
+        nxt = max(pool, key=lambda v: (len(adj[v]), -v))
+        order.append(nxt)
+        ordered.add(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def subgraph_monomorphisms(
+    pattern_adj: Adjacency,
+    data_adj: Adjacency,
+    induced: bool = False,
+    max_results: Optional[int] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield injective mappings pattern-vertex → data-vertex.
+
+    Parameters
+    ----------
+    pattern_adj, data_adj:
+        Undirected adjacency dicts (vertex → set of neighbours).
+    induced:
+        If True, require induced isomorphism (non-edges preserved too).
+    max_results:
+        Stop after this many mappings (None = all).
+    """
+    p_vertices = _order_pattern_vertices(pattern_adj)
+    if not p_vertices:
+        return
+    n_data = len(data_adj)
+    if len(p_vertices) > n_data:
+        return
+
+    data_degree = {v: len(nbrs) for v, nbrs in data_adj.items()}
+    mapping: Dict[int, int] = {}
+    used: Set[int] = set()
+    emitted = 0
+
+    # Pre-split each pattern vertex's neighbours into already-mapped
+    # (by search order) and not, so candidate filtering is cheap.
+    order_index = {v: i for i, v in enumerate(p_vertices)}
+    prior_neighbors: Dict[int, List[int]] = {
+        v: [u for u in pattern_adj[v] if order_index[u] < order_index[v]]
+        for v in p_vertices
+    }
+
+    def candidates(pv: int) -> Iterator[int]:
+        prior = prior_neighbors[pv]
+        if prior:
+            # Must be adjacent (in data) to every already-mapped neighbour:
+            # intersect neighbourhoods of the mapped images.
+            sets = [data_adj[mapping[u]] for u in prior]
+            base = min(sets, key=len)
+            for dv in sorted(base):
+                if dv in used:
+                    continue
+                if all(dv in s for s in sets[1:]):
+                    yield dv
+        else:
+            for dv in sorted(data_adj):
+                if dv not in used:
+                    yield dv
+
+    def feasible(pv: int, dv: int) -> bool:
+        if data_degree[dv] < len(pattern_adj[pv]):
+            return False
+        for pu, du in mapping.items():
+            p_edge = pu in pattern_adj[pv]
+            d_edge = du in data_adj[dv]
+            if p_edge and not d_edge:
+                return False
+            if induced and not p_edge and d_edge:
+                return False
+        return True
+
+    def backtrack(depth: int) -> Iterator[Dict[int, int]]:
+        nonlocal emitted
+        if depth == len(p_vertices):
+            yield dict(mapping)
+            emitted += 1
+            return
+        pv = p_vertices[depth]
+        for dv in candidates(pv):
+            if max_results is not None and emitted >= max_results:
+                return
+            if not feasible(pv, dv):
+                continue
+            mapping[pv] = dv
+            used.add(dv)
+            yield from backtrack(depth + 1)
+            del mapping[pv]
+            used.discard(dv)
+
+    yield from backtrack(0)
+
+
+def count_monomorphisms(pattern_adj: Adjacency, data_adj: Adjacency) -> int:
+    """Number of distinct injective pattern→data mappings."""
+    return sum(1 for _ in subgraph_monomorphisms(pattern_adj, data_adj))
+
+
+def automorphisms(adj: Adjacency) -> List[Dict[int, int]]:
+    """All automorphisms of a (small) graph, by matching it onto itself.
+
+    Application patterns have ≤ ~10 vertices, so brute enumeration through
+    the matcher is instantaneous.  Automorphisms are used to deduplicate
+    matches that select the same hardware edges.
+    """
+    return list(subgraph_monomorphisms(adj, adj, induced=True))

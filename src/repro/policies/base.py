@@ -1,0 +1,67 @@
+"""Allocation-policy interface shared by MAPA and the comparators.
+
+A policy receives an :class:`AllocationRequest` (how many GPUs, which
+communication pattern, whether the job is bandwidth sensitive) plus the
+hardware graph and the set of currently free GPUs, and proposes an
+:class:`Allocation` — or ``None`` when the request cannot be satisfied.
+Policies are stateless with respect to jobs; hardware bookkeeping lives in
+:class:`repro.allocator.state.AllocationState`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..appgraph.application import ApplicationGraph
+from ..matching.candidates import Match
+from ..topology.hardware import HardwareGraph
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One job's resource request."""
+
+    pattern: ApplicationGraph
+    bandwidth_sensitive: bool = True
+    job_id: Optional[object] = None
+
+    @property
+    def num_gpus(self) -> int:
+        return self.pattern.num_gpus
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A policy's decision for one request."""
+
+    gpus: Tuple[int, ...]
+    match: Optional[Match] = None
+    scores: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+
+class AllocationPolicy(abc.ABC):
+    """Base class for allocation policies."""
+
+    #: Short policy name used in logs, tables and the CLI.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        """Propose GPUs for ``request`` from ``available``, or ``None``."""
+
+    def _feasible(self, request: AllocationRequest, available: FrozenSet[int]) -> bool:
+        return request.num_gpus <= len(available)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

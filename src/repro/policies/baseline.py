@@ -1,0 +1,36 @@
+"""Baseline policy: lowest free GPU ids.
+
+This is how stock container runtimes assign GPUs (the paper's section 4:
+"the Baseline policy simply allocates GPU by ID by selecting the lowest
+IDs", as Nvidia Docker does).  It is completely blind to both the
+application's communication pattern and the hardware topology, which is
+what produces the fragmentation of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..matching.candidates import match_from_mapping
+from ..topology.hardware import HardwareGraph
+from .base import Allocation, AllocationPolicy, AllocationRequest
+
+
+class BaselinePolicy(AllocationPolicy):
+    """Allocate the ``k`` lowest-numbered free GPUs."""
+
+    name = "baseline"
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        if not self._feasible(request, available):
+            return None
+        chosen = tuple(sorted(available)[: request.num_gpus])
+        # Pattern slots map onto the chosen GPUs in id order; the baseline
+        # has no notion of a better arrangement.
+        match = match_from_mapping(request.pattern, chosen)
+        return Allocation(gpus=chosen, match=match)

@@ -1,0 +1,45 @@
+"""MAPA Greedy policy: maximise Aggregated Bandwidth (paper section 4).
+
+The first of the two MAPA pattern-selection policies: among all matches
+of the application pattern on the free GPUs, pick the one with the most
+total allocated bandwidth (Eq. 1).  The paper shows this already beats
+Baseline and Topo-aware by a wide margin (it is application- and
+hardware-topology aware) but, because AggBW does not track effective
+bandwidth, it can starve later bandwidth-sensitive jobs — the motivation
+for Preserve.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..matching.candidates import match_from_mapping
+from ..topology.hardware import HardwareGraph
+from .base import Allocation, AllocationPolicy, AllocationRequest
+from .scan import best_scored_match
+
+
+class GreedyPolicy(AllocationPolicy):
+    """Pick the match with the highest Aggregated Bandwidth."""
+
+    name = "greedy"
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        if not self._feasible(request, available):
+            return None
+        best = best_scored_match(
+            request.pattern, hardware, available, key=lambda sm: sm.agg_bw
+        )
+        if best is None:
+            return None
+        match = match_from_mapping(request.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset,
+            match=match,
+            scores={"agg_bw": best.agg_bw},
+        )

@@ -1,0 +1,90 @@
+"""Oracle policy: score candidate subsets with the *measured* bandwidth.
+
+An upper bound for ablations: where Preserve ranks matches with the
+Eq. 2 prediction, the oracle runs the (simulated) NCCL microbenchmark on
+every candidate subset.  The gap between Preserve and the oracle is the
+cost of Eq. 2's modelling error — impossible to deploy on real hardware
+(the paper's whole point is that measuring EffBW at scheduling time is
+infeasible), but free in simulation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..comm.microbench import peak_effective_bandwidth
+from ..matching.candidates import match_from_mapping
+from ..scoring.preserved import remaining_bandwidth
+from ..topology.hardware import HardwareGraph
+from .base import Allocation, AllocationPolicy, AllocationRequest
+from .scan import best_subset_then_mapping
+
+
+class OraclePolicy(AllocationPolicy):
+    """Algorithm 1 with measured effective bandwidth instead of Eq. 2."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[HardwareGraph, Tuple[int, ...]], float] = {}
+
+    def _measure(self, hardware: HardwareGraph, subset: Tuple[int, ...]) -> float:
+        key = (hardware, subset)
+        bw = self._cache.get(key)
+        if bw is None:
+            bw = peak_effective_bandwidth(hardware, subset)
+            self._cache[key] = bw
+        return bw
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        if not self._feasible(request, available):
+            return None
+        if request.bandwidth_sensitive:
+            best = best_subset_then_mapping(
+                request.pattern,
+                hardware,
+                available,
+                subset_key=lambda sm: self._measure(hardware, sm.subset),
+            )
+            if best is None:
+                return None
+            match = match_from_mapping(request.pattern, best.mapping)
+            return Allocation(
+                gpus=best.subset,
+                match=match,
+                scores={
+                    "measured_bw": self._measure(hardware, best.subset),
+                    "agg_bw": best.agg_bw,
+                },
+            )
+        # Insensitive branch identical to Preserve (Eq. 3 is exact anyway).
+        free = set(available)
+        k = request.num_gpus
+        best_subset: Optional[Tuple[int, ...]] = None
+        best_score = float("-inf")
+        for subset in combinations(sorted(free), k):
+            score = remaining_bandwidth(hardware, free - set(subset))
+            if score > best_score:
+                best_score = score
+                best_subset = subset
+        if best_subset is None:
+            return None
+        best = best_subset_then_mapping(
+            request.pattern,
+            hardware,
+            frozenset(best_subset),
+            subset_key=lambda sm: self._measure(hardware, sm.subset),
+        )
+        assert best is not None
+        match = match_from_mapping(request.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset,
+            match=match,
+            scores={"preserved_bw": best_score, "agg_bw": best.agg_bw},
+        )

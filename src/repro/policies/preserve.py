@@ -1,0 +1,127 @@
+"""MAPA Preserve policy (paper Algorithm 1).
+
+The headline policy.  For a bandwidth-*sensitive* job, select the match
+with the highest *predicted effective bandwidth* (Eq. 2).  For a
+bandwidth-*insensitive* job, select the match that leaves the most
+aggregate bandwidth available to future jobs (*Preserved Bandwidth*,
+Eq. 3) — deliberately steering insensitive jobs onto the poorly-connected
+corners of the machine so the fast links stay whole for jobs that need
+them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..matching.candidates import match_from_mapping
+from ..scoring.census import LinkCensus
+from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
+from ..scoring.preserved import remaining_bandwidth
+from ..topology.hardware import HardwareGraph
+from .base import Allocation, AllocationPolicy, AllocationRequest
+from .scan import best_subset_then_mapping
+
+
+class PreservePolicy(AllocationPolicy):
+    """Algorithm 1: EffBW for sensitive jobs, PreservedBW for insensitive.
+
+    Parameters
+    ----------
+    model:
+        The Eq. 2 effective-bandwidth model used to score matches for
+        sensitive jobs.  Defaults to the paper's published coefficients;
+        simulations typically pass a model refit against the simulated
+        microbenchmark (see :func:`repro.scoring.regression.fit_for_hardware`).
+    """
+
+    name = "preserve"
+
+    def __init__(self, model: EffectiveBandwidthModel = PAPER_MODEL) -> None:
+        self.model = model
+        self._predict_cache: Dict[Tuple[int, int, int], float] = {}
+
+    def _predict(self, census: LinkCensus) -> float:
+        key = census.as_tuple()
+        cached = self._predict_cache.get(key)
+        if cached is None:
+            cached = self.model.predict_census(census)
+            self._predict_cache[key] = cached
+        return cached
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        if not self._feasible(request, available):
+            return None
+        if request.bandwidth_sensitive:
+            return self._allocate_sensitive(request, hardware, available)
+        return self._allocate_insensitive(request, hardware, available)
+
+    # ------------------------------------------------------------------ #
+    def _allocate_sensitive(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        best = best_subset_then_mapping(
+            request.pattern,
+            hardware,
+            available,
+            subset_key=lambda sm: self._predict(sm.census),
+        )
+        if best is None:
+            return None
+        match = match_from_mapping(request.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset,
+            match=match,
+            scores={
+                "effective_bw": self._predict(best.census),
+                "agg_bw": best.agg_bw,
+            },
+        )
+
+    def _allocate_insensitive(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        # Preserved bandwidth depends only on the chosen vertex set, so the
+        # subset scan skips mapping enumeration entirely.
+        free = set(available)
+        k = request.num_gpus
+        best_subset: Optional[Tuple[int, ...]] = None
+        best_score = float("-inf")
+        for subset in combinations(sorted(free), k):
+            score = remaining_bandwidth(hardware, free - set(subset))
+            if score > best_score:
+                best_score = score
+                best_subset = subset
+        if best_subset is None:
+            return None
+        # Any mapping on the chosen subset preserves the same bandwidth;
+        # break the tie in the job's favour by aligning its pattern edges
+        # with the fastest links it got.
+        best = best_subset_then_mapping(
+            request.pattern,
+            hardware,
+            frozenset(best_subset),
+            subset_key=lambda sm: self._predict(sm.census),
+        )
+        assert best is not None
+        match = match_from_mapping(request.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset,
+            match=match,
+            scores={
+                "preserved_bw": best_score,
+                "effective_bw": self._predict(best.census),
+                "agg_bw": best.agg_bw,
+            },
+        )

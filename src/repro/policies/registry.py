@@ -1,0 +1,47 @@
+"""Policy registry: the four policies of the paper's evaluation, by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..scoring.effective import EffectiveBandwidthModel
+from .base import AllocationPolicy
+from .baseline import BaselinePolicy
+from .greedy import GreedyPolicy
+from .preserve import PreservePolicy
+from .topo_aware import TopoAwarePolicy
+
+#: Evaluation order used throughout the paper's figures.
+POLICY_NAMES: List[str] = ["baseline", "topo-aware", "greedy", "preserve"]
+
+
+def make_policy(
+    name: str, model: Optional[EffectiveBandwidthModel] = None
+) -> AllocationPolicy:
+    """Instantiate a policy by name.
+
+    ``model`` configures the Preserve policy's Eq. 2 predictor and is
+    ignored by the others.
+    """
+    key = name.lower()
+    if key == "baseline":
+        return BaselinePolicy()
+    if key in ("topo-aware", "topo_aware", "topoaware"):
+        return TopoAwarePolicy()
+    if key == "greedy":
+        return GreedyPolicy()
+    if key in ("preserve", "preservation"):
+        return PreservePolicy(model) if model is not None else PreservePolicy()
+    if key == "oracle":
+        from .oracle import OraclePolicy
+
+        return OraclePolicy()
+    known = ", ".join(POLICY_NAMES + ["oracle"])
+    raise KeyError(f"unknown policy {name!r}; known: {known}")
+
+
+def all_policies(
+    model: Optional[EffectiveBandwidthModel] = None,
+) -> Dict[str, AllocationPolicy]:
+    """All four evaluation policies keyed by name."""
+    return {name: make_policy(name, model) for name in POLICY_NAMES}

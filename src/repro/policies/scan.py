@@ -1,0 +1,164 @@
+"""Fast scored scan over candidate matches.
+
+Greedy and Preserve both reduce to "maximise a score over all matches of
+the pattern on the free GPUs".  MAPA's scores are functions of two
+things only:
+
+* the **induced census** of the matched vertex set — the paper defines a
+  match ``M`` with ``E(P) ⊆ E(M)``, i.e. ``M`` is the induced subgraph
+  over the chosen GPUs, and Eq. 2's (x, y, z) counts *its* links (that is
+  also what the NCCL microbenchmark that trains the model exercises);
+* the **mapped pattern edges** ``E(P) ∩ E(M)`` — what AggBW (Eq. 1) sums.
+
+We therefore scan subset-by-subset: the pairwise link table of a subset
+is built once, the induced census falls out of it directly, and each
+orbit permutation of the pattern is scored against the table for AggBW.
+A worst-case DGX-V allocation (5-GPU ring, 8 free GPUs) costs a few
+thousand lightweight iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..appgraph.application import ApplicationGraph
+from ..matching.candidates import orbit_permutations
+from ..scoring.census import LinkCensus
+from ..topology.hardware import HardwareGraph
+from ..topology.links import bandwidth_of, classify_xyz
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ScoredMatch:
+    """A candidate match with its cheap scores precomputed.
+
+    ``census`` is the induced (x, y, z) census of the matched GPU set —
+    the Eq. 2 input; ``match_census`` counts only the links the pattern's
+    edges occupy; ``agg_bw`` is Eq. 1 over those same mapped edges.
+    """
+
+    subset: Tuple[int, ...]
+    mapping: Tuple[int, ...]
+    census: LinkCensus
+    match_census: LinkCensus
+    agg_bw: float
+
+
+def _orbit_index_pairs(
+    pattern: ApplicationGraph,
+) -> List[Tuple[Pair, ...]]:
+    """Per orbit permutation, the pattern edges as subset-index pairs."""
+    out: List[Tuple[Pair, ...]] = []
+    for perm in orbit_permutations(pattern):
+        pairs = tuple(
+            (perm[u], perm[v]) if perm[u] < perm[v] else (perm[v], perm[u])
+            for u, v in pattern.edges
+        )
+        out.append(pairs)
+    return out
+
+
+def scan_scored_matches(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: FrozenSet[int] | Sequence[int],
+) -> Iterator[ScoredMatch]:
+    """Yield every distinct match with its censuses and AggBW."""
+    verts = tuple(sorted(set(available)))
+    k = pattern.num_gpus
+    if k > len(verts):
+        return
+    orbit_pairs = _orbit_index_pairs(pattern)
+    orbits = orbit_permutations(pattern)
+    link = hardware.link  # local binding for speed
+    for subset in combinations(verts, k):
+        # Pairwise link class / bandwidth table for this subset, plus the
+        # induced census shared by every mapping on it.
+        cls: Dict[Pair, str] = {}
+        bw: Dict[Pair, float] = {}
+        ix = iy = iz = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                l = link(subset[i], subset[j])
+                c = classify_xyz(l)
+                cls[(i, j)] = c
+                bw[(i, j)] = bandwidth_of(l)
+                if c == "x":
+                    ix += 1
+                elif c == "y":
+                    iy += 1
+                else:
+                    iz += 1
+        induced = LinkCensus(ix, iy, iz)
+        for perm, pairs in zip(orbits, orbit_pairs):
+            x = y = z = 0
+            agg = 0.0
+            for p in pairs:
+                c = cls[p]
+                agg += bw[p]
+                if c == "x":
+                    x += 1
+                elif c == "y":
+                    y += 1
+                else:
+                    z += 1
+            yield ScoredMatch(
+                subset=subset,
+                mapping=tuple(subset[perm[i]] for i in range(k)),
+                census=induced,
+                match_census=LinkCensus(x, y, z),
+                agg_bw=agg,
+            )
+
+
+def best_scored_match(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: FrozenSet[int] | Sequence[int],
+    key,
+) -> Optional[ScoredMatch]:
+    """The match maximising ``key(scored_match)``.
+
+    Ties break towards the lexicographically smallest (subset, mapping),
+    so policies are fully deterministic.
+    """
+    best: Optional[ScoredMatch] = None
+    best_key = None
+    for sm in scan_scored_matches(pattern, hardware, available):
+        k = (key(sm), tuple(-g for g in sm.subset), tuple(-g for g in sm.mapping))
+        if best is None or k > best_key:
+            best = sm
+            best_key = k
+    return best
+
+
+def best_subset_then_mapping(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: FrozenSet[int] | Sequence[int],
+    subset_key,
+) -> Optional[ScoredMatch]:
+    """Maximise a *subset-level* score, then pick the best mapping on the
+    winning subset by AggBW.
+
+    Subset-level scores (induced-census EffBW, PreservedBW) are identical
+    for every mapping on a subset; aligning the pattern's edges with the
+    fastest links (max AggBW) is the natural deterministic tiebreak.
+    """
+    best: Optional[ScoredMatch] = None
+    best_key = None
+    for sm in scan_scored_matches(pattern, hardware, available):
+        k = (
+            subset_key(sm),
+            sm.agg_bw,
+            tuple(-g for g in sm.subset),
+            tuple(-g for g in sm.mapping),
+        )
+        if best is None or k > best_key:
+            best = sm
+            best_key = k
+    return best

@@ -1,0 +1,53 @@
+"""Topo-aware comparator policy (Amaral et al., paper reference [7]).
+
+Recursively bi-partitions the hardware topology into a tree and allocates
+from the smallest subtree with enough free GPUs — in effect packing jobs
+under a single PCIe tree / CPU socket whenever one fits.  The paper uses
+this as the state-of-the-art comparator; it improves locality but is
+unaware of the application's communication pattern and of link-type
+heterogeneity inside a socket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..matching.candidates import match_from_mapping
+from ..topology.hardware import HardwareGraph
+from ..topology.partition import (
+    PartitionNode,
+    build_partition_tree,
+    smallest_fitting_subtree,
+)
+from .base import Allocation, AllocationPolicy, AllocationRequest
+
+
+class TopoAwarePolicy(AllocationPolicy):
+    """Recursive bi-partitioning allocation."""
+
+    name = "topo-aware"
+
+    def __init__(self) -> None:
+        self._trees: Dict[HardwareGraph, PartitionNode] = {}
+
+    def _tree_for(self, hardware: HardwareGraph) -> PartitionNode:
+        tree = self._trees.get(hardware)
+        if tree is None:
+            tree = build_partition_tree(hardware)
+            self._trees[hardware] = tree
+        return tree
+
+    def allocate(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        if not self._feasible(request, available):
+            return None
+        tree = self._tree_for(hardware)
+        chosen = smallest_fitting_subtree(tree, set(available), request.num_gpus)
+        if chosen is None:
+            return None
+        match = match_from_mapping(request.pattern, chosen)
+        return Allocation(gpus=chosen, match=match)

@@ -1,0 +1,59 @@
+"""Pattern scoring: link census, AggBW (Eq. 1), PreservedBW (Eq. 3) and the
+predicted effective-bandwidth model (Eq. 2, Table 2)."""
+
+from .census import (
+    LinkCensus,
+    census_of_allocation,
+    census_of_edges,
+    census_of_match,
+)
+from .aggregate import (
+    aggregated_bandwidth,
+    aggregated_bandwidth_of_edges,
+    allocation_aggregate_bandwidth,
+    ideal_allocation_bandwidth,
+)
+from .preserved import preserved_bandwidth, remaining_bandwidth
+from .effective import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    PAPER_COEFFICIENTS,
+    PAPER_MODEL,
+    EffectiveBandwidthModel,
+    feature_matrix,
+    feature_vector,
+)
+from .regression import (
+    CensusSample,
+    FitQuality,
+    evaluate_fit,
+    exhaustive_census_samples,
+    fit_effbw_model,
+    fit_for_hardware,
+)
+
+__all__ = [
+    "LinkCensus",
+    "census_of_allocation",
+    "census_of_edges",
+    "census_of_match",
+    "aggregated_bandwidth",
+    "aggregated_bandwidth_of_edges",
+    "allocation_aggregate_bandwidth",
+    "ideal_allocation_bandwidth",
+    "preserved_bandwidth",
+    "remaining_bandwidth",
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "PAPER_COEFFICIENTS",
+    "PAPER_MODEL",
+    "EffectiveBandwidthModel",
+    "feature_matrix",
+    "feature_vector",
+    "CensusSample",
+    "FitQuality",
+    "evaluate_fit",
+    "exhaustive_census_samples",
+    "fit_effbw_model",
+    "fit_for_hardware",
+]

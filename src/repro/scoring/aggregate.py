@@ -1,0 +1,55 @@
+"""Aggregated Bandwidth (paper Eq. 1).
+
+``AggBW`` sums the bandwidth of the hardware links a match allocates to
+the application's communication edges.  It is the naive scoring metric
+that the Greedy comparator maximises — the paper shows (Fig. 11) it does
+*not* track execution time, which motivates the effective-bandwidth model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..matching.candidates import Match
+from ..topology.hardware import HardwareGraph
+
+
+def aggregated_bandwidth_of_edges(
+    hardware: HardwareGraph, edges: Iterable[Tuple[int, int]]
+) -> float:
+    """Sum of link bandwidths (GB/s) over explicit hardware edges."""
+    return sum(hardware.bandwidth(u, v) for u, v in edges)
+
+
+def aggregated_bandwidth(hardware: HardwareGraph, match: Match) -> float:
+    """Eq. 1: total bandwidth of the links used by the matched pattern."""
+    return aggregated_bandwidth_of_edges(hardware, match.edges)
+
+
+def allocation_aggregate_bandwidth(
+    hardware: HardwareGraph, gpus: Iterable[int]
+) -> float:
+    """Aggregate bandwidth over *all* pairs of an allocated GPU set.
+
+    This is the ``BW_Allocated`` of the fragmentation study (Fig. 4),
+    where the allocation quality of a job is
+    ``BW_Allocated / BW_IdealAllocation``.
+    """
+    return hardware.aggregate_bandwidth(gpus)
+
+
+def ideal_allocation_bandwidth(hardware: HardwareGraph, num_gpus: int) -> float:
+    """``BW_IdealAllocation``: the best aggregate bandwidth any
+    ``num_gpus``-subset of the (whole, idle) server achieves."""
+    from itertools import combinations
+
+    if num_gpus < 1 or num_gpus > hardware.num_gpus:
+        raise ValueError(
+            f"cannot place {num_gpus} GPUs on {hardware.num_gpus}-GPU server"
+        )
+    if num_gpus == 1:
+        return 0.0
+    return max(
+        hardware.aggregate_bandwidth(subset)
+        for subset in combinations(hardware.gpus, num_gpus)
+    )

@@ -1,0 +1,73 @@
+"""Link census: the (x, y, z) feature extraction behind Eq. 2.
+
+The paper's effective-bandwidth model is a function of the *mix* of link
+classes in a matching pattern: ``x`` double NVLinks, ``y`` single NVLinks
+and ``z`` PCIe links.  Two census variants appear in the paper:
+
+* the **match census** counts the hardware links the application pattern's
+  communication edges actually land on (``E(P) ∩ E(M)``) — used when
+  scoring a candidate match;
+* the **induced census** counts every pairwise link of an allocated GPU
+  set — what the NCCL microbenchmark sees, used to build the regression
+  training set (section 3.4.3) and the fragmentation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..matching.candidates import Match
+from ..topology.hardware import HardwareGraph
+from ..topology.links import classify_xyz
+
+
+@dataclass(frozen=True, order=True)
+class LinkCensus:
+    """Counts of (double, single, PCIe) links — the (x, y, z) of Eq. 2."""
+
+    x: int  # double NVLinks
+    y: int  # single NVLinks
+    z: int  # PCIe links
+
+    @property
+    def total_links(self) -> int:
+        return self.x + self.y + self.z
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    def __add__(self, other: "LinkCensus") -> "LinkCensus":
+        return LinkCensus(self.x + other.x, self.y + other.y, self.z + other.z)
+
+
+def census_of_edges(
+    hardware: HardwareGraph, edges: Iterable[Tuple[int, int]]
+) -> LinkCensus:
+    """Census over an explicit set of hardware edges."""
+    x = y = z = 0
+    for u, v in edges:
+        cls = classify_xyz(hardware.link(u, v))
+        if cls == "x":
+            x += 1
+        elif cls == "y":
+            y += 1
+        else:
+            z += 1
+    return LinkCensus(x, y, z)
+
+
+def census_of_match(hardware: HardwareGraph, match: Match) -> LinkCensus:
+    """Census of the links used by a candidate match (``E(P) ∩ E(M)``)."""
+    return census_of_edges(hardware, match.edges)
+
+
+def census_of_allocation(
+    hardware: HardwareGraph, gpus: Iterable[int]
+) -> LinkCensus:
+    """Induced census: all pairwise links among an allocated GPU set."""
+    verts = tuple(sorted(set(gpus)))
+    return census_of_edges(
+        hardware,
+        ((u, verts[j]) for i, u in enumerate(verts) for j in range(i + 1, len(verts))),
+    )

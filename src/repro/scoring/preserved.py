@@ -1,0 +1,43 @@
+"""Preserved Bandwidth (paper Eq. 3).
+
+When allocating a bandwidth-*insensitive* job, MAPA's Preserve policy
+maximises the aggregate bandwidth that remains usable by future jobs: the
+total bandwidth of the sub-hardware-graph induced by the still-free GPUs
+after the candidate match is carved out.  Links incident to any allocated
+GPU are lost to future allocations and do not count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from ..matching.candidates import Match
+from ..topology.hardware import HardwareGraph
+
+
+def preserved_bandwidth(
+    hardware: HardwareGraph,
+    match: Match,
+    available: Iterable[int],
+) -> float:
+    """Eq. 3: aggregate bandwidth of the free GPUs left by ``match``.
+
+    Parameters
+    ----------
+    hardware:
+        The full server topology.
+    match:
+        Candidate allocation being evaluated.
+    available:
+        GPUs currently free (before this allocation).  The remaining graph
+        is ``available − V(M)``.
+    """
+    remaining = set(available) - set(match.vertices)
+    return remaining_bandwidth(hardware, remaining)
+
+
+def remaining_bandwidth(hardware: HardwareGraph, remaining: Set[int]) -> float:
+    """Aggregate pairwise bandwidth over a set of free GPUs."""
+    if len(remaining) < 2:
+        return 0.0
+    return hardware.aggregate_bandwidth(remaining)

@@ -1,0 +1,58 @@
+"""Event-driven execution engine.
+
+A minimal discrete-event core: a time-ordered heap of events with stable
+FIFO tie-breaking.  The cluster simulator drives it with job-arrival and
+job-completion events; the engine knows nothing about GPUs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False)
+
+
+class EventEngine:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+        """Enqueue an event at absolute ``time`` (must not be in the past)."""
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
+
+    def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:
+        if delay < 0:
+            raise ValueError("negative delay")
+        self.schedule(self.now + delay, kind, payload)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def pop(self) -> Optional[Tuple[float, str, Any]]:
+        """Advance time to the next event and return it, or ``None``."""
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        self.now = entry.time
+        return entry.time, entry.kind, entry.payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None

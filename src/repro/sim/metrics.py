@@ -1,0 +1,145 @@
+"""Summary metrics over simulation logs (paper Table 3 and Figs. 13/18).
+
+The paper reports, per policy and normalised to Baseline: the quartiles
+of execution time as *speedups* (quantile of Baseline's time distribution
+divided by the same quantile of the policy's) and the throughput gain
+(inverse makespan ratio).  Quantile-ratio is how "improved the 75th
+percentile execution time from 540s to 505s" style statements are
+computed, and it makes the Baseline row identically 1.000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .records import JobRecord, SimulationLog
+
+#: Quantiles of paper Table 3, in order.
+TABLE3_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("MIN", 0.0),
+    ("25th %", 0.25),
+    ("50th %", 0.50),
+    ("75th %", 0.75),
+    ("MAX", 1.0),
+)
+
+
+def quantiles(values: Sequence[float], qs: Sequence[float]) -> List[float]:
+    """Empirical quantiles (linear interpolation, numpy convention)."""
+    if not values:
+        raise ValueError("no values")
+    arr = np.asarray(values, dtype=float)
+    return [float(np.quantile(arr, q)) for q in qs]
+
+
+def five_number_summary(values: Sequence[float]) -> Dict[str, float]:
+    """min / 25 / 50 / 75 / max of a distribution."""
+    names = [n for n, _ in TABLE3_QUANTILES]
+    qs = [q for _, q in TABLE3_QUANTILES]
+    return dict(zip(names, quantiles(values, qs)))
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """One row of Table 3."""
+
+    policy: str
+    speedup: Dict[str, float]  # quantile name -> speedup vs baseline
+    throughput_gain: float
+
+    def row(self) -> List[float]:
+        return [self.speedup[name] for name, _ in TABLE3_QUANTILES] + [
+            self.throughput_gain
+        ]
+
+
+def _exec_times(log: SimulationLog, sensitive_only: bool) -> List[float]:
+    records = log.sensitive() if sensitive_only else list(log.records)
+    return [r.execution_time for r in records]
+
+
+def speedup_summary(
+    logs: Mapping[str, SimulationLog],
+    baseline: str = "baseline",
+    sensitive_only: bool = True,
+) -> List[PolicySummary]:
+    """Build Table 3 from a {policy: log} mapping.
+
+    ``sensitive_only`` restricts the execution-time quantiles to
+    bandwidth-sensitive jobs (the population whose tail the paper
+    targets); throughput always uses the whole trace.
+    """
+    if baseline not in logs:
+        raise KeyError(f"missing baseline log {baseline!r}")
+    base_times = _exec_times(logs[baseline], sensitive_only)
+    base_q = {
+        name: q
+        for (name, _), q in zip(
+            TABLE3_QUANTILES,
+            quantiles(base_times, [q for _, q in TABLE3_QUANTILES]),
+        )
+    }
+    base_makespan = logs[baseline].makespan
+    out: List[PolicySummary] = []
+    for policy, log in logs.items():
+        times = _exec_times(log, sensitive_only)
+        qs = quantiles(times, [q for _, q in TABLE3_QUANTILES])
+        speedup = {
+            name: (base_q[name] / v if v > 0 else float("inf"))
+            for (name, _), v in zip(TABLE3_QUANTILES, qs)
+        }
+        tput = base_makespan / log.makespan if log.makespan > 0 else float("inf")
+        out.append(PolicySummary(policy=policy, speedup=speedup, throughput_gain=tput))
+    return out
+
+
+def per_job_speedups(
+    logs: Mapping[str, SimulationLog],
+    policy: str,
+    baseline: str = "baseline",
+) -> List[float]:
+    """Speedup of each job individually (baseline time / policy time).
+
+    Jobs are matched by id; both logs must cover the same trace.
+    """
+    base = {r.job_id: r.execution_time for r in logs[baseline].records}
+    out = []
+    for r in logs[policy].records:
+        if r.job_id not in base:
+            raise KeyError(f"job {r.job_id} missing from baseline log")
+        out.append(base[r.job_id] / r.execution_time)
+    return out
+
+
+def effective_bw_distribution(
+    log: SimulationLog,
+    workload: Optional[str] = None,
+    sensitive: Optional[bool] = None,
+    predicted: bool = True,
+) -> List[float]:
+    """Effective-bandwidth samples for box plots (Figs. 13c/d, 18).
+
+    Only multi-GPU jobs carry a meaningful effective bandwidth.
+    """
+    records: Sequence[JobRecord] = log.multi_gpu()
+    if workload is not None:
+        records = [r for r in records if r.workload == workload]
+    if sensitive is not None:
+        records = [r for r in records if r.bandwidth_sensitive == sensitive]
+    attr = "predicted_effective_bw" if predicted else "measured_effective_bw"
+    return [getattr(r, attr) for r in records]
+
+
+def boxplot_stats(values: Sequence[float]) -> Dict[str, float]:
+    """min / q1 / median / q3 / max — the five numbers a box plot draws."""
+    summary = five_number_summary(values)
+    return {
+        "min": summary["MIN"],
+        "q1": summary["25th %"],
+        "median": summary["50th %"],
+        "q3": summary["75th %"],
+        "max": summary["MAX"],
+    }

@@ -1,0 +1,100 @@
+"""Per-job log records (the simulator's "Log File" in paper Fig. 14)."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Everything the simulator logged about one completed job."""
+
+    job_id: int
+    workload: str
+    num_gpus: int
+    pattern: str
+    bandwidth_sensitive: bool
+    submit_time: float
+    start_time: float
+    finish_time: float
+    allocation: Tuple[int, ...]
+    agg_bw: float
+    predicted_effective_bw: float
+    measured_effective_bw: float
+
+    @property
+    def execution_time(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+
+class SimulationLog:
+    """Ordered collection of job records plus summary accessors."""
+
+    def __init__(self, policy_name: str, topology_name: str) -> None:
+        self.policy_name = policy_name
+        self.topology_name = topology_name
+        self.records: List[JobRecord] = []
+
+    def append(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------ #
+    def by_workload(self, workload: str) -> List[JobRecord]:
+        return [r for r in self.records if r.workload == workload]
+
+    def sensitive(self) -> List[JobRecord]:
+        return [r for r in self.records if r.bandwidth_sensitive]
+
+    def insensitive(self) -> List[JobRecord]:
+        return [r for r in self.records if not r.bandwidth_sensitive]
+
+    def multi_gpu(self) -> List[JobRecord]:
+        return [r for r in self.records if r.num_gpus > 1]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the whole trace."""
+        return max((r.finish_time for r in self.records), default=0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per second over the trace."""
+        span = self.makespan
+        return len(self.records) / span if span > 0 else 0.0
+
+    def execution_times(self, records: Optional[Sequence[JobRecord]] = None) -> List[float]:
+        recs = self.records if records is None else records
+        return [r.execution_time for r in recs]
+
+    # ------------------------------------------------------------------ #
+    def to_csv(self) -> str:
+        cols = [f.name for f in fields(JobRecord)]
+        buf = io.StringIO()
+        buf.write(",".join(cols) + "\n")
+        for r in self.records:
+            row = []
+            for c in cols:
+                v = getattr(r, c)
+                if isinstance(v, tuple):
+                    v = " ".join(str(x) for x in v)
+                elif isinstance(v, bool):
+                    v = int(v)
+                row.append(str(v))
+            buf.write(",".join(row) + "\n")
+        return buf.getvalue()

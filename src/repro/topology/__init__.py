@@ -1,0 +1,73 @@
+"""Hardware topology substrate: link types, hardware graphs, server builders
+and the recursive bi-partition used by the Topo-aware comparator."""
+
+from .links import (
+    LINK_BANDWIDTH_GBPS,
+    LINK_CHANNELS,
+    LinkType,
+    bandwidth_of,
+    channels_of,
+    classify_xyz,
+    is_nvlink,
+    per_channel_bandwidth,
+)
+from .hardware import HardwareGraph, HardwareLink
+from .builders import (
+    TOPOLOGY_BUILDERS,
+    big_basin,
+    by_name,
+    cube_mesh_16,
+    custom,
+    dgx1_p100,
+    dgx1_v100,
+    dgx1_v100_cube_mesh,
+    dgx2,
+    p3dn,
+    summit_node,
+    torus_2d_16,
+    validate_port_budget,
+)
+from .partition import (
+    PartitionNode,
+    build_partition_tree,
+    smallest_fitting_subtree,
+)
+from .numa import (
+    host_routed_crossings,
+    numa_adjusted_bandwidth,
+    numa_penalty_factor,
+    socket_spread,
+)
+
+__all__ = [
+    "LINK_BANDWIDTH_GBPS",
+    "LINK_CHANNELS",
+    "LinkType",
+    "bandwidth_of",
+    "channels_of",
+    "classify_xyz",
+    "is_nvlink",
+    "per_channel_bandwidth",
+    "HardwareGraph",
+    "HardwareLink",
+    "TOPOLOGY_BUILDERS",
+    "big_basin",
+    "by_name",
+    "cube_mesh_16",
+    "custom",
+    "dgx1_p100",
+    "dgx1_v100",
+    "dgx1_v100_cube_mesh",
+    "dgx2",
+    "p3dn",
+    "summit_node",
+    "torus_2d_16",
+    "validate_port_budget",
+    "PartitionNode",
+    "build_partition_tree",
+    "smallest_fitting_subtree",
+    "host_routed_crossings",
+    "numa_adjusted_bandwidth",
+    "numa_penalty_factor",
+    "socket_spread",
+]

@@ -1,0 +1,298 @@
+"""Builders for the multi-accelerator server topologies used in the paper.
+
+GPUs are numbered from 1, matching the paper's figures.  Each builder
+returns a :class:`~repro.topology.hardware.HardwareGraph` whose explicit
+edges are NVLink links; every other pair implicitly communicates over PCIe
+through the host (12 GB/s).
+
+The DGX-1 V100 wiring below is reverse-engineered from the arithmetic facts
+stated in the paper (see DESIGN.md, substitution 4):
+
+* GPU1–GPU5 is a double NVLink, GPU1–GPU2 a single, GPU1–GPU6 PCIe
+  (Fig. 2b's link-selection experiment);
+* allocation {1, 2, 5} has aggregate bandwidth 87 GB/s (1 PCIe + 1 single +
+  1 double) and the ideal 3-GPU allocation {1, 3, 4} has 125 GB/s
+  (1 single + 2 doubles) — section 2.2;
+* no V100 exceeds its 6 NVLink bricks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .hardware import HardwareGraph
+from .links import LinkType
+
+_D = LinkType.NVLINK2_DOUBLE
+_S = LinkType.NVLINK2_SINGLE
+_S1 = LinkType.NVLINK1_SINGLE
+
+Edge = Tuple[int, int]
+
+
+def dgx1_v100() -> HardwareGraph:
+    """8-GPU NVIDIA DGX-1 with Volta V100s (paper Fig. 1c), the evaluation
+    machine for section 4.
+
+    Two quads of four GPUs ({1..4} on socket 0, {5..8} on socket 1); quads
+    are fully NVLink-connected with a mix of single and double NVLink-v2,
+    and GPU *i* pairs with GPU *i+4* across the quads (only the 1–5 pair is
+    doubled, which is what Fig. 2b exploits).
+    """
+    edges: Dict[Edge, LinkType] = {
+        # quad {1, 2, 3, 4}
+        (1, 2): _S,
+        (1, 3): _D,
+        (1, 4): _S,
+        (2, 3): _S,
+        (2, 4): _D,
+        (3, 4): _D,
+        # quad {5, 6, 7, 8}
+        (5, 6): _S,
+        (5, 7): _D,
+        (5, 8): _S,
+        (6, 7): _S,
+        (6, 8): _D,
+        (7, 8): _D,
+        # inter-quad verticals
+        (1, 5): _D,
+        (2, 6): _S,
+        (3, 7): _S,
+        (4, 8): _S,
+    }
+    return HardwareGraph(
+        "dgx1-v100",
+        range(1, 9),
+        edges,
+        sockets=[(1, 2, 3, 4), (5, 6, 7, 8)],
+    )
+
+
+def dgx1_v100_cube_mesh() -> HardwareGraph:
+    """Alternate DGX-1V wiring: the hybrid cube-mesh reported by Li et al.,
+    "Evaluating Modern GPU Interconnect" (paper reference [37]).
+
+    Provided for sensitivity studies; the paper's own arithmetic is
+    consistent with :func:`dgx1_v100` instead.
+    """
+    edges: Dict[Edge, LinkType] = {
+        (1, 2): _S,
+        (1, 3): _S,
+        (1, 4): _D,
+        (1, 5): _D,
+        (2, 3): _D,
+        (2, 4): _S,
+        (2, 6): _D,
+        (3, 4): _S,
+        (3, 7): _D,
+        (4, 8): _D,
+        (5, 6): _S,
+        (5, 7): _S,
+        (5, 8): _D,
+        (6, 7): _D,
+        (6, 8): _S,
+        (7, 8): _S,
+    }
+    return HardwareGraph(
+        "dgx1-v100-cube-mesh",
+        range(1, 9),
+        edges,
+        sockets=[(1, 2, 3, 4), (5, 6, 7, 8)],
+    )
+
+
+def dgx1_p100() -> HardwareGraph:
+    """8-GPU DGX-1 with Pascal P100s (paper Fig. 1b).
+
+    Every NVLink is a single NVLink-v1 (20 GB/s); each P100 has exactly four
+    bricks: three inside its fully connected quad plus one vertical.
+    """
+    edges: Dict[Edge, LinkType] = {}
+    for base in (1, 5):
+        quad = list(range(base, base + 4))
+        for i, u in enumerate(quad):
+            for v in quad[i + 1 :]:
+                edges[(u, v)] = _S1
+    for i in range(1, 5):
+        edges[(i, i + 4)] = _S1
+    return HardwareGraph(
+        "dgx1-p100",
+        range(1, 9),
+        edges,
+        sockets=[(1, 2, 3, 4), (5, 6, 7, 8)],
+    )
+
+
+def summit_node() -> HardwareGraph:
+    """One 6-GPU Summit node (paper Fig. 1a).
+
+    Three V100s per POWER9 socket; within a socket every GPU pair is joined
+    by a double NVLink-v2 (two bricks), and cross-socket traffic is
+    host-routed.
+    """
+    edges: Dict[Edge, LinkType] = {}
+    for triple in ((1, 2, 3), (4, 5, 6)):
+        for i, u in enumerate(triple):
+            for v in triple[i + 1 :]:
+                edges[(u, v)] = _D
+    return HardwareGraph(
+        "summit",
+        range(1, 7),
+        edges,
+        sockets=[(1, 2, 3), (4, 5, 6)],
+    )
+
+
+def torus_2d_16() -> HardwareGraph:
+    """16-GPU 4x4 2-D torus (paper Fig. 17a).
+
+    GPU at row *r*, column *c* has id ``4*r + c + 1``.  Row (east–west)
+    rings use double NVLink, column (north–south) rings use single NVLink;
+    each GPU therefore spends 2*2 + 2*1 = 6 bricks.  The interconnect is
+    *uniform*: every GPU sees the identical link mix, which is why the
+    Greedy policy fares comparatively well here (section 5.3).
+    """
+    n = 4
+
+    def gid(r: int, c: int) -> int:
+        return (r % n) * n + (c % n) + 1
+
+    edges: Dict[Edge, LinkType] = {}
+    for r in range(n):
+        for c in range(n):
+            edges[(gid(r, c), gid(r, c + 1))] = _D
+            edges[(gid(r, c), gid(r + 1, c))] = _S
+    return HardwareGraph(
+        "torus-2d-16",
+        range(1, 17),
+        edges,
+        sockets=[tuple(range(1, 9)), tuple(range(9, 17))],
+    )
+
+
+def cube_mesh_16() -> HardwareGraph:
+    """16-GPU cube-mesh (paper Fig. 17b): four DGX-style fully connected
+    quads joined in a ring of single NVLinks.
+
+    Each quad mixes single and double NVLink-v2 exactly like a DGX-1V quad
+    (so triangles of fast links exist and 3/5-GPU jobs can win or lose a
+    lot), and GPU *i* of each quad links to GPU *i* of the two neighbouring
+    quads.  Every V100 spends its full 6-brick budget, but the link mix
+    seen by each GPU differs — the irregularity the paper credits for
+    Preserve's larger advantage on this topology (section 5.3).
+    """
+    edges: Dict[Edge, LinkType] = {}
+    quads = [tuple(range(base, base + 4)) for base in (1, 5, 9, 13)]
+    for a, b, c, d in quads:
+        edges[(a, b)] = _S
+        edges[(a, c)] = _D
+        edges[(a, d)] = _S
+        edges[(b, c)] = _S
+        edges[(b, d)] = _D
+        edges[(c, d)] = _D
+    # GPUs at offsets 0/1 spend 4 bricks inside the quad and ride the full
+    # quad ring; offsets 2/3 spend 5 inside and get a single cross link.
+    for qi in range(4):
+        nxt = quads[(qi + 1) % 4]
+        for offset in (0, 1):
+            edges[(quads[qi][offset], nxt[offset])] = _S
+    edges[(quads[0][2], quads[1][2])] = _S
+    edges[(quads[2][2], quads[3][2])] = _S
+    edges[(quads[1][3], quads[2][3])] = _S
+    edges[(quads[3][3], quads[0][3])] = _S
+    return HardwareGraph(
+        "cube-mesh-16",
+        range(1, 17),
+        edges,
+        sockets=[tuple(range(1, 9)), tuple(range(9, 17))],
+    )
+
+
+def dgx2() -> HardwareGraph:
+    """16-GPU DGX-2: NVSwitch crossbar, modelled as an all-to-all fabric of
+    double NVLink-v2 (the paper notes even this design shows NUMA effects,
+    but uses it only as context — section 1)."""
+    edges: Dict[Edge, LinkType] = {}
+    for u in range(1, 17):
+        for v in range(u + 1, 17):
+            edges[(u, v)] = _D
+    return HardwareGraph(
+        "dgx2",
+        range(1, 17),
+        edges,
+        sockets=[tuple(range(1, 9)), tuple(range(9, 17))],
+    )
+
+
+def big_basin() -> HardwareGraph:
+    """Facebook Big Basin (paper reference [17]): 8 Voltas in the same
+    hybrid mesh class as the DGX-1V."""
+    g = dgx1_v100()
+    return HardwareGraph(
+        "big-basin",
+        g.gpus,
+        {tuple(sorted(l.endpoints)): l.link_type for l in g.nvlink_links()},
+        sockets=g.sockets,
+    )
+
+
+def p3dn() -> HardwareGraph:
+    """Amazon EC2 P3dn.24xlarge (paper reference [69]): 8 V100s, NVLink
+    mesh of the DGX-1V class."""
+    g = dgx1_v100()
+    return HardwareGraph(
+        "p3dn",
+        g.gpus,
+        {tuple(sorted(l.endpoints)): l.link_type for l in g.nvlink_links()},
+        sockets=g.sockets,
+    )
+
+
+def custom(
+    name: str,
+    num_gpus: int,
+    nvlink_edges: Mapping[Edge, LinkType],
+    sockets: Optional[Sequence[Sequence[int]]] = None,
+) -> HardwareGraph:
+    """Build a user-defined topology with GPUs numbered ``1..num_gpus``."""
+    return HardwareGraph(name, range(1, num_gpus + 1), nvlink_edges, sockets=sockets)
+
+
+#: Registry of the named topologies used throughout the evaluation.
+TOPOLOGY_BUILDERS = {
+    "dgx1-v100": dgx1_v100,
+    "dgx1-v100-cube-mesh": dgx1_v100_cube_mesh,
+    "dgx1-p100": dgx1_p100,
+    "summit": summit_node,
+    "torus-2d-16": torus_2d_16,
+    "cube-mesh-16": cube_mesh_16,
+    "dgx2": dgx2,
+    "big-basin": big_basin,
+    "p3dn": p3dn,
+}
+
+
+def by_name(name: str) -> HardwareGraph:
+    """Instantiate a registered topology by name."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_BUILDERS))
+        raise KeyError(f"unknown topology {name!r}; known: {known}") from None
+    return builder()
+
+
+#: NVLink brick budgets per GPU generation, for builder validation.
+PORT_BUDGETS = {"v100": 6, "p100": 4}
+
+
+def validate_port_budget(graph: HardwareGraph, budget: int) -> None:
+    """Raise :class:`ValueError` if any GPU uses more NVLink bricks than
+    ``budget`` (6 for V100, 4 for P100)."""
+    for gpu in graph.gpus:
+        used = graph.nvlink_ports(gpu)
+        if used > budget:
+            raise ValueError(
+                f"{graph.name}: GPU {gpu} uses {used} NVLink bricks "
+                f"(budget {budget})"
+            )

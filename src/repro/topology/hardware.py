@@ -1,0 +1,264 @@
+"""Hardware topology graph for multi-accelerator servers.
+
+The paper (section 3.2) abstracts a server as a *hardware graph*: vertices
+are accelerators, edges are labelled with the highest-bandwidth link
+available between the two devices.  Because any pair of accelerators can
+always communicate through the host over PCIe, the hardware graph is a
+*complete* graph — pairs without a direct NVLink carry the PCIe label.
+
+:class:`HardwareGraph` stores the NVLink adjacency explicitly and
+synthesises the PCIe fallback edges on demand, which keeps the
+representation small and makes "is this a *direct* link?" queries cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .links import LinkType, bandwidth_of, channels_of, is_nvlink
+
+Edge = Tuple[int, int]
+
+
+def _key(u: int, v: int) -> FrozenSet[int]:
+    if u == v:
+        raise ValueError(f"self-link on accelerator {u}")
+    return frozenset((u, v))
+
+
+@dataclass(frozen=True)
+class HardwareLink:
+    """A concrete link between two accelerators in a hardware graph."""
+
+    u: int
+    v: int
+    link_type: LinkType
+
+    @property
+    def bandwidth(self) -> float:
+        """Peak bandwidth of this link in GB/s."""
+        return bandwidth_of(self.link_type)
+
+    @property
+    def channels(self) -> int:
+        """Number of NVLink channels this link provides."""
+        return channels_of(self.link_type)
+
+    @property
+    def endpoints(self) -> FrozenSet[int]:
+        return frozenset((self.u, self.v))
+
+
+class HardwareGraph:
+    """Complete, link-labelled graph over a server's accelerators.
+
+    Parameters
+    ----------
+    name:
+        Human-readable topology name (e.g. ``"dgx1-v100"``).
+    gpus:
+        Accelerator vertex ids.  The paper numbers GPUs from 1; builders
+        follow that convention but any hashable-int ids work.
+    nvlink_edges:
+        Mapping from unordered GPU pairs to NVLink link types.  Pairs not
+        present fall back to :attr:`LinkType.PCIE`.
+    sockets:
+        Optional partition of the GPUs into CPU sockets / PCIe roots, used
+        by the Topo-aware comparator policy.  Each element is a sequence of
+        GPU ids; elements must be disjoint and cover all GPUs.
+    pcie_link:
+        Link type used for the host-routed fallback (default PCIe Gen3 x16).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gpus: Iterable[int],
+        nvlink_edges: Mapping[Edge, LinkType] | Mapping[FrozenSet[int], LinkType],
+        sockets: Optional[Sequence[Sequence[int]]] = None,
+        pcie_link: LinkType = LinkType.PCIE,
+    ) -> None:
+        self.name = name
+        self._gpus: Tuple[int, ...] = tuple(sorted(set(gpus)))
+        if not self._gpus:
+            raise ValueError("hardware graph needs at least one accelerator")
+        gpu_set = set(self._gpus)
+        self._pcie_link = pcie_link
+        self._nvlink: Dict[FrozenSet[int], LinkType] = {}
+        for pair, link in nvlink_edges.items():
+            u, v = tuple(pair)
+            if u not in gpu_set or v not in gpu_set:
+                raise ValueError(f"edge ({u}, {v}) references unknown GPU")
+            if not is_nvlink(link):
+                raise ValueError(
+                    f"edge ({u}, {v}): only NVLink types may be listed "
+                    "explicitly; PCIe is the implicit fallback"
+                )
+            key = _key(u, v)
+            if key in self._nvlink:
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            self._nvlink[key] = link
+
+        if sockets is None:
+            sockets = [self._gpus]
+        flat = [g for sock in sockets for g in sock]
+        if sorted(flat) != list(self._gpus):
+            raise ValueError("sockets must partition the GPU set")
+        self._sockets: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(sock)) for sock in sockets
+        )
+        self._socket_of: Dict[int, int] = {
+            g: i for i, sock in enumerate(self._sockets) for g in sock
+        }
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def gpus(self) -> Tuple[int, ...]:
+        """All accelerator ids, sorted ascending."""
+        return self._gpus
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self._gpus)
+
+    @property
+    def sockets(self) -> Tuple[Tuple[int, ...], ...]:
+        """CPU-socket partition of the GPUs (one tuple per socket)."""
+        return self._sockets
+
+    def socket_of(self, gpu: int) -> int:
+        """Index of the CPU socket hosting ``gpu``."""
+        return self._socket_of[gpu]
+
+    def __contains__(self, gpu: int) -> bool:
+        return gpu in self._socket_of
+
+    def link(self, u: int, v: int) -> LinkType:
+        """Link type between ``u`` and ``v`` (PCIe fallback if no NVLink)."""
+        if u not in self or v not in self:
+            raise KeyError(f"unknown GPU pair ({u}, {v})")
+        return self._nvlink.get(_key(u, v), self._pcie_link)
+
+    def bandwidth(self, u: int, v: int) -> float:
+        """Peak bandwidth in GB/s between ``u`` and ``v``."""
+        return bandwidth_of(self.link(u, v))
+
+    def has_nvlink(self, u: int, v: int) -> bool:
+        """True if ``u`` and ``v`` are joined by a *direct* NVLink."""
+        if u not in self or v not in self:
+            raise KeyError(f"unknown GPU pair ({u}, {v})")
+        return _key(u, v) in self._nvlink
+
+    # ------------------------------------------------------------------ #
+    # edge iteration
+    # ------------------------------------------------------------------ #
+    def nvlink_links(self) -> Iterator[HardwareLink]:
+        """Iterate over the explicit (direct NVLink) links."""
+        for key, link in sorted(
+            self._nvlink.items(), key=lambda kv: tuple(sorted(kv[0]))
+        ):
+            u, v = sorted(key)
+            yield HardwareLink(u, v, link)
+
+    def all_links(self, gpus: Optional[Iterable[int]] = None) -> Iterator[HardwareLink]:
+        """Iterate over *all* pairwise links (complete-graph view).
+
+        If ``gpus`` is given, restrict to the induced subgraph over those
+        accelerators.
+        """
+        verts = self._gpus if gpus is None else tuple(sorted(set(gpus)))
+        for g in verts:
+            if g not in self:
+                raise KeyError(f"unknown GPU {g}")
+        for i, u in enumerate(verts):
+            for v in verts[i + 1 :]:
+                yield HardwareLink(u, v, self.link(u, v))
+
+    def aggregate_bandwidth(self, gpus: Optional[Iterable[int]] = None) -> float:
+        """Sum of pairwise bandwidths over the induced complete subgraph.
+
+        With no argument this is the total bandwidth of the whole server;
+        with an allocation it is the quantity used by the fragmentation
+        analysis in Fig. 4 (``BW_allocated``).
+        """
+        return sum(l.bandwidth for l in self.all_links(gpus))
+
+    def nvlink_ports(self, gpu: int) -> int:
+        """Number of NVLink channels (bricks) attached to ``gpu``.
+
+        Useful for validating builders against physical port budgets
+        (4 bricks on a P100, 6 on a V100).
+        """
+        if gpu not in self:
+            raise KeyError(f"unknown GPU {gpu}")
+        total = 0
+        for key, link in self._nvlink.items():
+            if gpu in key:
+                total += channels_of(link)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, gpus: Iterable[int], name: Optional[str] = None) -> "HardwareGraph":
+        """Induced hardware graph over ``gpus`` (e.g. the free devices)."""
+        keep = set(gpus)
+        for g in keep:
+            if g not in self:
+                raise KeyError(f"unknown GPU {g}")
+        edges = {
+            key: link for key, link in self._nvlink.items() if key <= keep
+        }
+        sockets = [
+            [g for g in sock if g in keep]
+            for sock in self._sockets
+            if any(g in keep for g in sock)
+        ]
+        sockets = [s for s in sockets if s]
+        return HardwareGraph(
+            name or f"{self.name}[{len(keep)}]",
+            sorted(keep),
+            edges,
+            sockets=sockets or None,
+            pcie_link=self._pcie_link,
+        )
+
+    def to_networkx(self, complete: bool = True) -> nx.Graph:
+        """Export as a :class:`networkx.Graph`.
+
+        Edges carry ``link`` (:class:`LinkType`) and ``bandwidth`` (GB/s)
+        attributes.  With ``complete=False`` only direct NVLink edges are
+        included.
+        """
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(self._gpus)
+        links = self.all_links() if complete else self.nvlink_links()
+        for l in links:
+            g.add_edge(l.u, l.v, link=l.link_type, bandwidth=l.bandwidth)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HardwareGraph({self.name!r}, gpus={self.num_gpus}, "
+            f"nvlinks={len(self._nvlink)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HardwareGraph):
+            return NotImplemented
+        return (
+            self._gpus == other._gpus
+            and self._nvlink == other._nvlink
+            and self._sockets == other._sockets
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._gpus, frozenset(self._nvlink.items()), self._sockets))

@@ -1,0 +1,92 @@
+"""Inter-accelerator link types and their peak bandwidths.
+
+This module encodes Table 1 of the MAPA paper:
+
+======================  =================
+Link                    Bandwidth (GBps)
+======================  =================
+Single NVLink-v1        20
+Single NVLink-v2        25
+Double NVLink-v2        50
+16-lane PCIe Gen 3      12
+======================  =================
+
+Hardware graphs label every edge with the *highest* available link between
+the two accelerators (paper section 3.2); accelerator pairs with no direct
+NVLink fall back to PCIe routed through the host, so hardware graphs are
+complete graphs over the accelerators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class LinkType(enum.Enum):
+    """Kind of point-to-point interconnect between two accelerators."""
+
+    PCIE = "pcie"
+    NVLINK1_SINGLE = "nvlink1_single"
+    NVLINK1_DOUBLE = "nvlink1_double"
+    NVLINK2_SINGLE = "nvlink2_single"
+    NVLINK2_DOUBLE = "nvlink2_double"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinkType.{self.name}"
+
+
+#: Peak unidirectional bandwidth per link type, in GB/s (paper Table 1).
+LINK_BANDWIDTH_GBPS: Mapping[LinkType, float] = {
+    LinkType.PCIE: 12.0,
+    LinkType.NVLINK1_SINGLE: 20.0,
+    LinkType.NVLINK1_DOUBLE: 40.0,
+    LinkType.NVLINK2_SINGLE: 25.0,
+    LinkType.NVLINK2_DOUBLE: 50.0,
+}
+
+#: Number of NVLink "channels" (bricks) a link type contributes.  NCCL can
+#: build one ring per channel, which is why a double link sustains twice the
+#: single-link all-reduce bandwidth.
+LINK_CHANNELS: Mapping[LinkType, int] = {
+    LinkType.PCIE: 1,
+    LinkType.NVLINK1_SINGLE: 1,
+    LinkType.NVLINK1_DOUBLE: 2,
+    LinkType.NVLINK2_SINGLE: 1,
+    LinkType.NVLINK2_DOUBLE: 2,
+}
+
+
+def bandwidth_of(link: LinkType) -> float:
+    """Return the peak bandwidth in GB/s of ``link``."""
+    return LINK_BANDWIDTH_GBPS[link]
+
+
+def channels_of(link: LinkType) -> int:
+    """Return the number of independent NVLink channels ``link`` provides."""
+    return LINK_CHANNELS[link]
+
+
+def per_channel_bandwidth(link: LinkType) -> float:
+    """Bandwidth of one channel of ``link`` (e.g. 25 GB/s for double NV2)."""
+    return bandwidth_of(link) / channels_of(link)
+
+
+def is_nvlink(link: LinkType) -> bool:
+    """True if ``link`` is any flavour of NVLink (i.e. not host-routed PCIe)."""
+    return link is not LinkType.PCIE
+
+
+def classify_xyz(link: LinkType) -> str:
+    """Map a link onto the (x, y, z) census axes used by Eq. 2 of the paper.
+
+    Returns ``"x"`` for double NVLink, ``"y"`` for single NVLink and ``"z"``
+    for PCIe.  NVLink-v1 links count on the same axes as their v2
+    counterparts: Eq. 2 is a function of the *mix* of link classes, and v1
+    links occupy the "single"/"double" roles on machines such as DGX-1 P100.
+    """
+    if link in (LinkType.NVLINK1_DOUBLE, LinkType.NVLINK2_DOUBLE):
+        return "x"
+    if link in (LinkType.NVLINK1_SINGLE, LinkType.NVLINK2_SINGLE):
+        return "y"
+    return "z"

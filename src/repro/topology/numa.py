@@ -1,0 +1,85 @@
+"""CPU/NUMA-aware extension (paper section 3.2's proposed extension).
+
+The paper's hardware graphs contain only accelerators; it notes that
+CPUs could be added "to account for CPU-GPU effects, such as potential
+NUMA effects".  This module provides that accounting without changing
+the core pipeline:
+
+* :func:`socket_spread` — how many CPU sockets an allocation touches;
+* :func:`numa_penalty_factor` — a multiplicative effective-bandwidth
+  penalty for host-routed traffic that must cross the inter-socket bus
+  (QPI/xGMI), parameterised by a per-crossing discount;
+* :func:`numa_adjusted_bandwidth` — microbenchmark bandwidth with the
+  penalty applied.
+
+Host-routed (PCIe) hops between GPUs on *different* sockets traverse
+the socket interconnect; NVLink hops never touch the host, so pure-
+NVLink allocations are unaffected regardless of socket layout — the
+behaviour measured for the DGX-2 in the paper's reference [37].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .hardware import HardwareGraph
+
+#: Default bandwidth retained per socket crossing on host-routed hops.
+DEFAULT_CROSSING_DISCOUNT = 0.75
+
+
+def socket_spread(hardware: HardwareGraph, gpus: Iterable[int]) -> int:
+    """Number of distinct CPU sockets an allocation occupies."""
+    return len({hardware.socket_of(g) for g in set(gpus)})
+
+
+def host_routed_crossings(hardware: HardwareGraph, gpus: Iterable[int]) -> int:
+    """Count PCIe ring hops that cross a socket boundary.
+
+    Uses the allocation's ring decomposition: only host-routed rings'
+    inter-socket hops pay the NUMA toll.
+    """
+    from ..comm.rings import build_rings  # avoid topology<->comm import cycle
+
+    decomposition = build_rings(hardware, gpus)
+    crossings = 0
+    for ring in decomposition.rings:
+        if not ring.uses_pcie:
+            continue
+        n = len(ring.order)
+        for i in range(n):
+            u, v = ring.order[i], ring.order[(i + 1) % n]
+            if hardware.socket_of(u) != hardware.socket_of(v):
+                crossings += 1
+    return crossings
+
+
+def numa_penalty_factor(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    crossing_discount: float = DEFAULT_CROSSING_DISCOUNT,
+) -> float:
+    """Multiplicative bandwidth factor in (0, 1] for an allocation.
+
+    Each socket-crossing host hop multiplies the retained bandwidth by
+    ``crossing_discount`` once (the bus is shared: one discount per
+    crossing pair, capped so a fully-scattered ring is not annihilated).
+    """
+    if not 0 < crossing_discount <= 1:
+        raise ValueError("crossing_discount must be in (0, 1]")
+    crossings = host_routed_crossings(hardware, gpus)
+    if crossings == 0:
+        return 1.0
+    return max(crossing_discount**crossings, crossing_discount**3)
+
+
+def numa_adjusted_bandwidth(
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    crossing_discount: float = DEFAULT_CROSSING_DISCOUNT,
+) -> float:
+    """Microbenchmark effective bandwidth with the NUMA penalty applied."""
+    from ..comm.microbench import peak_effective_bandwidth
+
+    base = peak_effective_bandwidth(hardware, gpus)
+    return base * numa_penalty_factor(hardware, gpus, crossing_discount)

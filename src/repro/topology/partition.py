@@ -1,0 +1,148 @@
+"""Recursive bi-partitioning of hardware graphs.
+
+The Topo-aware comparator policy (Amaral et al., paper reference [7])
+recursively bisects the server topology into a binary tree whose leaves are
+single GPUs; interior nodes group GPUs that share fast interconnect (in
+practice: the same PCIe tree / CPU socket).  Allocation then walks the tree
+looking for the smallest subtree that can satisfy the request, which packs
+jobs under one socket whenever possible.
+
+We bisect by minimising the *bandwidth cut* between the two halves, using
+exhaustive search for small vertex sets (exact) and the Kernighan–Lin
+heuristic above that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .hardware import HardwareGraph
+
+#: Below this size the bisection is solved exactly by enumeration.
+_EXACT_LIMIT = 12
+
+
+@dataclass
+class PartitionNode:
+    """A node in the recursive-bisection tree."""
+
+    gpus: Tuple[int, ...]
+    left: Optional["PartitionNode"] = None
+    right: Optional["PartitionNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def size(self) -> int:
+        return len(self.gpus)
+
+    def subtrees(self) -> List["PartitionNode"]:
+        """All nodes of the tree rooted here, in BFS order."""
+        out: List[PartitionNode] = []
+        frontier = [self]
+        while frontier:
+            node = frontier.pop(0)
+            out.append(node)
+            if node.left is not None:
+                frontier.append(node.left)
+            if node.right is not None:
+                frontier.append(node.right)
+        return out
+
+    def leaves(self) -> List[int]:
+        return [g for node in self.subtrees() if node.is_leaf for g in node.gpus]
+
+
+def _cut_weight(graph: HardwareGraph, a: Set[int], b: Set[int]) -> float:
+    return sum(graph.bandwidth(u, v) for u in a for v in b)
+
+
+def _bisect(graph: HardwareGraph, gpus: Sequence[int]) -> Tuple[Set[int], Set[int]]:
+    """Split ``gpus`` into two halves minimising the bandwidth cut.
+
+    Halves differ in size by at most one.  Ties are broken towards the
+    lexicographically smallest left half so results are deterministic.
+    """
+    verts = sorted(gpus)
+    n = len(verts)
+    k = n // 2
+    if n <= _EXACT_LIMIT:
+        # Enumerate the smaller half.  For even splits the two halves are
+        # interchangeable, so pinning the first vertex to the left half
+        # breaks the symmetry; for odd splits the halves differ in size
+        # and every size-k subset is a distinct partition.
+        even = n == 2 * k
+        best: Optional[Tuple[float, Tuple[int, ...]]] = None
+        for left in combinations(verts, k):
+            if even and verts[0] not in left:
+                continue
+            a = set(left)
+            b = set(verts) - a
+            w = _cut_weight(graph, a, b)
+            cand = (w, left)
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        a = set(best[1])
+        return a, set(verts) - a
+    # Kernighan–Lin on the complete bandwidth-weighted graph.
+    g = nx.Graph()
+    g.add_nodes_from(verts)
+    for i, u in enumerate(verts):
+        for v in verts[i + 1 :]:
+            g.add_edge(u, v, weight=graph.bandwidth(u, v))
+    a, b = nx.algorithms.community.kernighan_lin_bisection(
+        g, weight="weight", seed=0
+    )
+    return set(a), set(b)
+
+
+def build_partition_tree(
+    graph: HardwareGraph, gpus: Optional[Sequence[int]] = None
+) -> PartitionNode:
+    """Recursively bisect ``graph`` (or a subset of its GPUs) into a tree.
+
+    The root holds all GPUs; each interior node's children are the two
+    minimum-bandwidth-cut halves of its GPU set; leaves are single GPUs.
+    """
+    verts = tuple(sorted(graph.gpus if gpus is None else gpus))
+    node = PartitionNode(verts)
+    if len(verts) > 1:
+        a, b = _bisect(graph, verts)
+        node.left = build_partition_tree(graph, sorted(a))
+        node.right = build_partition_tree(graph, sorted(b))
+    return node
+
+
+def smallest_fitting_subtree(
+    root: PartitionNode, free: Set[int], count: int
+) -> Optional[Tuple[int, ...]]:
+    """Find the GPUs of the smallest subtree holding ≥ ``count`` free GPUs.
+
+    Returns the ``count`` lowest-id free GPUs inside that subtree, or
+    ``None`` if even the root cannot satisfy the request.  This is the
+    allocation rule of the Topo-aware policy: prefer tightly-connected
+    clusters (deep subtrees) and only spill across the hierarchy when
+    necessary.
+    """
+    best: Optional[PartitionNode] = None
+    for node in root.subtrees():
+        avail = sum(1 for g in node.gpus if g in free)
+        if avail < count:
+            continue
+        if (
+            best is None
+            or node.size < best.size
+            or (node.size == best.size and node.gpus < best.gpus)
+        ):
+            best = node
+    if best is None:
+        return None
+    chosen = [g for g in sorted(best.gpus) if g in free][:count]
+    return tuple(chosen)

@@ -1,0 +1,40 @@
+"""Workload substrate: communication profiles, execution-time model,
+workload catalogue, jobs and trace generation."""
+
+from .profiles import CommProfile
+from .catalog import (
+    INSENSITIVE_WORKLOADS,
+    ML_NETWORKS,
+    SENSITIVE_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+)
+from .exectime import (
+    classify_sensitivity,
+    execution_time,
+    execution_time_on_allocation,
+    iteration_time,
+    sensitivity_ratio,
+)
+from .jobs import Job, JobFile
+from .generator import generate_job_file, generate_ml_job_file
+
+__all__ = [
+    "CommProfile",
+    "INSENSITIVE_WORKLOADS",
+    "ML_NETWORKS",
+    "SENSITIVE_WORKLOADS",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "classify_sensitivity",
+    "execution_time",
+    "execution_time_on_allocation",
+    "iteration_time",
+    "sensitivity_ratio",
+    "Job",
+    "JobFile",
+    "generate_job_file",
+    "generate_ml_job_file",
+]

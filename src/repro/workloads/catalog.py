@@ -1,0 +1,122 @@
+"""The ten evaluation workloads (paper sections 2.3 and 4).
+
+Six Caffe/ImageNet training networks plus three non-NN multi-GPU codes:
+
+==============  ==========  =========  =====================================
+Workload        Sensitive?  Pattern    Why (paper)
+==============  ==========  =========  =====================================
+AlexNet         yes         ring       large messages, enough calls
+VGG-16          yes         ring       huge FC gradients, up to 3× on NVLink
+ResNet-50       yes         ring       very many medium messages
+Inception-v3    yes         ring       most calls of all networks
+CaffeNet        no          ring       big messages but too few calls
+GoogleNet       no          ring       many calls but all below 10⁵ B
+Cusimann        no          single     negligible inter-GPU communication
+GMM             no          single     negligible inter-GPU communication
+Jacobi          no          chain      <3 % improvement from fast links
+==============  ==========  =========  =====================================
+
+The model constants (compute time per iteration, bytes per iteration,
+iteration counts) are calibrated so the motivating measurements reproduce:
+VGG-16 trains ≈3× faster on a double NVLink than on PCIe while GoogleNet
+barely moves (Fig. 2b), and exec-time-vs-EffBW flattens past ~50 GB/s
+(Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .profiles import CommProfile
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multi-GPU workload as the allocator and simulator see it."""
+
+    name: str
+    bandwidth_sensitive: bool
+    pattern: str
+    compute_time_per_iter: float  # seconds, per-GPU (weak scaling)
+    iterations: int
+    profile: CommProfile
+    kind: str = "ml-training"
+
+    @property
+    def comm_bytes_per_iter(self) -> float:
+        return self.profile.bytes_per_iter
+
+
+def _w(
+    name: str,
+    sensitive: bool,
+    pattern: str,
+    t_compute: float,
+    iters: int,
+    calls: int,
+    bytes_per_iter: float,
+    sigma: float,
+    paper_calls: int | None = None,
+    kind: str = "ml-training",
+) -> Workload:
+    return Workload(
+        name=name,
+        bandwidth_sensitive=sensitive,
+        pattern=pattern,
+        compute_time_per_iter=t_compute,
+        iterations=iters,
+        profile=CommProfile(
+            calls_per_iter=calls,
+            bytes_per_iter=bytes_per_iter,
+            sigma=sigma,
+            paper_calls_per_iter=paper_calls,
+        ),
+        kind=kind,
+    )
+
+
+#: The evaluation workload set, keyed by name.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _w("vgg-16", True, "ring", 0.015, 3000, 160, 1.3e9, 1.4, 160_001),
+        _w("alexnet", True, "ring", 0.010, 6000, 16, 4.9e8, 1.6, 80_001),
+        _w("resnet-50", True, "ring", 0.020, 6000, 160, 2.05e8, 1.0, 1_600_001),
+        _w("inception-v3", True, "ring", 0.018, 6000, 150, 3.0e8, 1.1, 2_830_001),
+        _w("caffenet", False, "ring", 0.030, 6000, 16, 5.0e7, 1.6, 84_936),
+        _w("googlenet", False, "ring", 0.025, 6000, 400, 3.2e7, 0.9, 640_001),
+        _w("cusimann", False, "single", 0.050, 8000, 2, 1.0e6, 1.0, None, "hpc"),
+        _w("gmm", False, "single", 0.045, 8000, 2, 1.0e6, 1.0, None, "hpc"),
+        _w("jacobi", False, "chain", 0.040, 8000, 4, 1.2e7, 1.0, None, "hpc"),
+    )
+}
+
+#: The six neural networks of Figs. 2b / 5 / 6, in the paper's order.
+ML_NETWORKS: List[str] = [
+    "alexnet",
+    "googlenet",
+    "vgg-16",
+    "resnet-50",
+    "inception-v3",
+    "caffenet",
+]
+
+#: Bandwidth-sensitive networks (Figs. 13a / 13c / 18).
+SENSITIVE_WORKLOADS: List[str] = [
+    name for name, w in WORKLOADS.items() if w.bandwidth_sensitive
+]
+
+#: Bandwidth-insensitive workloads (Figs. 13b / 13d).
+INSENSITIVE_WORKLOADS: List[str] = [
+    name for name, w in WORKLOADS.items() if not w.bandwidth_sensitive
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by (case-insensitive) name."""
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,102 @@
+"""Execution-time model for multi-GPU workloads.
+
+Substitution for real Caffe training runs (DESIGN.md #2).  Per-iteration
+time decomposes into compute plus ring-all-reduce communication under the
+alpha–beta model of :mod:`repro.comm.microbench`:
+
+    t_iter(k, B) = t_compute
+                 + 2·(k-1)/k · V / (B · 10⁹)     — bandwidth term
+                 + n_calls · α · (k-1)           — latency term
+
+where ``k`` is the GPU count, ``B`` the allocation's peak effective
+bandwidth (GB/s), ``V`` the bytes a GPU contributes to collectives per
+iteration and ``α`` the per-call launch latency.  Single-GPU jobs pay no
+communication.  The latency term is link-independent, which is what makes
+call-heavy/small-message networks (GoogleNet) bandwidth *insensitive*
+and produces the flattening of Fig. 16 past ~50 GB/s: once the bandwidth
+term shrinks below compute + latency, faster links stop helping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..comm.microbench import LAUNCH_LATENCY_SECONDS, peak_effective_bandwidth
+from ..topology.hardware import HardwareGraph
+from .catalog import Workload, get_workload
+
+
+def iteration_time(
+    workload: Workload,
+    num_gpus: int,
+    effective_bw_gbps: float,
+    alpha_seconds: float = LAUNCH_LATENCY_SECONDS,
+) -> float:
+    """Seconds per training iteration for a given allocation quality."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be positive")
+    t = workload.compute_time_per_iter
+    if num_gpus == 1:
+        return t
+    if effective_bw_gbps <= 0:
+        raise ValueError("multi-GPU job needs positive effective bandwidth")
+    volume = 2.0 * (num_gpus - 1) / num_gpus * workload.comm_bytes_per_iter
+    t += volume / (effective_bw_gbps * 1e9)
+    t += workload.profile.calls_per_iter * alpha_seconds * (num_gpus - 1)
+    return t
+
+
+def execution_time(
+    workload: Workload,
+    num_gpus: int,
+    effective_bw_gbps: float,
+    iterations: Optional[int] = None,
+) -> float:
+    """Total training time in seconds (``iterations`` defaults to the
+    workload's calibrated run length)."""
+    iters = workload.iterations if iterations is None else iterations
+    return iters * iteration_time(workload, num_gpus, effective_bw_gbps)
+
+
+def execution_time_on_allocation(
+    workload: Workload,
+    hardware: HardwareGraph,
+    gpus: Iterable[int],
+    iterations: Optional[int] = None,
+) -> float:
+    """Execution time of ``workload`` on a concrete GPU allocation.
+
+    The allocation's peak effective bandwidth comes from the simulated
+    NCCL microbenchmark — this is the simulator's ground truth.
+    """
+    alloc = tuple(set(gpus))
+    if len(alloc) == 1:
+        return execution_time(workload, 1, float("inf"), iterations)
+    bw = peak_effective_bandwidth(hardware, alloc)
+    return execution_time(workload, len(alloc), bw, iterations)
+
+
+def sensitivity_ratio(
+    workload: Workload,
+    slow_bw_gbps: float = 11.04,
+    fast_bw_gbps: float = 46.0,
+    num_gpus: int = 2,
+) -> float:
+    """Speedup from moving a job off PCIe onto a double NVLink.
+
+    The paper's operational definition of bandwidth sensitivity (Figs. 2b
+    and 6): sensitive networks gain substantially (VGG-16 ≈ 3×),
+    insensitive ones sit near 1×.  Defaults are the modelled effective
+    bandwidths of a PCIe pair and a double-NVLink-v2 pair.
+    """
+    slow = execution_time(workload, num_gpus, slow_bw_gbps)
+    fast = execution_time(workload, num_gpus, fast_bw_gbps)
+    return slow / fast
+
+
+def classify_sensitivity(
+    workload: Workload, threshold: float = 1.25
+) -> bool:
+    """Model-derived sensitivity: does the PCIe→NVLink speedup exceed
+    ``threshold``?  Tests assert this agrees with the catalogue flags."""
+    return sensitivity_ratio(workload) >= threshold

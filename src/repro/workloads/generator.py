@@ -1,0 +1,84 @@
+"""Random job-trace generation (paper section 4, "Jobs configuration").
+
+The evaluation trace is 300 jobs: a uniform mix over the workload set
+with a uniformly distributed GPU request between 1 and 5 — prior work
+(Philly) found multi-tenant GPU requests to be roughly uniform.  All jobs
+are submitted at time 0 and drained FIFO, matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .catalog import ML_NETWORKS, WORKLOADS, get_workload
+from .jobs import Job, JobFile
+
+
+def generate_job_file(
+    num_jobs: int = 300,
+    workload_names: Optional[Sequence[str]] = None,
+    min_gpus: int = 1,
+    max_gpus: int = 5,
+    seed: int = 2021,
+    arrival_rate: Optional[float] = None,
+) -> JobFile:
+    """Generate a random job file.
+
+    Parameters
+    ----------
+    num_jobs:
+        Trace length (paper: 300; the fragmentation study uses 100).
+    workload_names:
+        Pool to draw from uniformly; defaults to the full nine-workload
+        evaluation set.
+    min_gpus, max_gpus:
+        Uniform GPU-request range (paper: 1–5).
+    seed:
+        RNG seed; identical seeds give identical traces, so every policy
+        is evaluated on exactly the same job sequence.
+    arrival_rate:
+        If given, submit times follow a Poisson process with this rate
+        (jobs/second); otherwise everything arrives at t = 0 like the
+        paper's batch trace.
+    """
+    if min_gpus < 1 or max_gpus < min_gpus:
+        raise ValueError("need 1 ≤ min_gpus ≤ max_gpus")
+    names = list(workload_names) if workload_names is not None else sorted(WORKLOADS)
+    for n in names:
+        get_workload(n)  # validate early
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(names), size=num_jobs)
+    gpu_counts = rng.integers(min_gpus, max_gpus + 1, size=num_jobs)
+    if arrival_rate is not None:
+        gaps = rng.exponential(1.0 / arrival_rate, size=num_jobs)
+        submits = np.cumsum(gaps)
+    else:
+        submits = np.zeros(num_jobs)
+    jobs: List[Job] = []
+    for i in range(num_jobs):
+        w = get_workload(names[int(picks[i])])
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                workload=w.name,
+                num_gpus=int(gpu_counts[i]),
+                pattern=w.pattern,
+                bandwidth_sensitive=w.bandwidth_sensitive,
+                submit_time=float(submits[i]),
+            )
+        )
+    return JobFile(jobs)
+
+
+def generate_ml_job_file(
+    num_jobs: int = 300, seed: int = 2021, max_gpus: int = 5
+) -> JobFile:
+    """Trace drawn only from the six Caffe networks of Fig. 5."""
+    return generate_job_file(
+        num_jobs=num_jobs,
+        workload_names=ML_NETWORKS,
+        max_gpus=max_gpus,
+        seed=seed,
+    )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scoring.effective import EffectiveBandwidthModel
+from repro.scoring.regression import fit_for_hardware
+from repro.topology import (
+    HardwareGraph,
+    cube_mesh_16,
+    dgx1_p100,
+    dgx1_v100,
+    summit_node,
+    torus_2d_16,
+)
+
+
+@pytest.fixture(scope="session")
+def dgx() -> HardwareGraph:
+    return dgx1_v100()
+
+
+@pytest.fixture(scope="session")
+def p100() -> HardwareGraph:
+    return dgx1_p100()
+
+
+@pytest.fixture(scope="session")
+def summit() -> HardwareGraph:
+    return summit_node()
+
+
+@pytest.fixture(scope="session")
+def torus() -> HardwareGraph:
+    return torus_2d_16()
+
+
+@pytest.fixture(scope="session")
+def cubemesh() -> HardwareGraph:
+    return cube_mesh_16()
+
+
+@pytest.fixture(scope="session")
+def dgx_model(dgx) -> EffectiveBandwidthModel:
+    """Eq. 2 model refit against the simulated microbenchmark on DGX-V."""
+    model, _, _ = fit_for_hardware(dgx)
+    return model

@@ -1,0 +1,99 @@
+"""Unit tests for the MAPA orchestration engine (Fig. 7 pipeline)."""
+
+import pytest
+
+from repro.allocator.mapa import Mapa
+from repro.allocator.state import AllocationError
+from repro.appgraph import patterns
+from repro.policies import AllocationRequest, BaselinePolicy, PreservePolicy
+from repro.scoring.effective import PAPER_MODEL
+
+
+def _req(k, sensitive=True, job_id=None, pattern="ring"):
+    return AllocationRequest(
+        pattern=patterns.by_name(pattern, k),
+        bandwidth_sensitive=sensitive,
+        job_id=job_id,
+    )
+
+
+class TestAllocateRelease:
+    def test_allocation_commits_state(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        alloc = mapa.try_allocate(_req(3, job_id="j1"))
+        assert alloc.gpus == (1, 2, 3)
+        assert mapa.state.num_free == 5
+        assert mapa.state.gpus_of("j1") == (1, 2, 3)
+
+    def test_release_restores(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        mapa.try_allocate(_req(3, job_id="j1"))
+        freed = mapa.release("j1")
+        assert freed == (1, 2, 3)
+        assert mapa.state.num_free == 8
+
+    def test_release_unknown_job(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        with pytest.raises(AllocationError):
+            mapa.release("ghost")
+
+    def test_allocation_failure_leaves_state(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        mapa.try_allocate(_req(5, job_id="big"))
+        assert mapa.try_allocate(_req(4, job_id="blocked")) is None
+        assert mapa.state.num_free == 3
+
+    def test_oversize_request_raises(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        with pytest.raises(ValueError, match="only"):
+            mapa.try_allocate(_req(9))
+
+    def test_reset(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        mapa.try_allocate(_req(4, job_id="a"))
+        mapa.reset()
+        assert mapa.state.num_free == 8
+
+    def test_sequential_fill(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        for i in range(4):
+            assert mapa.try_allocate(_req(2, job_id=i)) is not None
+        assert mapa.state.num_free == 0
+        assert mapa.try_allocate(_req(1, job_id="late")) is None
+
+
+class TestAnnotation:
+    def test_score_vector_complete(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy(), PAPER_MODEL)
+        alloc = mapa.try_allocate(_req(3, job_id="j"))
+        for key in (
+            "agg_bw",
+            "effective_bw",
+            "preserved_bw",
+            "census_x",
+            "census_y",
+            "census_z",
+        ):
+            assert key in alloc.scores
+
+    def test_census_annotation_is_induced(self, dgx):
+        from repro.scoring.census import census_of_allocation
+
+        mapa = Mapa(dgx, BaselinePolicy(), PAPER_MODEL)
+        alloc = mapa.try_allocate(_req(3, job_id="j"))
+        census = census_of_allocation(dgx, alloc.gpus)
+        assert alloc.scores["census_x"] == census.x
+        assert alloc.scores["census_y"] == census.y
+        assert alloc.scores["census_z"] == census.z
+
+    def test_effbw_annotation_matches_model(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy(), PAPER_MODEL)
+        alloc = mapa.try_allocate(_req(3, job_id="j"))
+        assert alloc.scores["effective_bw"] == pytest.approx(
+            PAPER_MODEL.predict_allocation(dgx, alloc.gpus)
+        )
+
+    def test_policy_scores_preserved(self, dgx, dgx_model):
+        mapa = Mapa(dgx, PreservePolicy(dgx_model), dgx_model)
+        alloc = mapa.try_allocate(_req(3, sensitive=False, job_id="j"))
+        assert "preserved_bw" in alloc.scores

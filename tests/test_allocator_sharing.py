@@ -1,0 +1,124 @@
+"""Unit tests for MIG-style shared allocation (section 3.3 extension)."""
+
+import pytest
+
+from repro.allocator.sharing import (
+    DEFAULT_CAPACITY,
+    SharedAllocationState,
+    SharedJobSpec,
+    allocate_shared,
+)
+from repro.appgraph import patterns
+
+
+@pytest.fixture
+def state(dgx):
+    return SharedAllocationState(dgx)
+
+
+class TestSharedState:
+    def test_initial_availability(self, state):
+        for gpu in state.hardware.gpus:
+            assert state.available(gpu) == DEFAULT_CAPACITY
+
+    def test_commit_and_release(self, state):
+        state.commit("j", [(1, {"slices": 3, "memory_gb": 30})])
+        assert state.available(1)["slices"] == 4
+        state.release("j")
+        assert state.available(1)["slices"] == 7
+
+    def test_over_commit_rejected(self, state):
+        state.commit("a", [(1, {"slices": 5})])
+        with pytest.raises(ValueError, match="lacks capacity"):
+            state.commit("b", [(1, {"slices": 5})])
+
+    def test_duplicate_job_rejected(self, state):
+        state.commit("a", [(1, {"slices": 1})])
+        with pytest.raises(ValueError, match="already placed"):
+            state.commit("a", [(2, {"slices": 1})])
+
+    def test_release_unknown(self, state):
+        with pytest.raises(ValueError, match="no placement"):
+            state.release("ghost")
+
+    def test_utilization(self, state):
+        assert state.utilization() == 0.0
+        state.commit("a", [(1, {"slices": 7}), (2, {"slices": 7})])
+        assert state.utilization() == pytest.approx(2 / 8)
+
+    def test_invariants(self, state):
+        state.commit("a", [(1, {"slices": 3}), (1, {"slices": 3})])
+        state.check_invariants()
+        state.release("a")
+        state.check_invariants()
+
+
+class TestSharedJobSpec:
+    def test_uniform(self):
+        spec = SharedJobSpec.uniform(patterns.ring(3), slices=2)
+        assert len(spec.requirements) == 3
+        assert all(r["slices"] == 2 for r in spec.requirements)
+
+    def test_mismatched_requirements_rejected(self):
+        with pytest.raises(ValueError):
+            SharedJobSpec(patterns.ring(3), ({"slices": 1},))
+
+
+class TestAllocateShared:
+    def test_small_slices_pack_densely(self, state):
+        """Four 3-slice slots fold onto two 7-slice GPUs."""
+        spec = SharedJobSpec.uniform(patterns.ring(4), slices=3, job_id="a")
+        placements = allocate_shared(spec, state)
+        assert placements is not None
+        gpus = {g for g, _ in placements}
+        assert len(gpus) == 2  # densest feasible packing
+
+    def test_full_gpus_spread(self, state):
+        spec = SharedJobSpec.uniform(patterns.ring(2), slices=7, job_id="a")
+        placements = allocate_shared(spec, state)
+        gpus = {g for g, _ in placements}
+        assert len(gpus) == 2
+
+    def test_distinct_placements_prefer_fast_links(self, state):
+        """At equal density, the distinct GPUs should be NVLink-coupled."""
+        spec = SharedJobSpec.uniform(patterns.ring(2), slices=7, job_id="a")
+        placements = allocate_shared(spec, state)
+        (g1, _), (g2, _) = placements
+        assert state.hardware.bandwidth(g1, g2) == 50.0
+
+    def test_capacity_pressure_eventually_blocks(self, state):
+        # 16 x 3-slice slots = two per 7-slice GPU across the 8 GPUs.
+        for i in range(16):
+            spec = SharedJobSpec.uniform(
+                patterns.single(1), slices=3, job_id=i
+            )
+            assert allocate_shared(spec, state) is not None
+        blocked = SharedJobSpec.uniform(
+            patterns.single(1), slices=3, job_id="late"
+        )
+        assert allocate_shared(blocked, state) is None
+
+    def test_release_unblocks(self, state):
+        for i in range(16):
+            allocate_shared(
+                SharedJobSpec.uniform(patterns.single(1), slices=3, job_id=i),
+                state,
+            )
+        state.release(0)
+        assert (
+            allocate_shared(
+                SharedJobSpec.uniform(patterns.single(1), slices=3, job_id="x"),
+                state,
+            )
+            is not None
+        )
+
+    def test_nvlink_required_edges(self, dgx):
+        state = SharedAllocationState(dgx)
+        spec = SharedJobSpec.uniform(patterns.ring(3), slices=7, job_id="a")
+        placements = allocate_shared(spec, state, require_nvlink_edges=True)
+        assert placements is not None
+        gpus = sorted({g for g, _ in placements})
+        for i, u in enumerate(gpus):
+            for v in gpus[i + 1 :]:
+                assert dgx.has_nvlink(u, v)

@@ -1,0 +1,91 @@
+"""Unit tests for hardware allocation state management."""
+
+import pytest
+
+from repro.allocator.state import AllocationError, AllocationState
+from repro.topology.builders import dgx1_v100
+
+
+@pytest.fixture
+def state(dgx):
+    return AllocationState(dgx)
+
+
+class TestAllocate:
+    def test_initially_all_free(self, state, dgx):
+        assert state.free_gpus == frozenset(dgx.gpus)
+        assert state.num_free == 8
+        assert state.num_allocated == 0
+
+    def test_allocation_removes_from_pool(self, state):
+        state.allocate("job1", [1, 2, 3])
+        assert state.free_gpus == frozenset({4, 5, 6, 7, 8})
+        assert state.gpus_of("job1") == (1, 2, 3)
+        assert state.owner_of(2) == "job1"
+        assert state.owner_of(4) is None
+
+    def test_double_allocation_of_gpu_rejected(self, state):
+        state.allocate("job1", [1, 2])
+        with pytest.raises(AllocationError, match="busy"):
+            state.allocate("job2", [2, 3])
+        # Failed allocation must not leak partial state.
+        assert state.is_free(3)
+
+    def test_same_job_twice_rejected(self, state):
+        state.allocate("job1", [1])
+        with pytest.raises(AllocationError, match="already holds"):
+            state.allocate("job1", [2])
+
+    def test_empty_allocation_rejected(self, state):
+        with pytest.raises(AllocationError, match="empty"):
+            state.allocate("job1", [])
+
+    def test_unknown_gpu_rejected(self, state):
+        with pytest.raises(KeyError):
+            state.allocate("job1", [42])
+
+
+class TestRelease:
+    def test_release_returns_gpus(self, state):
+        state.allocate("job1", [3, 1, 2])
+        freed = state.release("job1")
+        assert freed == (1, 2, 3)
+        assert state.num_free == 8
+
+    def test_release_unknown_job(self, state):
+        with pytest.raises(AllocationError, match="no allocation"):
+            state.release("ghost")
+
+    def test_release_then_reallocate(self, state):
+        state.allocate("a", [1, 2])
+        state.release("a")
+        state.allocate("b", [1, 2])
+        assert state.owner_of(1) == "b"
+
+    def test_reset(self, state):
+        state.allocate("a", [1, 2])
+        state.allocate("b", [3])
+        state.reset()
+        assert state.num_free == 8
+        assert state.active_jobs == ()
+
+
+class TestInvariants:
+    def test_invariants_hold_through_lifecycle(self, state):
+        state.check_invariants()
+        state.allocate("a", [1, 2, 3])
+        state.check_invariants()
+        state.allocate("b", [4])
+        state.check_invariants()
+        state.release("a")
+        state.check_invariants()
+        state.allocate("c", [1, 5, 6, 7, 8])
+        state.check_invariants()
+        assert state.num_free == 2
+
+    def test_active_jobs_tracking(self, state):
+        state.allocate("a", [1])
+        state.allocate("b", [2])
+        assert set(state.active_jobs) == {"a", "b"}
+        state.release("a")
+        assert state.active_jobs == ("b",)

@@ -1,0 +1,63 @@
+"""Tests for CSV export of experiment series."""
+
+import pytest
+
+from repro.analysis.export import (
+    boxplot_to_csv,
+    log_to_csv,
+    scatter_to_csv,
+    series_to_csv,
+)
+
+
+class TestSeriesToCsv:
+    def test_basic(self):
+        csv = series_to_csv(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "x,3"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv(["a", "b"], [[1]])
+
+    def test_quoting(self):
+        csv = series_to_csv(["a"], [["hello, world"]])
+        assert '"hello, world"' in csv
+
+    def test_float_precision(self):
+        csv = series_to_csv(["v"], [[1 / 3]])
+        assert "0.333333" in csv
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = series_to_csv(["a"], [[1]], path=str(path))
+        assert path.read_text() == text
+
+
+class TestShapedExports:
+    def test_boxplot(self):
+        csv = boxplot_to_csv(
+            {"baseline": {"min": 1, "q1": 2, "median": 3, "q3": 4, "max": 5}}
+        )
+        assert csv.splitlines()[0] == "group,min,q1,median,q3,max"
+        assert "baseline,1,2,3,4,5" in csv
+
+    def test_scatter(self):
+        csv = scatter_to_csv([(1.0, 2.0), (3.0, 4.0)], "actual", "predicted")
+        assert csv.splitlines()[0] == "actual,predicted"
+        assert "3,4" in csv
+
+    def test_log_export(self, dgx, dgx_model, tmp_path):
+        from repro.policies.registry import make_policy
+        from repro.sim.cluster import run_policy
+        from repro.workloads.generator import generate_job_file
+
+        log = run_policy(
+            dgx, make_policy("baseline"), generate_job_file(10, seed=1), dgx_model
+        )
+        path = tmp_path / "log.csv"
+        text = log_to_csv(log, path=str(path))
+        assert path.read_text() == text
+        assert len(text.strip().splitlines()) == 11

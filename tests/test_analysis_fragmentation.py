@@ -1,0 +1,66 @@
+"""Tests for the fragmentation analysis (paper Fig. 4 / section 2.2)."""
+
+import pytest
+
+from repro.analysis.fragmentation import (
+    allocation_quality,
+    quality_by_job_size,
+    summarize_fragmentation,
+)
+from repro.policies.registry import make_policy
+from repro.sim.cluster import run_policy
+from repro.workloads.generator import generate_job_file
+
+
+class TestAllocationQuality:
+    def test_paper_example_ratio(self, dgx):
+        # Section 2.2: 87 / 125 = 0.696 for allocation {1, 2, 5}.
+        assert allocation_quality(dgx, [1, 2, 5]) == pytest.approx(87 / 125)
+
+    def test_ideal_allocation_scores_one(self, dgx):
+        assert allocation_quality(dgx, [1, 3, 4]) == pytest.approx(1.0)
+
+    def test_single_gpu_perfect(self, dgx):
+        assert allocation_quality(dgx, [7]) == 1.0
+
+    def test_bounded_by_one(self, dgx):
+        from itertools import combinations
+
+        for subset in combinations(dgx.gpus, 3):
+            q = allocation_quality(dgx, subset)
+            assert 0.0 < q <= 1.0
+
+
+class TestFig4Reproduction:
+    @pytest.fixture(scope="class")
+    def baseline_quality(self, dgx):
+        trace = generate_job_file(100, seed=2021, max_gpus=5)
+        log = run_policy(dgx, make_policy("baseline"), trace)
+        return quality_by_job_size(dgx, log)
+
+    def test_groups_by_size(self, baseline_quality):
+        assert set(baseline_quality) == {2, 3, 4, 5}
+        assert all(len(v) > 0 for v in baseline_quality.values())
+
+    def test_majority_suboptimal(self, baseline_quality):
+        """Fig. 4's headline: most multi-GPU jobs get sub-ideal bandwidth
+        under baseline allocation."""
+        import numpy as np
+
+        all_q = [q for qs in baseline_quality.values() for q in qs]
+        assert np.median(all_q) < 1.0
+
+    def test_small_jobs_fragment_more(self, baseline_quality):
+        """Section 2.2: jobs with fewer GPUs suffer more spread."""
+        import numpy as np
+
+        q3 = np.quantile(baseline_quality[3], 0.25)
+        q5 = np.quantile(baseline_quality[5], 0.25)
+        assert q3 <= q5 + 0.15  # small jobs' lower tail at least as bad
+
+    def test_summary_structure(self, baseline_quality):
+        summaries = summarize_fragmentation(baseline_quality)
+        assert [s.num_gpus for s in summaries] == [2, 3, 4, 5]
+        for s in summaries:
+            assert 0 < s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum <= 1.0
+            assert s.samples == len(baseline_quality[s.num_gpus])

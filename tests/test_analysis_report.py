@@ -1,0 +1,53 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Small trace + primary topology only, to keep the test quick.
+        return generate_report(num_jobs=40, seed=3, topologies=("dgx1-v100",))
+
+    def test_has_all_sections(self, report):
+        assert "# MAPA reproduction report" in report
+        assert "Effective-bandwidth model" in report
+        assert "Fragmentation under Baseline" in report
+        assert "dgx1-v100: 40-job policy comparison" in report
+
+    def test_mentions_all_policies(self, report):
+        for policy in ("baseline", "topo-aware", "greedy", "preserve"):
+            assert policy in report
+
+    def test_paper_coefficients_present(self, report):
+        assert "16.396" in report  # θ1 from Table 2
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(
+            str(path), num_jobs=20, seed=1, topologies=("summit",)
+        )
+        assert path.read_text() == text
+        assert "summit" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = tmp_path / "r.md"
+        rc = main(
+            [
+                "report",
+                "--jobs",
+                "20",
+                "--seed",
+                "1",
+                "--topologies",
+                "dgx1-v100",
+                "--output",
+                str(path),
+            ]
+        )
+        assert rc == 0
+        assert path.exists()
+        assert "written" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Unit tests for table/series rendering."""
+
+from repro.analysis.tables import format_boxplot_rows, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "1.500" in out
+        assert "2.250" in out
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_custom_float_format(self):
+        out = format_table(["h"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_labelled_points(self):
+        out = format_series("curve", [(1.0, 2.0)], labels=("size", "bw"))
+        assert "size=1" in out
+        assert "bw=2" in out
+
+    def test_int_passthrough(self):
+        out = format_series("s", [(10, 3.5)])
+        assert "x=10" in out
+
+
+class TestFormatBoxplot:
+    def test_rows(self):
+        stats = {
+            2: {"min": 1.0, "q1": 2.0, "median": 3.0, "q3": 4.0, "max": 5.0},
+        }
+        out = format_boxplot_rows("box", stats)
+        assert "box" in out
+        assert "median" in out
+        assert "3.00" in out

@@ -1,0 +1,96 @@
+"""Unit tests for ApplicationGraph."""
+
+import pytest
+
+from repro.appgraph.application import ApplicationGraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = ApplicationGraph("test", 3, [(0, 1), (1, 2)])
+        assert g.num_gpus == 3
+        assert g.edges == ((0, 1), (1, 2))
+        assert g.num_edges == 2
+
+    def test_edge_dedup_and_normalisation(self):
+        g = ApplicationGraph("test", 3, [(1, 0), (0, 1), (2, 1)])
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            ApplicationGraph("bad", 2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ApplicationGraph("bad", 2, [(0, 2)])
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            ApplicationGraph("bad", 0, [])
+
+    def test_single_slot_no_edges(self):
+        g = ApplicationGraph("one", 1, [])
+        assert g.num_gpus == 1
+        assert g.is_connected()
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = ApplicationGraph("t", 4, [(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == frozenset({1, 2, 3})
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_has_edge(self):
+        g = ApplicationGraph("t", 3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_connectivity(self):
+        connected = ApplicationGraph("c", 3, [(0, 1), (1, 2)])
+        disconnected = ApplicationGraph("d", 3, [(0, 1)])
+        assert connected.is_connected()
+        assert not disconnected.is_connected()
+
+    def test_degree_sequence(self):
+        g = ApplicationGraph("t", 4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree_sequence() == (3, 1, 1, 1)
+
+
+class TestOperations:
+    def test_union(self):
+        a = ApplicationGraph("a", 3, [(0, 1)])
+        b = ApplicationGraph("b", 3, [(1, 2)])
+        u = a.union(b)
+        assert u.edges == ((0, 1), (1, 2))
+        assert u.name == "a+b"
+
+    def test_union_size_mismatch(self):
+        a = ApplicationGraph("a", 3, [(0, 1)])
+        b = ApplicationGraph("b", 4, [(1, 2)])
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_relabel_is_isomorphic(self):
+        g = ApplicationGraph("t", 3, [(0, 1), (1, 2)])
+        r = g.relabel([2, 1, 0])
+        assert r.edges == ((0, 1), (1, 2))  # path relabelled is still a path
+        assert r.degree_sequence() == g.degree_sequence()
+
+    def test_relabel_rejects_non_permutation(self):
+        g = ApplicationGraph("t", 3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabel([0, 0, 1])
+
+    def test_equality_and_hash(self):
+        a = ApplicationGraph("x", 3, [(0, 1), (1, 2)])
+        b = ApplicationGraph("y", 3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_to_networkx(self):
+        g = ApplicationGraph("t", 3, [(0, 1), (1, 2)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 2

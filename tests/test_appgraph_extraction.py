@@ -1,0 +1,134 @@
+"""Tests for application-topology extraction (paper §3.1, Fig. 9)."""
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.appgraph.extraction import (
+    CommCall,
+    classify_extracted,
+    from_call_log,
+    from_traffic_matrix,
+)
+
+
+class TestFromCallLog:
+    def test_allreduce_builds_ring(self):
+        g = from_call_log(
+            [CommCall("allreduce", (0, 1, 2, 3, 4))], num_gpus=5
+        )
+        assert set(g.edges) == set(patterns.ring(5).edges)
+
+    def test_broadcast_builds_tree(self):
+        g = from_call_log([CommCall("broadcast", (0, 1, 2, 3, 4))], num_gpus=5)
+        assert set(g.edges) == set(patterns.tree(5).edges)
+
+    def test_mixed_calls_union(self):
+        """An allreduce + broadcast job shows the ring+tree union of
+        Fig. 8 (right)."""
+        g = from_call_log(
+            [
+                CommCall("allreduce", (0, 1, 2, 3, 4)),
+                CommCall("broadcast", (0, 1, 2, 3, 4)),
+            ],
+            num_gpus=5,
+        )
+        assert set(g.edges) == set(patterns.ring_tree(5).edges)
+
+    def test_subset_collective_maps_onto_ranks(self):
+        g = from_call_log([CommCall("allreduce", (1, 3))], num_gpus=4)
+        assert g.edges == ((1, 3),)
+
+    def test_p2p_calls(self):
+        g = from_call_log(
+            [CommCall("p2p", (), src=0, dst=2), CommCall("p2p", (), src=2, dst=3)],
+            num_gpus=4,
+        )
+        assert g.edges == ((0, 2), (2, 3))
+
+    def test_p2p_needs_endpoints(self):
+        with pytest.raises(ValueError, match="src and dst"):
+            from_call_log([CommCall("p2p", ())], num_gpus=2)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            from_call_log([CommCall("barrier", (0, 1))], num_gpus=2)
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from_call_log([CommCall("allreduce", (0, 0, 1))], num_gpus=3)
+
+    def test_single_rank_collective_no_edges(self):
+        g = from_call_log([CommCall("allreduce", (2,))], num_gpus=3)
+        assert g.num_edges == 0
+
+
+class TestFromTrafficMatrix:
+    def test_dict_input(self):
+        g = from_traffic_matrix({(0, 1): 1e9, (1, 2): 1e9}, num_gpus=3)
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_matrix_input_symmetrised(self):
+        matrix = [
+            [0, 5e8, 0],
+            [5e8, 0, 1e9],
+            [0, 0, 0],
+        ]
+        g = from_traffic_matrix(matrix, num_gpus=3)
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_noise_thresholding(self):
+        """Stray low-volume counters (page migrations) are dropped."""
+        g = from_traffic_matrix(
+            {(0, 1): 1e9, (0, 2): 1e3}, num_gpus=3, threshold_fraction=0.01
+        )
+        assert g.edges == ((0, 1),)
+
+    def test_empty_traffic(self):
+        g = from_traffic_matrix({}, num_gpus=3)
+        assert g.num_edges == 0
+
+    def test_self_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            from_traffic_matrix({(1, 1): 1e6}, num_gpus=3)
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            from_traffic_matrix([[0, 1]], num_gpus=3)
+
+    def test_roundtrip_ring_profile(self):
+        """Profiling a ring job's traffic recovers the ring."""
+        ring = patterns.ring(5)
+        traffic = {e: 1e9 for e in ring.edges}
+        g = from_traffic_matrix(traffic, num_gpus=5)
+        assert set(g.edges) == set(ring.edges)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,builder",
+        [
+            ("ring", patterns.ring),
+            ("chain", patterns.chain),
+            ("tree", patterns.tree),
+            ("star", patterns.star),
+            ("alltoall", patterns.all_to_all),
+        ],
+    )
+    def test_canonical_shapes_recognised(self, name, builder):
+        assert classify_extracted(builder(5)) == name
+
+    def test_relabelled_ring_recognised(self):
+        g = patterns.ring(5).relabel([2, 0, 3, 1, 4])
+        assert classify_extracted(g) == "ring"
+
+    def test_empty_is_single(self):
+        assert classify_extracted(patterns.single(3)) == "single"
+
+    def test_irregular(self):
+        g = patterns.from_edges("odd", 5, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert classify_extracted(g) == "irregular"
+
+    def test_small_degenerate_shapes(self):
+        # For k=3, chain == tree == star structurally; any valid label is ok.
+        label = classify_extracted(patterns.chain(3))
+        assert label in ("chain", "tree", "star")

@@ -1,0 +1,98 @@
+"""Unit tests for the NCCL-style pattern constructors (paper Fig. 8)."""
+
+import pytest
+
+from repro.appgraph import patterns
+
+
+class TestRing:
+    def test_ring5_edges(self):
+        g = patterns.ring(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_ring2_single_edge(self):
+        g = patterns.ring(2)
+        assert g.edges == ((0, 1),)
+
+    def test_ring1_empty(self):
+        assert patterns.ring(1).num_edges == 0
+
+    def test_ring_connected(self):
+        for k in range(2, 8):
+            assert patterns.ring(k).is_connected()
+
+    def test_ring_rejects_zero(self):
+        with pytest.raises(ValueError):
+            patterns.ring(0)
+
+
+class TestChain:
+    def test_chain_edges(self):
+        g = patterns.chain(4)
+        assert g.edges == ((0, 1), (1, 2), (2, 3))
+
+    def test_chain_endpoints_degree_one(self):
+        g = patterns.chain(5)
+        assert g.degree(0) == 1
+        assert g.degree(4) == 1
+
+
+class TestTree:
+    def test_tree5_is_binary(self):
+        g = patterns.tree(5)
+        # Node 0 children 1,2; node 1 children 3,4.
+        assert g.edges == ((0, 1), (0, 2), (1, 3), (1, 4))
+
+    def test_tree_edge_count(self):
+        for k in range(1, 10):
+            assert patterns.tree(k).num_edges == k - 1
+
+    def test_tree_connected(self):
+        for k in range(2, 10):
+            assert patterns.tree(k).is_connected()
+
+
+class TestStarAndAllToAll:
+    def test_star_degrees(self):
+        g = patterns.star(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_all_to_all_complete(self):
+        g = patterns.all_to_all(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices)
+
+
+class TestSingleAndUnion:
+    def test_single_no_edges(self):
+        g = patterns.single(3)
+        assert g.num_edges == 0
+        assert not g.is_connected()
+
+    def test_ring_tree_is_union(self):
+        rt = patterns.ring_tree(5)
+        ring_edges = set(patterns.ring(5).edges)
+        tree_edges = set(patterns.tree(5).edges)
+        assert set(rt.edges) == ring_edges | tree_edges
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["single", "ring", "chain", "tree", "star", "alltoall", "ring+tree"]
+    )
+    def test_by_name(self, name):
+        g = patterns.by_name(name, 4)
+        assert g.num_gpus == 4
+
+    def test_by_name_case_insensitive(self):
+        assert patterns.by_name("RING", 3) == patterns.ring(3)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError, match="unknown pattern"):
+            patterns.by_name("hypercube", 4)
+
+    def test_from_edges(self):
+        g = patterns.from_edges("custom", 3, [(0, 2)])
+        assert g.edges == ((0, 2),)

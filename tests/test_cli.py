@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for cmd in ("topos", "alloc", "trace", "fit", "cluster"):
+            args = build_parser().parse_args([cmd])
+            assert hasattr(args, "func")
+
+
+class TestCommands:
+    def test_topos(self, capsys):
+        assert main(["topos"]) == 0
+        out = capsys.readouterr().out
+        assert "dgx1-v100" in out
+        assert "torus-2d-16" in out
+
+    def test_alloc_preserve(self, capsys):
+        rc = main(["alloc", "--policy", "preserve", "--gpus", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "allocation" in out
+        assert "effective_bw" in out
+
+    def test_alloc_insensitive(self, capsys):
+        rc = main(["alloc", "--policy", "preserve", "--gpus", "2", "--insensitive"])
+        assert rc == 0
+        assert "preserved_bw" in capsys.readouterr().out
+
+    def test_alloc_baseline_on_summit(self, capsys):
+        rc = main(["alloc", "--topology", "summit", "--policy", "baseline"])
+        assert rc == 0
+        assert "(1, 2, 3)" in capsys.readouterr().out
+
+    def test_fit(self, capsys):
+        rc = main(["fit", "--topology", "dgx1-v100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "θ1" in out
+        assert "16.396" in out  # paper column present
+
+    def test_trace_small(self, capsys):
+        rc = main(["trace", "--jobs", "20", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "preserve" in out
+        assert "Tput" in out
+
+    def test_cluster(self, capsys):
+        rc = main(
+            ["cluster", "--servers", "dgx1-v100", "summit", "--jobs", "20"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out
+        assert "best-score" in out
+
+    def test_trace_replay_jobfile(self, tmp_path, capsys):
+        from repro.workloads.generator import generate_job_file
+
+        path = tmp_path / "jobs.csv"
+        generate_job_file(15, seed=2).save(str(path))
+        rc = main(["trace", "--jobfile", str(path)])
+        assert rc == 0
+        assert "15 jobs" in capsys.readouterr().out

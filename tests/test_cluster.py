@@ -1,0 +1,135 @@
+"""Unit and integration tests for the multi-server cluster extension."""
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.cluster import MultiServerScheduler, run_cluster
+from repro.policies.base import AllocationRequest
+from repro.topology.builders import dgx1_v100, summit_node
+from repro.workloads.generator import generate_job_file
+from repro.workloads.jobs import Job, JobFile
+
+
+def _req(k, job_id, sensitive=True):
+    return AllocationRequest(
+        pattern=patterns.ring(k), bandwidth_sensitive=sensitive, job_id=job_id
+    )
+
+
+class TestScheduler:
+    def test_requires_servers_and_job_ids(self):
+        with pytest.raises(ValueError):
+            MultiServerScheduler([])
+        sched = MultiServerScheduler([dgx1_v100()])
+        with pytest.raises(ValueError, match="job_id"):
+            sched.try_place(AllocationRequest(pattern=patterns.ring(2)))
+
+    def test_unknown_node_policy(self):
+        with pytest.raises(ValueError, match="unknown node policy"):
+            MultiServerScheduler([dgx1_v100()], node_policy="random")
+
+    def test_first_fit_prefers_first_server(self):
+        sched = MultiServerScheduler(
+            [dgx1_v100(), dgx1_v100()], node_policy="first-fit"
+        )
+        placement = sched.try_place(_req(2, "a"))
+        assert placement.server_index == 0
+
+    def test_pack_fills_busy_server_first(self):
+        sched = MultiServerScheduler(
+            [dgx1_v100(), dgx1_v100()], node_policy="pack"
+        )
+        sched.try_place(_req(4, "warm"))  # server 0 now has 4 free
+        placement = sched.try_place(_req(3, "b"))
+        assert placement.server_index == 0  # fewest free GPUs wins
+
+    def test_spread_balances(self):
+        sched = MultiServerScheduler(
+            [dgx1_v100(), dgx1_v100()], node_policy="spread"
+        )
+        sched.try_place(_req(4, "warm"))
+        placement = sched.try_place(_req(3, "b"))
+        assert placement.server_index == 1  # most free GPUs wins
+
+    def test_best_score_picks_better_topology(self):
+        """With a Summit node (dense double links) and a DGX, a 3-GPU
+        sensitive job should land on the Summit triple."""
+        sched = MultiServerScheduler(
+            [dgx1_v100(), summit_node()], node_policy="best-score"
+        )
+        placement = sched.try_place(_req(3, "a"))
+        assert placement.server_index == 1
+
+    def test_release_returns_to_owner(self):
+        sched = MultiServerScheduler([dgx1_v100(), dgx1_v100()])
+        sched.try_place(_req(3, "a"))
+        idx, gpus = sched.release("a")
+        assert idx == 0
+        assert len(gpus) == 3
+        assert sched.total_free == sched.total_gpus
+
+    def test_release_unknown(self):
+        sched = MultiServerScheduler([dgx1_v100()])
+        with pytest.raises(KeyError):
+            sched.release("ghost")
+
+    def test_spills_to_second_server(self):
+        sched = MultiServerScheduler([dgx1_v100(), dgx1_v100()])
+        sched.try_place(_req(5, "big"))
+        placement = sched.try_place(_req(5, "second"))
+        assert placement.server_index == 1
+
+    def test_none_when_cluster_full(self):
+        sched = MultiServerScheduler([summit_node()])
+        sched.try_place(_req(5, "a"))
+        assert sched.try_place(_req(3, "b")) is None
+
+    def test_oversize_everywhere(self):
+        sched = MultiServerScheduler([summit_node()])
+        assert not sched.can_ever_fit(_req(8, "x"))
+
+
+class TestClusterSimulation:
+    def test_all_jobs_complete(self):
+        servers = [dgx1_v100(), dgx1_v100()]
+        trace = generate_job_file(50, seed=5)
+        sim = run_cluster(servers, trace)
+        assert len(sim.log) == 50
+        assert sum(sim.jobs_per_server().values()) == 50
+
+    def test_oversize_job_detected(self):
+        servers = [summit_node()]
+        trace = JobFile([Job(1, "vgg-16", 8, "ring", True)])
+        with pytest.raises(ValueError):
+            run_cluster(servers, trace)
+
+    def test_more_servers_shorter_makespan(self):
+        trace = generate_job_file(60, seed=9)
+        one = run_cluster([dgx1_v100()], trace)
+        two = run_cluster([dgx1_v100(), dgx1_v100()], trace)
+        assert two.log.makespan < one.log.makespan
+
+    def test_no_cross_server_gpu_conflicts(self):
+        """Concurrent jobs on the same server hold disjoint GPUs."""
+        servers = [dgx1_v100(), dgx1_v100()]
+        sim = run_cluster(servers, generate_job_file(40, seed=2))
+        by_server = {}
+        for cr in sim.placements:
+            by_server.setdefault(cr.server_index, []).append(cr.record)
+        for records in by_server.values():
+            for i, a in enumerate(records):
+                for b in records[i + 1 :]:
+                    overlap_time = (
+                        b.start_time < a.finish_time
+                        and a.start_time < b.finish_time
+                    )
+                    if overlap_time:
+                        assert not (set(a.allocation) & set(b.allocation))
+
+    def test_node_policies_run(self):
+        trace = generate_job_file(30, seed=4)
+        for node_policy in ("first-fit", "pack", "spread", "best-score"):
+            sim = run_cluster(
+                [dgx1_v100(), summit_node()], trace, node_policy=node_policy
+            )
+            assert len(sim.log) == 30

@@ -1,0 +1,106 @@
+"""Tests for the ring/tree collective cost models."""
+
+import math
+
+import pytest
+
+from repro.comm.collectives import (
+    best_cost,
+    collective_on_allocation,
+    crossover_size,
+    ring_cost,
+    tree_cost,
+)
+
+
+class TestRingCost:
+    def test_single_rank_free(self):
+        assert ring_cost("allreduce", 1, 1e9, 46.0) == 0.0
+
+    def test_allreduce_volume_factor(self):
+        # Bandwidth term: 2(k-1)/k of the buffer through the bottleneck.
+        t = ring_cost("allreduce", 4, 4e9, 40.0, alpha=0.0)
+        assert t == pytest.approx(2 * 3 / 4 * 4e9 / 40e9)
+
+    def test_allgather_half_of_allreduce(self):
+        ar = ring_cost("allreduce", 4, 1e9, 40.0, alpha=0.0)
+        ag = ring_cost("allgather", 4, 1e9, 40.0, alpha=0.0)
+        assert ar == pytest.approx(2 * ag)
+
+    def test_latency_scales_with_k(self):
+        t3 = ring_cost("allreduce", 3, 0.0, 40.0, alpha=1e-5)
+        t8 = ring_cost("allreduce", 8, 0.0, 40.0, alpha=1e-5)
+        assert t8 > t3
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            ring_cost("barrier", 4, 1e6, 40.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ring_cost("allreduce", 0, 1e6, 40.0)
+        with pytest.raises(ValueError):
+            ring_cost("allreduce", 4, -1.0, 40.0)
+        with pytest.raises(ValueError):
+            ring_cost("allreduce", 4, 1e6, 0.0)
+
+
+class TestTreeCost:
+    def test_latency_scales_logarithmically(self):
+        t = tree_cost("broadcast", 8, 0.0, 40.0, alpha=1e-5)
+        assert t == pytest.approx(3e-5)  # ceil(log2 8) = 3 hops
+
+    def test_allreduce_double_volume(self):
+        t = tree_cost("allreduce", 8, 1e9, 40.0, alpha=0.0)
+        assert t == pytest.approx(2e9 / 40e9)
+
+    def test_no_tree_allgather(self):
+        with pytest.raises(ValueError):
+            tree_cost("allgather", 4, 1e6, 40.0)
+
+
+class TestAlgorithmSwitch:
+    def test_small_message_picks_tree(self):
+        _, algo = best_cost("allreduce", 8, 1e3, 40.0)
+        assert algo == "tree"
+
+    def test_large_message_picks_ring(self):
+        _, algo = best_cost("allreduce", 8, 1e9, 40.0)
+        assert algo == "ring"
+
+    def test_crossover_consistent(self):
+        k, bw = 8, 40.0
+        s = crossover_size(k, bw)
+        assert best_cost("allreduce", k, s * 0.5, bw)[1] == "tree"
+        assert best_cost("allreduce", k, s * 2.0, bw)[1] == "ring"
+
+    def test_crossover_infinite_for_pairs(self):
+        assert crossover_size(2, 40.0) == float("inf")
+
+    def test_allgather_is_ring_only(self):
+        _, algo = best_cost("allgather", 8, 1e3, 40.0)
+        assert algo == "ring"
+
+
+class TestOnAllocation:
+    def test_single_gpu(self, dgx):
+        est = collective_on_allocation(dgx, [1], "allreduce", 1e9)
+        assert est.seconds == 0.0
+
+    def test_good_allocation_faster(self, dgx):
+        good = collective_on_allocation(dgx, [1, 3, 4], "allreduce", 1e9)
+        bad = collective_on_allocation(dgx, [1, 2, 5], "allreduce", 1e9)
+        assert good.seconds < bad.seconds
+
+    def test_blink_helps_fragmented(self, dgx):
+        nccl = collective_on_allocation(dgx, [1, 2, 5], "allreduce", 1e9)
+        blink = collective_on_allocation(
+            dgx, [1, 2, 5], "allreduce", 1e9, use_blink=True
+        )
+        assert blink.seconds < nccl.seconds
+
+    def test_estimate_fields(self, dgx):
+        est = collective_on_allocation(dgx, [1, 5], "broadcast", 1e8)
+        assert est.op == "broadcast"
+        assert est.algorithm in ("ring", "tree")
+        assert est.bandwidth_gbps > 0

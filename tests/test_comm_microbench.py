@@ -1,0 +1,109 @@
+"""Unit tests for the simulated NCCL all-reduce microbenchmark."""
+
+import pytest
+
+from repro.comm.microbench import (
+    LAUNCH_LATENCY_SECONDS,
+    PROTOCOL_EFFICIENCY,
+    SATURATED_SIZE_BYTES,
+    allreduce_time_seconds,
+    bandwidth_sweep,
+    effective_bandwidth,
+    peak_effective_bandwidth,
+    size_efficiency,
+)
+from repro.topology.builders import dgx1_v100
+
+
+class TestSizeEfficiency:
+    def test_zero_size(self):
+        assert size_efficiency(0, 46.0) == 0.0
+
+    def test_monotone_in_size(self):
+        effs = [size_efficiency(s, 46.0) for s in (1e4, 1e5, 1e6, 1e7, 1e8, 1e9)]
+        assert effs == sorted(effs)
+        assert effs[-1] > 0.99 * effs[-1]  # finite
+
+    def test_saturates_to_one(self):
+        assert size_efficiency(1e12, 46.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_faster_links_need_bigger_messages(self):
+        """The half-saturation size scales with peak — Fig. 2a's shape."""
+        assert size_efficiency(1e6, 11.0) > size_efficiency(1e6, 46.0)
+
+    def test_small_messages_link_independent(self):
+        """At tiny sizes the achieved bandwidth bw = peak*eff converges
+        across links (latency bound)."""
+        s = 1e3
+        bw_fast = 46.0 * size_efficiency(s, 46.0)
+        bw_slow = 11.0 * size_efficiency(s, 11.0)
+        assert bw_fast == pytest.approx(bw_slow, rel=0.15)
+
+
+class TestPeakBandwidth:
+    def test_double_pair(self, dgx):
+        assert peak_effective_bandwidth(dgx, [1, 5]) == pytest.approx(
+            50.0 * PROTOCOL_EFFICIENCY
+        )
+
+    def test_single_pair(self, dgx):
+        assert peak_effective_bandwidth(dgx, [1, 2]) == pytest.approx(
+            25.0 * PROTOCOL_EFFICIENCY
+        )
+
+    def test_pcie_pair(self, dgx):
+        assert peak_effective_bandwidth(dgx, [1, 6]) == pytest.approx(
+            12.0 * PROTOCOL_EFFICIENCY
+        )
+
+    def test_single_gpu_zero(self, dgx):
+        assert peak_effective_bandwidth(dgx, [1]) == 0.0
+
+    def test_link_ordering_preserved(self, dgx):
+        """double > single > PCIe — the structure of Figs. 2a/2b."""
+        double = peak_effective_bandwidth(dgx, [1, 5])
+        single = peak_effective_bandwidth(dgx, [1, 2])
+        pcie = peak_effective_bandwidth(dgx, [1, 6])
+        assert double > single > pcie
+
+    def test_fragmentation_collapses_bandwidth(self, dgx):
+        good = peak_effective_bandwidth(dgx, [1, 3, 4])
+        bad = peak_effective_bandwidth(dgx, [1, 2, 5])
+        assert good > 2 * bad
+
+
+class TestEffectiveBandwidth:
+    def test_default_is_saturated(self, dgx):
+        eff = effective_bandwidth(dgx, [1, 5])
+        peak = peak_effective_bandwidth(dgx, [1, 5])
+        assert eff == pytest.approx(peak, rel=0.02)
+
+    def test_small_transfer_penalised(self, dgx):
+        small = effective_bandwidth(dgx, [1, 5], data_size_bytes=1e4)
+        large = effective_bandwidth(dgx, [1, 5], data_size_bytes=1e9)
+        assert small < 0.1 * large
+
+    def test_sweep_matches_pointwise(self, dgx):
+        sizes = [1e4, 1e6, 1e8]
+        sweep = bandwidth_sweep(dgx, [1, 5], sizes)
+        for (s, bw) in sweep:
+            assert bw == pytest.approx(effective_bandwidth(dgx, [1, 5], s))
+
+
+class TestAllreduceTime:
+    def test_single_gpu_free(self, dgx):
+        assert allreduce_time_seconds(dgx, [1], 1e9) == 0.0
+
+    def test_scales_with_size(self, dgx):
+        t1 = allreduce_time_seconds(dgx, [1, 5], 1e8)
+        t2 = allreduce_time_seconds(dgx, [1, 5], 2e8)
+        assert t2 > t1
+
+    def test_faster_on_better_links(self, dgx):
+        fast = allreduce_time_seconds(dgx, [1, 5], 1e9)
+        slow = allreduce_time_seconds(dgx, [1, 6], 1e9)
+        assert slow > 3 * fast
+
+    def test_latency_floor(self, dgx):
+        t = allreduce_time_seconds(dgx, [1, 5], 1.0)
+        assert t >= LAUNCH_LATENCY_SECONDS

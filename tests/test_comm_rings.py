@@ -1,0 +1,147 @@
+"""Unit tests for NCCL-like ring construction."""
+
+import pytest
+
+from repro.comm.rings import Ring, build_rings
+from repro.topology.builders import dgx1_v100, dgx2, summit_node, torus_2d_16
+from repro.topology.hardware import HardwareGraph
+from repro.topology.links import LinkType
+
+_D = LinkType.NVLINK2_DOUBLE
+_S = LinkType.NVLINK2_SINGLE
+
+
+class TestPairs:
+    def test_double_pair_two_rings(self):
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 5])
+        assert len(d.rings) == 2
+        assert d.total_bandwidth_gbps == 50.0
+
+    def test_single_pair_one_ring(self):
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 2])
+        assert len(d.rings) == 1
+        assert d.total_bandwidth_gbps == 25.0
+
+    def test_pcie_pair(self):
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 6])
+        assert len(d.rings) == 1
+        assert d.rings[0].uses_pcie
+        assert d.total_bandwidth_gbps == 12.0
+
+    def test_single_gpu_no_rings(self):
+        hw = dgx1_v100()
+        assert build_rings(hw, [3]).rings == ()
+
+
+class TestCycles:
+    def test_dgx_quad_two_rings(self):
+        """The DGX-V quad's 10 channels support two edge-disjoint
+        Hamiltonian cycles — a greedy peel must not strand the second."""
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 2, 3, 4])
+        assert len(d.rings) == 2
+        assert d.total_bandwidth_gbps == 50.0
+
+    def test_ideal_triple(self):
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 3, 4])
+        assert d.total_bandwidth_gbps == 25.0
+        assert not any(r.uses_pcie for r in d.rings)
+
+    def test_fragmented_triple_falls_to_pcie(self):
+        # {1, 2, 5}: GPU2-GPU5 has no NVLink, so no NVLink cycle exists.
+        hw = dgx1_v100()
+        d = build_rings(hw, [1, 2, 5])
+        assert len(d.rings) == 1
+        assert d.rings[0].uses_pcie
+        assert d.total_bandwidth_gbps == 12.0
+
+    def test_summit_triple_double_rings(self):
+        hw = summit_node()
+        d = build_rings(hw, [1, 2, 3])
+        assert len(d.rings) == 2
+        assert d.total_bandwidth_gbps == 50.0
+
+    def test_torus_triple_always_fragmented(self):
+        """A 2-D torus has no triangles, so 3-GPU allocations fall back to
+        the host PCIe ring regardless of which GPUs are picked."""
+        hw = torus_2d_16()
+        d = build_rings(hw, [1, 2, 3])
+        assert d.rings[0].uses_pcie
+
+    def test_torus_row_ring(self):
+        hw = torus_2d_16()
+        d = build_rings(hw, [1, 2, 3, 4])  # one full row: a double ring
+        assert not d.rings[0].uses_pcie
+        assert d.total_bandwidth_gbps == 50.0  # 2 channels around the row
+
+    def test_dgx2_rich_decomposition(self):
+        hw = dgx2()
+        d = build_rings(hw, list(range(1, 9)))
+        assert len(d.rings) >= 3
+        assert not any(r.uses_pcie for r in d.rings)
+
+
+class TestRingInvariants:
+    @pytest.mark.parametrize(
+        "gpus",
+        [(1, 2), (1, 3, 4), (1, 2, 3, 4), (1, 2, 3, 4, 5), (5, 6, 7, 8)],
+    )
+    def test_rings_are_cycles_over_allocation(self, gpus):
+        hw = dgx1_v100()
+        d = build_rings(hw, gpus)
+        for ring in d.rings:
+            assert sorted(ring.order) == sorted(set(gpus))
+
+    def test_channel_capacity_respected(self):
+        """No physical channel is used by more NVLink rings than it has."""
+        hw = dgx1_v100()
+        for gpus in [(1, 2, 3, 4), (1, 3, 4), (5, 6, 7, 8), (1, 3, 5, 7)]:
+            d = build_rings(hw, gpus)
+            usage = {}
+            for ring in d.rings:
+                if ring.uses_pcie:
+                    continue
+                n = len(ring.order)
+                for i in range(n):
+                    key = frozenset((ring.order[i], ring.order[(i + 1) % n]))
+                    usage[key] = usage.get(key, 0) + 1
+            for key, used in usage.items():
+                u, v = tuple(key)
+                from repro.topology.links import channels_of
+
+                assert used <= channels_of(hw.link(u, v))
+
+    def test_deterministic(self):
+        hw = dgx1_v100()
+        a = build_rings(hw, [1, 2, 3, 4, 5])
+        b = build_rings(hw, [1, 2, 3, 4, 5])
+        assert a == b
+
+    def test_unknown_gpu_raises(self):
+        hw = dgx1_v100()
+        with pytest.raises(KeyError):
+            build_rings(hw, [1, 42])
+
+
+class TestCustomTopologies:
+    def test_triangle_of_doubles(self):
+        hw = HardwareGraph("tri", [1, 2, 3], {(1, 2): _D, (2, 3): _D, (1, 3): _D})
+        d = build_rings(hw, [1, 2, 3])
+        assert len(d.rings) == 2
+        assert d.total_bandwidth_gbps == 50.0
+
+    def test_mixed_cycle_bottleneck_is_single(self):
+        hw = HardwareGraph("mix", [1, 2, 3], {(1, 2): _D, (2, 3): _S, (1, 3): _S})
+        d = build_rings(hw, [1, 2, 3])
+        assert len(d.rings) == 1
+        assert d.rings[0].bottleneck_gbps == 25.0
+
+    def test_nvlink1_cycle_bottleneck(self):
+        s1 = LinkType.NVLINK1_SINGLE
+        hw = HardwareGraph("v1", [1, 2, 3], {(1, 2): s1, (2, 3): s1, (1, 3): s1})
+        d = build_rings(hw, [1, 2, 3])
+        assert d.total_bandwidth_gbps == 20.0

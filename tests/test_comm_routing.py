@@ -1,0 +1,69 @@
+"""Unit tests for point-to-point routing utilities."""
+
+import pytest
+
+from repro.comm.routing import (
+    effective_pair_bandwidth,
+    pair_bandwidth,
+    widest_nvlink_path,
+)
+from repro.topology.builders import dgx1_v100, summit_node
+from repro.topology.hardware import HardwareGraph
+from repro.topology.links import LinkType
+
+
+class TestWidestPath:
+    def test_direct_link_is_widest(self, dgx):
+        path, width = widest_nvlink_path(dgx, 1, 5)
+        assert path == (1, 5)
+        assert width == 50.0
+
+    def test_multi_hop_beats_pcie(self, dgx):
+        # GPU1-GPU6 has no direct NVLink but 1-5-6 goes over NVLink.
+        result = widest_nvlink_path(dgx, 1, 6)
+        assert result is not None
+        path, width = result
+        assert len(path) >= 3
+        assert width >= 25.0
+
+    def test_same_gpu(self, dgx):
+        path, width = widest_nvlink_path(dgx, 3, 3)
+        assert path == (3,)
+        assert width == float("inf")
+
+    def test_disconnected_returns_none(self):
+        hw = HardwareGraph(
+            "split", [1, 2, 3, 4], {(1, 2): LinkType.NVLINK2_DOUBLE}
+        )
+        assert widest_nvlink_path(hw, 1, 3) is None
+
+    def test_cross_socket_summit_is_host_routed(self, summit):
+        assert widest_nvlink_path(summit, 1, 4) is None
+
+    def test_unknown_gpu(self, dgx):
+        with pytest.raises(KeyError):
+            widest_nvlink_path(dgx, 1, 42)
+
+    def test_path_endpoints(self, dgx):
+        for dst in (2, 3, 4, 5):
+            path, _ = widest_nvlink_path(dgx, 1, dst)
+            assert path[0] == 1
+            assert path[-1] == dst
+
+
+class TestPairBandwidth:
+    def test_direct(self, dgx):
+        assert pair_bandwidth(dgx, 1, 5) == 50.0
+        assert pair_bandwidth(dgx, 1, 6) == 12.0
+
+    def test_effective_rerouting_lifts_pcie_pairs(self, dgx):
+        # Re-routing through a neighbour (paper ref [51], WOTIR) beats PCIe.
+        assert effective_pair_bandwidth(dgx, 1, 6) >= 25.0
+
+    def test_effective_never_below_direct(self, dgx):
+        for u in dgx.gpus:
+            for v in dgx.gpus:
+                if u < v:
+                    assert effective_pair_bandwidth(dgx, u, v) >= pair_bandwidth(
+                        dgx, u, v
+                    )

@@ -1,0 +1,36 @@
+"""Tests for the embedded Top500 census (paper Fig. 3)."""
+
+from repro.data.top500 import (
+    TOP500_CENSUS,
+    census_by_year,
+    gpu_trend,
+    heterogeneity_trend,
+    is_monotonic_growth,
+)
+
+
+class TestCensus:
+    def test_covers_2017_to_2021(self):
+        years = [c.year for c in TOP500_CENSUS]
+        assert years == [2017, 2018, 2019, 2020, 2021]
+
+    def test_gpu_systems_grow(self):
+        counts = [c for _, c in gpu_trend()]
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+
+    def test_heterogeneity_becomes_dominant(self):
+        """Fig. 3b's claim: heterogeneous interconnects are now dominant
+        (> 50% of GPU systems by 2021)."""
+        pct = dict(heterogeneity_trend())
+        assert pct[2021] > 50.0
+        assert pct[2017] < 50.0
+
+    def test_gpus_dominate_accelerators(self):
+        for c in TOP500_CENSUS:
+            assert c.gpu_systems > c.other_accelerator_systems
+
+    def test_monotonic_growth_helper(self):
+        assert is_monotonic_growth()
+
+    def test_lookup_by_year(self):
+        assert census_by_year()[2019].year == 2019

@@ -1,0 +1,101 @@
+"""End-to-end integration tests asserting the paper's headline behaviours.
+
+These are the "does the reproduction reproduce?" tests: each one encodes
+a qualitative claim from the paper's evaluation and checks it emerges
+from the full pipeline (topology → matching → scoring → policy →
+simulator → metrics).
+"""
+
+import pytest
+
+from repro.scoring.regression import fit_for_hardware
+from repro.sim.cluster import run_all_policies
+from repro.sim.metrics import (
+    effective_bw_distribution,
+    five_number_summary,
+    speedup_summary,
+)
+from repro.topology.builders import cube_mesh_16, dgx1_v100
+from repro.workloads.generator import generate_job_file
+
+
+@pytest.fixture(scope="module")
+def dgx_results(dgx, dgx_model):
+    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    return run_all_policies(dgx, trace, dgx_model)
+
+
+class TestFig13Table3OnDgx:
+    def test_preserve_best_75th_percentile(self, dgx_results):
+        """Table 3: Preserve achieves the best 75th-percentile speedup."""
+        rows = {s.policy: s for s in speedup_summary(dgx_results)}
+        p75 = {name: s.speedup["75th %"] for name, s in rows.items()}
+        assert p75["preserve"] == max(p75.values())
+        assert p75["preserve"] > 1.05  # paper: +12.4%
+
+    def test_preserve_reins_in_worst_case(self, dgx_results):
+        """Table 3: Preserve reduces the MAX tail (paper: up to 35%)."""
+        rows = {s.policy: s for s in speedup_summary(dgx_results)}
+        assert rows["preserve"].speedup["MAX"] >= rows["baseline"].speedup["MAX"]
+        assert rows["preserve"].speedup["MAX"] > 1.05
+
+    def test_preserve_best_throughput(self, dgx_results):
+        """Table 3: Preserve has the highest throughput gain (paper: +12%)."""
+        rows = {s.policy: s for s in speedup_summary(dgx_results)}
+        tput = {name: s.throughput_gain for name, s in rows.items()}
+        assert tput["preserve"] == max(tput.values())
+        assert tput["preserve"] > 1.03
+
+    def test_mapa_policies_beat_baseline_quartiles(self, dgx_results):
+        rows = {s.policy: s for s in speedup_summary(dgx_results)}
+        for policy in ("greedy", "preserve"):
+            assert rows[policy].speedup["25th %"] >= 1.0
+            assert rows[policy].speedup["50th %"] >= 1.0
+            assert rows[policy].speedup["75th %"] >= 1.0
+
+    def test_mapa_effbw_beats_topology_blind_policies(self, dgx_results):
+        """Fig. 13c: Greedy/Preserve allocate far better effective
+        bandwidth to sensitive jobs than Baseline/Topo-aware."""
+        medians = {}
+        for name, log in dgx_results.items():
+            vals = effective_bw_distribution(log, sensitive=True)
+            medians[name] = five_number_summary(vals)["50th %"]
+        assert medians["greedy"] >= medians["baseline"]
+        assert medians["preserve"] >= medians["baseline"]
+        assert max(medians["greedy"], medians["preserve"]) > medians["baseline"]
+
+    def test_insensitive_workloads_unaffected(self, dgx_results):
+        """Fig. 13b: insensitive jobs' execution times barely move across
+        policies (their runtime hardly depends on links)."""
+        base = [
+            r.execution_time
+            for r in dgx_results["baseline"].insensitive()
+            if r.num_gpus > 1
+        ]
+        pres = [
+            r.execution_time
+            for r in dgx_results["preserve"].insensitive()
+            if r.num_gpus > 1
+        ]
+        assert sum(base) / sum(pres) == pytest.approx(1.0, rel=0.05)
+
+
+class TestSection53CubeMesh:
+    def test_policies_differentiate_more_on_irregular_topology(self, dgx_model):
+        """Section 5.3: pattern-aware policies' advantage grows on the
+        irregular cube-mesh."""
+        hw = cube_mesh_16()
+        model, _, _ = fit_for_hardware(hw)
+        trace = generate_job_file(300, seed=2021, max_gpus=5)
+        logs = run_all_policies(hw, trace, model)
+        stats = {
+            name: five_number_summary(
+                effective_bw_distribution(log, sensitive=True)
+            )
+            for name, log in logs.items()
+        }
+        # MAPA policies lift the lower quartile well above baseline's.
+        assert stats["preserve"]["25th %"] > 1.15 * stats["baseline"]["25th %"]
+        assert stats["greedy"]["25th %"] > 1.10 * stats["baseline"]["25th %"]
+        # And their medians beat the topology-blind policies.
+        assert stats["preserve"]["50th %"] > stats["baseline"]["50th %"]

@@ -1,0 +1,126 @@
+"""Unit tests for MAPA match enumeration over complete hardware graphs."""
+
+from math import comb, factorial
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.matching.candidates import (
+    Match,
+    enumerate_matches,
+    enumerate_subsets,
+    match_from_mapping,
+    num_distinct_matches,
+    orbit_permutations,
+)
+from repro.topology.builders import dgx1_v100
+
+
+class TestOrbitPermutations:
+    """Orbit count = k! / |Aut(pattern)| distinct edge images."""
+
+    def test_ring5_orbits(self):
+        # 5!/|D5| = 120/10 = 12 distinct 5-cycles on labelled vertices
+        assert len(orbit_permutations(patterns.ring(5))) == 12
+
+    def test_ring3_single_orbit(self):
+        # A triangle on 3 labelled vertices is unique.
+        assert len(orbit_permutations(patterns.ring(3))) == 1
+
+    def test_alltoall_single_orbit(self):
+        assert len(orbit_permutations(patterns.all_to_all(5))) == 1
+
+    def test_chain_orbits(self):
+        # 4!/2 (reversal symmetry) = 12 distinct labelled paths
+        assert len(orbit_permutations(patterns.chain(4))) == 12
+
+    def test_star_orbits(self):
+        # Centre choice fully determines the edge image: 4 orbits.
+        assert len(orbit_permutations(patterns.star(4))) == 4
+
+    def test_empty_pattern_one_orbit(self):
+        assert len(orbit_permutations(patterns.single(3))) == 1
+
+    def test_orbit_images_distinct(self):
+        pattern = patterns.tree(5)
+        images = set()
+        for perm in orbit_permutations(pattern):
+            image = frozenset(
+                frozenset((perm[u], perm[v])) for u, v in pattern.edges
+            )
+            assert image not in images
+            images.add(image)
+
+
+class TestEnumeration:
+    def test_match_count_formula(self):
+        hw = dgx1_v100()
+        pattern = patterns.ring(4)
+        matches = list(enumerate_matches(pattern, hw))
+        expected = comb(8, 4) * len(orbit_permutations(pattern))
+        assert len(matches) == expected
+        assert num_distinct_matches(pattern, 8) == expected
+
+    def test_matches_are_distinct(self):
+        hw = dgx1_v100()
+        seen = set()
+        for m in enumerate_matches(patterns.ring(4), hw):
+            key = (m.vertices, frozenset(m.edges))
+            assert key not in seen
+            seen.add(key)
+
+    def test_restricted_to_available(self):
+        hw = dgx1_v100()
+        matches = list(enumerate_matches(patterns.ring(3), hw, available=[1, 2, 3, 4]))
+        for m in matches:
+            assert set(m.vertices) <= {1, 2, 3, 4}
+        assert len(matches) == comb(4, 3)
+
+    def test_infeasible_yields_nothing(self):
+        hw = dgx1_v100()
+        assert list(enumerate_matches(patterns.ring(3), hw, available=[1, 2])) == []
+
+    def test_max_matches_cap(self):
+        hw = dgx1_v100()
+        matches = list(enumerate_matches(patterns.ring(5), hw, max_matches=10))
+        assert len(matches) == 10
+
+    def test_unknown_gpu_rejected(self):
+        hw = dgx1_v100()
+        with pytest.raises(KeyError):
+            list(enumerate_matches(patterns.ring(2), hw, available=[1, 99]))
+
+    def test_edges_match_mapping(self):
+        hw = dgx1_v100()
+        pattern = patterns.chain(3)
+        for m in enumerate_matches(pattern, hw, available=[1, 2, 3]):
+            expected = tuple(
+                sorted(
+                    tuple(sorted((m.mapping[u], m.mapping[v])))
+                    for u, v in pattern.edges
+                )
+            )
+            assert m.edges == expected
+
+    def test_subset_enumeration(self):
+        hw = dgx1_v100()
+        subsets = list(enumerate_subsets(patterns.ring(3), hw))
+        assert len(subsets) == comb(8, 3)
+        assert all(len(s) == 3 for s in subsets)
+
+
+class TestMatchFromMapping:
+    def test_builds_match(self):
+        m = match_from_mapping(patterns.ring(3), [5, 2, 7])
+        assert m.vertices == (2, 5, 7)
+        assert m.mapping == (5, 2, 7)
+        assert m.edges == ((2, 5), (2, 7), (5, 7))
+        assert m.num_gpus == 3
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            match_from_mapping(patterns.ring(3), [1, 2])
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            match_from_mapping(patterns.ring(3), [1, 2, 2])

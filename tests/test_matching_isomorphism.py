@@ -1,0 +1,119 @@
+"""Unit tests for the VF2-style subgraph matcher, cross-checked against
+networkx's reference implementation."""
+
+import networkx as nx
+import pytest
+
+from repro.appgraph import patterns
+from repro.matching.isomorphism import (
+    adjacency_from_edges,
+    automorphisms,
+    count_monomorphisms,
+    subgraph_monomorphisms,
+)
+
+
+def _adj(graph: nx.Graph):
+    return {v: set(graph.neighbors(v)) for v in graph.nodes}
+
+
+class TestBasicMatching:
+    def test_triangle_in_k4(self):
+        pattern = adjacency_from_edges(range(3), [(0, 1), (1, 2), (2, 0)])
+        data = _adj(nx.complete_graph(4))
+        # 4 vertex subsets x 3! orderings = 24 mappings
+        assert count_monomorphisms(pattern, data) == 24
+
+    def test_path_in_path(self):
+        pattern = adjacency_from_edges(range(2), [(0, 1)])
+        data = adjacency_from_edges(range(3), [(0, 1), (1, 2)])
+        assert count_monomorphisms(pattern, data) == 4  # 2 edges x 2 directions
+
+    def test_no_match_when_pattern_larger(self):
+        pattern = adjacency_from_edges(range(4), [(0, 1), (1, 2), (2, 3)])
+        data = adjacency_from_edges(range(3), [(0, 1), (1, 2)])
+        assert count_monomorphisms(pattern, data) == 0
+
+    def test_no_triangle_in_tree(self):
+        pattern = adjacency_from_edges(range(3), [(0, 1), (1, 2), (2, 0)])
+        data = _adj(nx.balanced_tree(2, 3))
+        assert count_monomorphisms(pattern, data) == 0
+
+    def test_mappings_preserve_adjacency(self):
+        pattern = adjacency_from_edges(range(4), [(0, 1), (1, 2), (2, 3), (3, 0)])
+        grid = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        data = _adj(grid)
+        count = 0
+        for mapping in subgraph_monomorphisms(pattern, data):
+            count += 1
+            for u in pattern:
+                for v in pattern[u]:
+                    assert mapping[v] in data[mapping[u]]
+        assert count > 0
+
+    def test_injective(self):
+        pattern = adjacency_from_edges(range(3), [(0, 1), (1, 2)])
+        data = _adj(nx.complete_graph(5))
+        for mapping in subgraph_monomorphisms(pattern, data):
+            assert len(set(mapping.values())) == 3
+
+    def test_max_results_cap(self):
+        pattern = adjacency_from_edges(range(2), [(0, 1)])
+        data = _adj(nx.complete_graph(6))
+        results = list(subgraph_monomorphisms(pattern, data, max_results=5))
+        assert len(results) == 5
+
+
+class TestAgainstNetworkx:
+    """Count agreement with networkx's GraphMatcher on random graphs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("pattern_name", ["ring", "chain", "tree", "star"])
+    def test_monomorphism_counts(self, seed, pattern_name):
+        pattern_app = patterns.by_name(pattern_name, 4)
+        pattern = adjacency_from_edges(pattern_app.vertices, pattern_app.edges)
+        data_g = nx.gnp_random_graph(8, 0.45, seed=seed)
+        data = _adj(data_g)
+        ours = count_monomorphisms(pattern, data)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            data_g, pattern_app.to_networkx()
+        )
+        theirs = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_induced_isomorphism_counts(self, seed):
+        pattern_app = patterns.ring(4)
+        pattern = adjacency_from_edges(pattern_app.vertices, pattern_app.edges)
+        data_g = nx.gnp_random_graph(8, 0.4, seed=seed)
+        data = _adj(data_g)
+        ours = sum(
+            1 for _ in subgraph_monomorphisms(pattern, data, induced=True)
+        )
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            data_g, pattern_app.to_networkx()
+        )
+        theirs = sum(1 for _ in matcher.subgraph_isomorphisms_iter())
+        assert ours == theirs
+
+
+class TestAutomorphisms:
+    def test_ring_automorphism_group_is_dihedral(self):
+        g = patterns.ring(5)
+        adj = adjacency_from_edges(g.vertices, g.edges)
+        assert len(automorphisms(adj)) == 10  # D5: 2n elements
+
+    def test_complete_graph_automorphisms(self):
+        g = patterns.all_to_all(4)
+        adj = adjacency_from_edges(g.vertices, g.edges)
+        assert len(automorphisms(adj)) == 24  # S4
+
+    def test_chain_automorphisms(self):
+        g = patterns.chain(4)
+        adj = adjacency_from_edges(g.vertices, g.edges)
+        assert len(automorphisms(adj)) == 2  # identity + reversal
+
+    def test_star_automorphisms(self):
+        g = patterns.star(4)
+        adj = adjacency_from_edges(g.vertices, g.edges)
+        assert len(automorphisms(adj)) == 6  # leaves permute freely: 3!

@@ -1,0 +1,138 @@
+"""Unit tests for label-aware matching (section 3.3 extension)."""
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.matching.isomorphism import adjacency_from_edges
+from repro.matching.labeled import (
+    count_labeled_monomorphisms,
+    labeled_monomorphisms,
+    resources_fit,
+)
+
+
+def _adj(pattern):
+    return adjacency_from_edges(pattern.vertices, pattern.edges)
+
+
+def _complete(n):
+    return {i: {j for j in range(n) if j != i} for i in range(n)}
+
+
+class TestResourcesFit:
+    def test_fits(self):
+        assert resources_fit({"slices": 2}, {"slices": 3, "memory_gb": 10})
+
+    def test_missing_resource_is_zero(self):
+        assert not resources_fit({"slices": 1}, {"memory_gb": 10})
+
+    def test_empty_requirement_always_fits(self):
+        assert resources_fit({}, {})
+
+
+class TestOneToOneLabeled:
+    def test_capacity_filters_vertices(self):
+        pattern = patterns.ring(2)
+        req = {0: {"slices": 4}, 1: {"slices": 4}}
+        cap = {0: {"slices": 7}, 1: {"slices": 2}, 2: {"slices": 7}}
+        mappings = list(
+            labeled_monomorphisms(_adj(pattern), _complete(3), req, cap)
+        )
+        used = {frozenset(m.values()) for m in mappings}
+        assert used == {frozenset({0, 2})}
+
+    def test_unlabelled_equivalent_when_capacity_ample(self):
+        pattern = patterns.ring(3)
+        req = {v: {"slices": 1} for v in range(3)}
+        cap = {v: {"slices": 7} for v in range(4)}
+        n = count_labeled_monomorphisms(_adj(pattern), _complete(4), req, cap)
+        assert n == 24  # 4 subsets x 3! mappings
+
+    def test_edge_predicate(self):
+        pattern = patterns.ring(2)
+        req = {0: {}, 1: {}}
+        cap = {v: {} for v in range(3)}
+        # Only allow the (0, 1) data edge.
+        def edge_ok(pu, pv, du, dv):
+            return {du, dv} == {0, 1}
+
+        mappings = list(
+            labeled_monomorphisms(
+                _adj(pattern), _complete(3), req, cap, edge_ok=edge_ok
+            )
+        )
+        assert all(set(m.values()) == {0, 1} for m in mappings)
+        assert len(mappings) == 2
+
+    def test_infeasible_when_capacity_exhausted(self):
+        pattern = patterns.ring(2)
+        req = {0: {"slices": 5}, 1: {"slices": 5}}
+        cap = {0: {"slices": 7}, 1: {"slices": 4}}
+        assert (
+            count_labeled_monomorphisms(_adj(pattern), _complete(2), req, cap)
+            == 0
+        )
+
+
+class TestManyToOne:
+    def test_colocation_allowed(self):
+        """Two 3-slice slots fit on one 7-slice GPU in MIG mode."""
+        pattern = patterns.ring(2)
+        req = {0: {"slices": 3}, 1: {"slices": 3}}
+        cap = {0: {"slices": 7}}
+        data = {0: set()}  # single GPU, no inter-GPU edges
+        mappings = list(
+            labeled_monomorphisms(
+                _adj(pattern), data, req, cap, many_to_one=True
+            )
+        )
+        assert {tuple(sorted(m.values())) for m in mappings} == {(0, 0)}
+
+    def test_colocation_respects_summed_capacity(self):
+        pattern = patterns.ring(2)
+        req = {0: {"slices": 4}, 1: {"slices": 4}}
+        cap = {0: {"slices": 7}}
+        data = {0: set()}
+        assert (
+            count_labeled_monomorphisms(
+                _adj(pattern), data, req, cap, many_to_one=True
+            )
+            == 0
+        )
+
+    def test_one_to_one_forbids_sharing(self):
+        pattern = patterns.ring(2)
+        req = {0: {"slices": 1}, 1: {"slices": 1}}
+        cap = {0: {"slices": 7}}
+        data = {0: set()}
+        assert (
+            count_labeled_monomorphisms(
+                _adj(pattern), data, req, cap, many_to_one=False
+            )
+            == 0
+        )
+
+    def test_mixed_colocated_and_remote(self):
+        """A 3-slot ring can fold onto 2 GPUs if capacities allow."""
+        pattern = patterns.ring(3)
+        req = {v: {"slices": 3} for v in range(3)}
+        cap = {0: {"slices": 7}, 1: {"slices": 7}}
+        mappings = list(
+            labeled_monomorphisms(
+                _adj(pattern), _complete(2), req, cap, many_to_one=True
+            )
+        )
+        assert mappings  # 2 slots on one GPU, 1 on the other
+        for m in mappings:
+            assert len(set(m.values())) == 2
+
+    def test_max_results(self):
+        pattern = patterns.ring(2)
+        req = {0: {}, 1: {}}
+        cap = {v: {} for v in range(4)}
+        mappings = list(
+            labeled_monomorphisms(
+                _adj(pattern), _complete(4), req, cap, max_results=3
+            )
+        )
+        assert len(mappings) == 3

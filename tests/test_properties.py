@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.state import AllocationError, AllocationState
+from repro.appgraph import patterns
+from repro.appgraph.application import ApplicationGraph
+from repro.comm.microbench import peak_effective_bandwidth
+from repro.comm.rings import build_rings
+from repro.matching.candidates import (
+    enumerate_matches,
+    match_from_mapping,
+    orbit_permutations,
+)
+from repro.matching.isomorphism import (
+    adjacency_from_edges,
+    count_monomorphisms,
+    subgraph_monomorphisms,
+)
+from repro.scoring.census import census_of_allocation
+from repro.scoring.effective import PAPER_MODEL, feature_vector
+from repro.topology.builders import dgx1_v100
+from repro.topology.hardware import HardwareGraph
+from repro.topology.links import LinkType
+
+_DGX = dgx1_v100()
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+nvlink_types = st.sampled_from(
+    [
+        LinkType.NVLINK1_SINGLE,
+        LinkType.NVLINK2_SINGLE,
+        LinkType.NVLINK2_DOUBLE,
+    ]
+)
+
+
+@st.composite
+def hardware_graphs(draw, max_gpus: int = 7):
+    """Random small hardware graphs with arbitrary NVLink wiring."""
+    n = draw(st.integers(min_value=2, max_value=max_gpus))
+    gpus = list(range(1, n + 1))
+    pairs = list(combinations(gpus, 2))
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+    )
+    edges = {}
+    for pair in chosen:
+        edges[pair] = draw(nvlink_types)
+    return HardwareGraph("random", gpus, edges)
+
+
+@st.composite
+def application_patterns(draw, max_gpus: int = 5):
+    name = draw(
+        st.sampled_from(["ring", "chain", "tree", "star", "alltoall", "single"])
+    )
+    k = draw(st.integers(min_value=1, max_value=max_gpus))
+    return patterns.by_name(name, k)
+
+
+# ---------------------------------------------------------------------- #
+# allocation state machine
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 9), st.integers(1, 5)),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_state_invariants_under_random_ops(ops):
+    """Random allocate/release sequences never corrupt the GPU pool."""
+    state = AllocationState(_DGX)
+    for is_alloc, job, k in ops:
+        if is_alloc:
+            free = sorted(state.free_gpus)[:k]
+            try:
+                state.allocate(job, free)
+            except (AllocationError, KeyError):
+                pass
+        else:
+            try:
+                state.release(job)
+            except AllocationError:
+                pass
+        state.check_invariants()
+
+
+# ---------------------------------------------------------------------- #
+# matching properties
+# ---------------------------------------------------------------------- #
+
+
+@given(pattern=application_patterns(max_gpus=4))
+@settings(max_examples=30, deadline=None)
+def test_orbit_count_divides_factorial(pattern):
+    """#orbits × |Aut(P)| = k! — Lagrange on the symmetric group."""
+    from math import factorial
+
+    adj = adjacency_from_edges(pattern.vertices, pattern.edges)
+    if pattern.num_edges == 0:
+        return  # empty patterns use a single collapsed orbit by design
+    aut = sum(1 for _ in subgraph_monomorphisms(adj, adj, induced=True))
+    orbits = len(orbit_permutations(pattern))
+    assert orbits * aut == factorial(pattern.num_gpus)
+
+
+@given(pattern=application_patterns(max_gpus=4), data=st.data())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_matches_preserve_pattern_adjacency(pattern, data):
+    hw = data.draw(hardware_graphs(max_gpus=6))
+    assume(pattern.num_gpus <= hw.num_gpus)
+    for m in enumerate_matches(pattern, hw):
+        for u, v in pattern.edges:
+            a, b = m.mapping[u], m.mapping[v]
+            edge = (a, b) if a < b else (b, a)
+            assert edge in m.edges
+
+
+@given(pattern=application_patterns(max_gpus=4))
+@settings(max_examples=30, deadline=None)
+def test_relabelled_pattern_same_match_count(pattern):
+    """Match enumeration is invariant under pattern relabelling."""
+    import random
+
+    rng = random.Random(0)
+    perm = list(range(pattern.num_gpus))
+    rng.shuffle(perm)
+    relabelled = pattern.relabel(perm)
+    a = sum(1 for _ in enumerate_matches(pattern, _DGX))
+    b = sum(1 for _ in enumerate_matches(relabelled, _DGX))
+    assert a == b
+
+
+# ---------------------------------------------------------------------- #
+# ring / bandwidth properties
+# ---------------------------------------------------------------------- #
+
+
+@given(hw=hardware_graphs(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_ring_decomposition_invariants(hw, data):
+    k = data.draw(st.integers(min_value=1, max_value=hw.num_gpus))
+    gpus = data.draw(
+        st.lists(st.sampled_from(hw.gpus), min_size=k, max_size=k, unique=True)
+    )
+    d = build_rings(hw, gpus)
+    if len(gpus) < 2:
+        assert d.rings == ()
+        return
+    assert d.total_bandwidth_gbps > 0
+    for ring in d.rings:
+        assert sorted(ring.order) == sorted(gpus)
+        assert ring.bottleneck_gbps > 0
+
+
+@given(hw=hardware_graphs(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_effective_bw_never_below_pcie_floor(hw, data):
+    k = data.draw(st.integers(min_value=2, max_value=hw.num_gpus))
+    gpus = data.draw(
+        st.lists(st.sampled_from(hw.gpus), min_size=k, max_size=k, unique=True)
+    )
+    bw = peak_effective_bandwidth(hw, gpus)
+    assert bw >= 12.0 * 0.92 - 1e-9  # host PCIe ring is always available
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_adding_gpus_never_raises_census_below(data):
+    """Induced census components grow monotonically with the GPU set."""
+    k = data.draw(st.integers(min_value=2, max_value=7))
+    gpus = data.draw(
+        st.lists(st.sampled_from(_DGX.gpus), min_size=k, max_size=k, unique=True)
+    )
+    extra = data.draw(st.sampled_from([g for g in _DGX.gpus if g not in gpus]))
+    small = census_of_allocation(_DGX, gpus)
+    large = census_of_allocation(_DGX, list(gpus) + [extra])
+    assert large.x >= small.x
+    assert large.y >= small.y
+    assert large.z >= small.z
+
+
+# ---------------------------------------------------------------------- #
+# model properties
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    x=st.integers(0, 10), y=st.integers(0, 10), z=st.integers(0, 10)
+)
+def test_feature_vector_finite_and_bounded(x, y, z):
+    f = feature_vector(x, y, z)
+    assert len(f) == 14
+    assert all(abs(v) <= 1000 for v in f)
+    # inverse features always in (0, 1]
+    for idx in (3, 4, 5, 9, 10, 11, 13):
+        assert 0 < f[idx] <= 1
+
+
+@given(x=st.integers(0, 6), y=st.integers(0, 6), z=st.integers(0, 6))
+def test_paper_model_nonnegative(x, y, z):
+    assert PAPER_MODEL.predict(x, y, z) >= 0.0
+
+
+# ---------------------------------------------------------------------- #
+# application graph properties
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    k=st.integers(2, 6),
+    edges=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_appgraph_degree_sum_is_twice_edges(k, edges):
+    pairs = list(combinations(range(k), 2))
+    chosen = edges.draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+    )
+    g = ApplicationGraph("rand", k, chosen)
+    assert sum(g.degree(v) for v in g.vertices) == 2 * g.num_edges
+
+
+@given(k=st.integers(1, 6))
+def test_builtin_patterns_edge_counts(k):
+    assert patterns.ring(k).num_edges == (k if k >= 3 else (1 if k == 2 else 0))
+    assert patterns.chain(k).num_edges == k - 1
+    assert patterns.tree(k).num_edges == k - 1
+    assert patterns.star(k).num_edges == k - 1
+    assert patterns.all_to_all(k).num_edges == k * (k - 1) // 2

@@ -1,0 +1,135 @@
+"""Property-based tests for the extension modules and policy contracts."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.appgraph import patterns
+from repro.comm.microbench import peak_effective_bandwidth
+from repro.comm.spanning_trees import blink_effective_bandwidth, pack_spanning_trees
+from repro.matching.isomorphism import adjacency_from_edges
+from repro.matching.labeled import labeled_monomorphisms
+from repro.policies.base import AllocationRequest
+from repro.policies.registry import make_policy
+from repro.topology.builders import dgx1_v100
+from repro.topology.hardware import HardwareGraph
+from repro.topology.links import LinkType
+
+_DGX = dgx1_v100()
+
+nvlink_types = st.sampled_from(
+    [LinkType.NVLINK1_SINGLE, LinkType.NVLINK2_SINGLE, LinkType.NVLINK2_DOUBLE]
+)
+
+
+@st.composite
+def hardware_graphs(draw, max_gpus: int = 7):
+    n = draw(st.integers(min_value=2, max_value=max_gpus))
+    gpus = list(range(1, n + 1))
+    pairs = list(combinations(gpus, 2))
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+    return HardwareGraph("random", gpus, {p: draw(nvlink_types) for p in chosen})
+
+
+# ---------------------------------------------------------------------- #
+# policy contract: any policy, any feasible request, returns valid GPUs
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    policy_name=st.sampled_from(["baseline", "topo-aware", "greedy", "preserve"]),
+    pattern_name=st.sampled_from(["ring", "chain", "tree", "star", "single"]),
+    k=st.integers(1, 5),
+    busy=st.sets(st.sampled_from(_DGX.gpus), max_size=5),
+    sensitive=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_policy_allocations_always_valid(policy_name, pattern_name, k, busy, sensitive):
+    policy = make_policy(policy_name)
+    available = frozenset(set(_DGX.gpus) - busy)
+    request = AllocationRequest(
+        pattern=patterns.by_name(pattern_name, k), bandwidth_sensitive=sensitive
+    )
+    alloc = policy.allocate(request, _DGX, available)
+    if len(available) < k:
+        assert alloc is None
+        return
+    assert alloc is not None
+    assert len(alloc.gpus) == k
+    assert set(alloc.gpus) <= available
+    assert len(set(alloc.gpus)) == k
+    if alloc.match is not None:
+        assert set(alloc.match.mapping) == set(alloc.gpus)
+
+
+# ---------------------------------------------------------------------- #
+# blink dominates the ring model
+# ---------------------------------------------------------------------- #
+
+
+@given(hw=hardware_graphs(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_blink_at_least_ring(hw, data):
+    k = data.draw(st.integers(min_value=2, max_value=hw.num_gpus))
+    gpus = data.draw(
+        st.lists(st.sampled_from(hw.gpus), min_size=k, max_size=k, unique=True)
+    )
+    ring = peak_effective_bandwidth(hw, gpus)
+    blink = blink_effective_bandwidth(hw, gpus)
+    assert blink >= ring - 1e-9
+
+
+@given(hw=hardware_graphs(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_tree_packing_channel_capacity(hw, data):
+    from repro.topology.links import channels_of
+
+    k = data.draw(st.integers(min_value=2, max_value=hw.num_gpus))
+    gpus = data.draw(
+        st.lists(st.sampled_from(hw.gpus), min_size=k, max_size=k, unique=True)
+    )
+    packing = pack_spanning_trees(hw, gpus)
+    if packing.uses_pcie:
+        return
+    usage = {}
+    for tree in packing.trees:
+        assert len(tree.edges) == k - 1
+        for u, v in tree.edges:
+            usage[frozenset((u, v))] = usage.get(frozenset((u, v)), 0) + 1
+    for key, used in usage.items():
+        u, v = tuple(key)
+        assert used <= channels_of(hw.link(u, v))
+
+
+# ---------------------------------------------------------------------- #
+# labelled matching respects capacities under random loads
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    k=st.integers(2, 4),
+    caps=st.lists(st.integers(1, 7), min_size=4, max_size=6),
+    req=st.integers(1, 7),
+    many=st.booleans(),
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_labeled_mappings_respect_capacity(k, caps, req, many):
+    pattern = patterns.ring(k)
+    adj = adjacency_from_edges(pattern.vertices, pattern.edges)
+    data_adj = {
+        i: {j for j in range(len(caps)) if j != i} for i in range(len(caps))
+    }
+    requirements = {v: {"slices": float(req)} for v in pattern.vertices}
+    capacity = {i: {"slices": float(c)} for i, c in enumerate(caps)}
+    for mapping in labeled_monomorphisms(
+        adj, data_adj, requirements, capacity, many_to_one=many, max_results=50
+    ):
+        load = {}
+        for pv, dv in mapping.items():
+            load[dv] = load.get(dv, 0.0) + req
+        for dv, used in load.items():
+            assert used <= caps[dv] + 1e-9
+        if not many:
+            assert len(set(mapping.values())) == k

@@ -1,0 +1,69 @@
+"""Unit tests for Aggregated Bandwidth (Eq. 1) and the Fig. 4 quantities."""
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.matching.candidates import match_from_mapping
+from repro.scoring.aggregate import (
+    aggregated_bandwidth,
+    aggregated_bandwidth_of_edges,
+    allocation_aggregate_bandwidth,
+    ideal_allocation_bandwidth,
+)
+
+
+class TestAggregatedBandwidth:
+    def test_paper_triangle_example(self, dgx):
+        m = match_from_mapping(patterns.ring(3), [1, 2, 5])
+        assert aggregated_bandwidth(dgx, m) == 87.0
+
+    def test_ideal_triangle(self, dgx):
+        m = match_from_mapping(patterns.ring(3), [1, 3, 4])
+        assert aggregated_bandwidth(dgx, m) == 125.0
+
+    def test_chain_counts_only_pattern_edges(self, dgx):
+        # Chain over (1, 2, 5): edges (1,2)=25 and (2,5)=12 only.
+        m = match_from_mapping(patterns.chain(3), [1, 2, 5])
+        assert aggregated_bandwidth(dgx, m) == 37.0
+
+    def test_mapping_order_matters_for_chain(self, dgx):
+        # Chain (2, 1, 5): edges (1,2)=25 and (1,5)=50.
+        m = match_from_mapping(patterns.chain(3), [2, 1, 5])
+        assert aggregated_bandwidth(dgx, m) == 75.0
+
+    def test_empty_pattern(self, dgx):
+        m = match_from_mapping(patterns.single(2), [1, 2])
+        assert aggregated_bandwidth(dgx, m) == 0.0
+
+    def test_edges_helper(self, dgx):
+        assert aggregated_bandwidth_of_edges(dgx, [(1, 5), (1, 6)]) == 62.0
+
+
+class TestIdealAllocation:
+    def test_dgx_3gpu_ideal_is_125(self, dgx):
+        assert ideal_allocation_bandwidth(dgx, 3) == 125.0
+
+    def test_2gpu_ideal_is_double_link(self, dgx):
+        assert ideal_allocation_bandwidth(dgx, 2) == 50.0
+
+    def test_single_gpu_zero(self, dgx):
+        assert ideal_allocation_bandwidth(dgx, 1) == 0.0
+
+    def test_full_machine(self, dgx):
+        assert ideal_allocation_bandwidth(dgx, 8) == dgx.aggregate_bandwidth()
+
+    def test_monotone_in_size(self, dgx):
+        vals = [ideal_allocation_bandwidth(dgx, k) for k in range(2, 9)]
+        assert vals == sorted(vals)
+
+    def test_rejects_oversize(self, dgx):
+        with pytest.raises(ValueError):
+            ideal_allocation_bandwidth(dgx, 9)
+
+    def test_allocation_never_beats_ideal(self, dgx):
+        from itertools import combinations
+
+        for k in (2, 3, 4):
+            ideal = ideal_allocation_bandwidth(dgx, k)
+            for subset in combinations(dgx.gpus, k):
+                assert allocation_aggregate_bandwidth(dgx, subset) <= ideal

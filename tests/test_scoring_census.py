@@ -1,0 +1,70 @@
+"""Unit tests for link census extraction."""
+
+import pytest
+
+from repro.matching.candidates import match_from_mapping
+from repro.appgraph import patterns
+from repro.scoring.census import (
+    LinkCensus,
+    census_of_allocation,
+    census_of_edges,
+    census_of_match,
+)
+
+
+class TestLinkCensus:
+    def test_totals(self):
+        c = LinkCensus(2, 1, 3)
+        assert c.total_links == 6
+        assert c.as_tuple() == (2, 1, 3)
+
+    def test_addition(self):
+        assert LinkCensus(1, 0, 1) + LinkCensus(0, 2, 1) == LinkCensus(1, 2, 2)
+
+    def test_ordering_and_hash(self):
+        assert LinkCensus(0, 0, 1) < LinkCensus(1, 0, 0)
+        assert hash(LinkCensus(1, 2, 3)) == hash(LinkCensus(1, 2, 3))
+
+
+class TestCensusOfEdges:
+    def test_paper_fragmented_allocation(self, dgx):
+        # {1,2,5} pairwise: 1-2 single, 1-5 double, 2-5 PCIe
+        c = census_of_edges(dgx, [(1, 2), (1, 5), (2, 5)])
+        assert c == LinkCensus(x=1, y=1, z=1)
+
+    def test_paper_ideal_allocation(self, dgx):
+        c = census_of_edges(dgx, [(1, 3), (1, 4), (3, 4)])
+        assert c == LinkCensus(x=2, y=1, z=0)
+
+    def test_empty(self, dgx):
+        assert census_of_edges(dgx, []) == LinkCensus(0, 0, 0)
+
+
+class TestCensusOfAllocation:
+    def test_matches_manual_pairs(self, dgx):
+        assert census_of_allocation(dgx, [1, 2, 5]) == LinkCensus(1, 1, 1)
+
+    def test_total_is_choose_two(self, dgx):
+        for gpus in [(1, 2), (1, 2, 3), (1, 2, 3, 4, 5)]:
+            c = census_of_allocation(dgx, gpus)
+            n = len(gpus)
+            assert c.total_links == n * (n - 1) // 2
+
+    def test_single_gpu_empty(self, dgx):
+        assert census_of_allocation(dgx, [4]) == LinkCensus(0, 0, 0)
+
+    def test_order_invariant(self, dgx):
+        assert census_of_allocation(dgx, [5, 1, 2]) == census_of_allocation(
+            dgx, [1, 2, 5]
+        )
+
+
+class TestCensusOfMatch:
+    def test_ring_match_counts_pattern_edges_only(self, dgx):
+        # Chain 1-2-5 uses edges (1,2) single and (2,5) PCIe only.
+        m = match_from_mapping(patterns.chain(3), [1, 2, 5])
+        assert census_of_match(dgx, m) == LinkCensus(0, 1, 1)
+
+    def test_alltoall_match_equals_induced(self, dgx):
+        m = match_from_mapping(patterns.all_to_all(4), [1, 2, 3, 4])
+        assert census_of_match(dgx, m) == census_of_allocation(dgx, [1, 2, 3, 4])

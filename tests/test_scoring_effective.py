@@ -1,0 +1,95 @@
+"""Unit tests for the Eq. 2 effective-bandwidth model and Table 2."""
+
+import numpy as np
+import pytest
+
+from repro.scoring.census import LinkCensus
+from repro.scoring.effective import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    PAPER_COEFFICIENTS,
+    PAPER_MODEL,
+    EffectiveBandwidthModel,
+    feature_matrix,
+    feature_vector,
+)
+
+
+class TestFeatures:
+    def test_fourteen_features(self):
+        assert NUM_FEATURES == 14
+        assert len(FEATURE_NAMES) == 14
+        assert feature_vector(1, 2, 3).shape == (14,)
+
+    def test_origin_features(self):
+        f = feature_vector(0, 0, 0)
+        # linear terms zero, every inverse term one
+        assert list(f[:3]) == [0, 0, 0]
+        assert list(f[3:6]) == [1, 1, 1]
+        assert list(f[9:12]) == [1, 1, 1]
+        assert f[13] == 1
+
+    def test_known_point(self):
+        f = feature_vector(1, 2, 3)
+        expected = [
+            1, 2, 3,
+            1 / 2, 1 / 3, 1 / 4,
+            2, 6, 3,
+            1 / 3, 1 / 7, 1 / 4,
+            6, 1 / 7,
+        ]
+        assert np.allclose(f, expected)
+
+    def test_feature_matrix_stacks(self):
+        m = feature_matrix([(0, 0, 0), (1, 2, 3)])
+        assert m.shape == (2, 14)
+        assert np.allclose(m[1], feature_vector(1, 2, 3))
+
+
+class TestPaperModel:
+    def test_table2_coefficients_verbatim(self):
+        assert PAPER_COEFFICIENTS[0] == 16.396  # θ1
+        assert PAPER_COEFFICIENTS[10] == 62.851  # θ11
+        assert PAPER_COEFFICIENTS[13] == -46.973  # θ14
+        assert len(PAPER_COEFFICIENTS) == 14
+
+    def test_prediction_is_dot_product(self):
+        raw = float(np.dot(feature_vector(2, 1, 0), PAPER_COEFFICIENTS))
+        assert PAPER_MODEL.predict(2, 1, 0) == pytest.approx(max(raw, 0.0))
+
+    def test_predictions_nonnegative(self):
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    assert PAPER_MODEL.predict(x, y, z) >= 0.0
+
+    def test_more_doubles_help(self):
+        """Within the training envelope, swapping PCIe links for double
+        NVLinks raises predicted bandwidth."""
+        assert PAPER_MODEL.predict(3, 0, 0) > PAPER_MODEL.predict(0, 0, 3)
+
+    def test_predict_census(self):
+        c = LinkCensus(1, 1, 1)
+        assert PAPER_MODEL.predict_census(c) == PAPER_MODEL.predict(1, 1, 1)
+
+    def test_predict_allocation_uses_induced_census(self, dgx):
+        pred = PAPER_MODEL.predict_allocation(dgx, [1, 2, 5])
+        assert pred == PAPER_MODEL.predict(1, 1, 1)
+
+    def test_batch_matches_scalar(self):
+        censuses = [(0, 1, 2), (2, 1, 0), (1, 1, 1)]
+        batch = PAPER_MODEL.predict_batch(censuses)
+        for got, c in zip(batch, censuses):
+            assert got == pytest.approx(PAPER_MODEL.predict(*c))
+
+
+class TestModelValidation:
+    def test_wrong_coefficient_count_rejected(self):
+        with pytest.raises(ValueError):
+            EffectiveBandwidthModel((1.0, 2.0))
+
+    def test_custom_model(self):
+        # A model that just returns x (θ1 = 1, rest 0).
+        theta = tuple([1.0] + [0.0] * 13)
+        m = EffectiveBandwidthModel(theta, source="test")
+        assert m.predict(5, 9, 9) == 5.0

@@ -1,0 +1,52 @@
+"""Unit tests for Preserved Bandwidth (Eq. 3)."""
+
+import pytest
+
+from repro.appgraph import patterns
+from repro.matching.candidates import match_from_mapping
+from repro.scoring.preserved import preserved_bandwidth, remaining_bandwidth
+
+
+class TestPreservedBandwidth:
+    def test_paper_figure10_shape(self, dgx):
+        """Allocating {1, 2, 4} preserves the aggregate of {3, 5, 6, 7, 8}."""
+        m = match_from_mapping(patterns.ring(3), [1, 2, 4])
+        preserved = preserved_bandwidth(dgx, m, available=dgx.gpus)
+        assert preserved == dgx.aggregate_bandwidth([3, 5, 6, 7, 8])
+
+    def test_respects_available_set(self, dgx):
+        m = match_from_mapping(patterns.ring(2), [1, 2])
+        preserved = preserved_bandwidth(dgx, m, available=[1, 2, 3, 4])
+        assert preserved == dgx.aggregate_bandwidth([3, 4])
+
+    def test_allocating_everything_preserves_nothing(self, dgx):
+        m = match_from_mapping(patterns.ring(3), [1, 2, 3])
+        assert preserved_bandwidth(dgx, m, available=[1, 2, 3]) == 0.0
+
+    def test_one_remaining_gpu_preserves_nothing(self, dgx):
+        m = match_from_mapping(patterns.ring(2), [1, 2])
+        assert preserved_bandwidth(dgx, m, available=[1, 2, 3]) == 0.0
+
+    def test_preserving_fast_region(self, dgx):
+        """Allocating the PCIe-heavy corner preserves more than carving the
+        fast quad."""
+        free = dgx.gpus
+        carve_fast = match_from_mapping(patterns.ring(3), [1, 3, 4])
+        carve_scattered = match_from_mapping(patterns.ring(3), [2, 6, 8])
+        assert preserved_bandwidth(
+            dgx, carve_scattered, free
+        ) != preserved_bandwidth(dgx, carve_fast, free)
+
+
+class TestRemainingBandwidth:
+    def test_empty_and_singleton(self, dgx):
+        assert remaining_bandwidth(dgx, set()) == 0.0
+        assert remaining_bandwidth(dgx, {5}) == 0.0
+
+    def test_pair(self, dgx):
+        assert remaining_bandwidth(dgx, {1, 5}) == 50.0
+
+    def test_monotone_under_superset(self, dgx):
+        assert remaining_bandwidth(dgx, {1, 2, 3}) <= remaining_bandwidth(
+            dgx, {1, 2, 3, 4}
+        )

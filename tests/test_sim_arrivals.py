@@ -1,0 +1,79 @@
+"""Simulator behaviour under staggered arrivals and adversarial traces."""
+
+import pytest
+
+from repro.policies.registry import make_policy
+from repro.sim.cluster import run_policy
+from repro.workloads.generator import generate_job_file
+from repro.workloads.jobs import Job, JobFile
+
+
+class TestPoissonArrivals:
+    def test_jobs_never_start_before_submission(self, dgx, dgx_model):
+        trace = generate_job_file(50, seed=17, arrival_rate=0.01)
+        log = run_policy(dgx, make_policy("preserve", dgx_model), trace, dgx_model)
+        for r in log.records:
+            assert r.start_time >= r.submit_time - 1e-9
+
+    def test_light_load_means_no_waiting(self, dgx, dgx_model):
+        """With arrivals far apart, every job starts immediately."""
+        trace = generate_job_file(20, seed=18, arrival_rate=1e-6)
+        log = run_policy(dgx, make_policy("baseline"), trace, dgx_model)
+        assert all(r.wait_time < 1e-6 for r in log.records)
+
+    def test_heavy_load_queues(self, dgx, dgx_model):
+        trace = generate_job_file(50, seed=19, arrival_rate=10.0)
+        log = run_policy(dgx, make_policy("baseline"), trace, dgx_model)
+        assert any(r.wait_time > 0 for r in log.records)
+
+    def test_idle_server_gets_best_allocations(self, dgx, dgx_model):
+        """Under light load every sensitive multi-GPU job gets the best
+        possible allocation for its size (no fragmentation pressure)."""
+        from itertools import combinations
+
+        from repro.comm.microbench import peak_effective_bandwidth
+
+        trace = generate_job_file(15, seed=23, arrival_rate=1e-6)
+        log = run_policy(dgx, make_policy("oracle"), trace, dgx_model)
+        best = {
+            k: max(
+                peak_effective_bandwidth(dgx, s)
+                for s in combinations(dgx.gpus, k)
+            )
+            for k in range(2, 6)
+        }
+        for r in log.multi_gpu():
+            assert r.measured_effective_bw == pytest.approx(best[r.num_gpus])
+
+
+class TestAdversarialTraces:
+    def test_all_full_machine_jobs_serialise(self, dgx, dgx_model):
+        trace = JobFile(
+            [Job(i, "vgg-16", 8, "ring", True) for i in range(1, 6)]
+        )
+        log = run_policy(dgx, make_policy("greedy"), trace, dgx_model)
+        records = sorted(log.records, key=lambda r: r.start_time)
+        for a, b in zip(records, records[1:]):
+            assert b.start_time >= a.finish_time - 1e-9
+
+    def test_alternating_sizes(self, dgx, dgx_model):
+        trace = JobFile(
+            [
+                Job(i, "vgg-16" if i % 2 else "gmm", 5 if i % 2 else 1,
+                    "ring" if i % 2 else "single", bool(i % 2))
+                for i in range(1, 21)
+            ]
+        )
+        log = run_policy(dgx, make_policy("preserve", dgx_model), trace, dgx_model)
+        assert len(log) == 20
+
+    def test_single_job_trace(self, dgx, dgx_model):
+        trace = JobFile([Job(1, "jacobi", 3, "chain", False)])
+        log = run_policy(dgx, make_policy("preserve", dgx_model), trace, dgx_model)
+        assert len(log) == 1
+        assert log.records[0].wait_time == 0.0
+
+    def test_empty_trace(self, dgx, dgx_model):
+        log = run_policy(dgx, make_policy("baseline"), JobFile([]), dgx_model)
+        assert len(log) == 0
+        assert log.makespan == 0.0

@@ -1,0 +1,61 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestEventEngine:
+    def test_events_in_time_order(self):
+        e = EventEngine()
+        e.schedule(3.0, "c")
+        e.schedule(1.0, "a")
+        e.schedule(2.0, "b")
+        kinds = []
+        while (ev := e.pop()) is not None:
+            kinds.append(ev[1])
+        assert kinds == ["a", "b", "c"]
+
+    def test_fifo_tiebreak_at_same_time(self):
+        e = EventEngine()
+        for i in range(5):
+            e.schedule(1.0, "k", payload=i)
+        payloads = []
+        while (ev := e.pop()) is not None:
+            payloads.append(ev[2])
+        assert payloads == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        e = EventEngine()
+        e.schedule(5.0, "x")
+        assert e.now == 0.0
+        e.pop()
+        assert e.now == 5.0
+
+    def test_schedule_after(self):
+        e = EventEngine()
+        e.schedule(2.0, "first")
+        e.pop()
+        e.schedule_after(3.0, "second")
+        t, kind, _ = e.pop()
+        assert t == 5.0
+        assert kind == "second"
+
+    def test_past_scheduling_rejected(self):
+        e = EventEngine()
+        e.schedule(5.0, "x")
+        e.pop()
+        with pytest.raises(ValueError):
+            e.schedule(1.0, "y")
+        with pytest.raises(ValueError):
+            e.schedule_after(-1.0, "y")
+
+    def test_empty_pop(self):
+        assert EventEngine().pop() is None
+
+    def test_pending_and_peek(self):
+        e = EventEngine()
+        assert e.peek_time() is None
+        e.schedule(7.0, "x")
+        assert e.pending == 1
+        assert e.peek_time() == 7.0

@@ -1,0 +1,137 @@
+"""Unit tests for summary metrics (paper Table 3)."""
+
+import pytest
+
+from repro.sim.metrics import (
+    TABLE3_QUANTILES,
+    boxplot_stats,
+    effective_bw_distribution,
+    five_number_summary,
+    per_job_speedups,
+    quantiles,
+    speedup_summary,
+)
+from repro.sim.records import JobRecord, SimulationLog
+
+
+def _record(job_id, exec_time, workload="vgg-16", sensitive=True, gpus=(1, 2),
+            effbw=30.0):
+    return JobRecord(
+        job_id=job_id,
+        workload=workload,
+        num_gpus=len(gpus),
+        pattern="ring",
+        bandwidth_sensitive=sensitive,
+        submit_time=0.0,
+        start_time=0.0,
+        finish_time=exec_time,
+        allocation=tuple(gpus),
+        agg_bw=50.0,
+        predicted_effective_bw=effbw,
+        measured_effective_bw=effbw,
+    )
+
+
+def _log(policy, times, sensitive=True):
+    log = SimulationLog(policy, "dgx1-v100")
+    for i, t in enumerate(times):
+        log.append(_record(i + 1, t, sensitive=sensitive))
+    return log
+
+
+class TestQuantiles:
+    def test_five_numbers(self):
+        summary = five_number_summary([1, 2, 3, 4, 5])
+        assert summary["MIN"] == 1
+        assert summary["50th %"] == 3
+        assert summary["MAX"] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles([], [0.5])
+
+    def test_boxplot_stats_keys(self):
+        st = boxplot_stats([1, 2, 3])
+        assert set(st) == {"min", "q1", "median", "q3", "max"}
+
+
+class TestSpeedupSummary:
+    def test_baseline_row_is_ones(self):
+        logs = {
+            "baseline": _log("baseline", [10, 20, 30, 40]),
+            "other": _log("other", [10, 10, 15, 20]),
+        }
+        rows = speedup_summary(logs)
+        base = next(r for r in rows if r.policy == "baseline")
+        assert all(v == pytest.approx(1.0) for v in base.speedup.values())
+        assert base.throughput_gain == pytest.approx(1.0)
+
+    def test_faster_policy_speedup_above_one(self):
+        logs = {
+            "baseline": _log("baseline", [10, 20, 30, 40]),
+            "fast": _log("fast", [5, 10, 15, 20]),
+        }
+        rows = speedup_summary(logs)
+        fast = next(r for r in rows if r.policy == "fast")
+        assert all(v == pytest.approx(2.0) for v in fast.speedup.values())
+        assert fast.throughput_gain == pytest.approx(2.0)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedup_summary({"greedy": _log("greedy", [1.0])})
+
+    def test_sensitive_only_filter(self):
+        log_b = _log("baseline", [10, 10], sensitive=True)
+        log_b.append(_record(99, 1000.0, sensitive=False))
+        log_f = _log("fast", [5, 5], sensitive=True)
+        log_f.append(_record(99, 1000.0, sensitive=False))
+        rows = speedup_summary({"baseline": log_b, "fast": log_f})
+        fast = next(r for r in rows if r.policy == "fast")
+        # Insensitive 1000s job excluded from the quantiles.
+        assert fast.speedup["MAX"] == pytest.approx(2.0)
+
+    def test_row_order_matches_quantiles(self):
+        logs = {"baseline": _log("baseline", [10, 20])}
+        row = speedup_summary(logs)[0].row()
+        assert len(row) == len(TABLE3_QUANTILES) + 1
+
+
+class TestPerJobSpeedups:
+    def test_matched_by_id(self):
+        logs = {
+            "baseline": _log("baseline", [10, 20]),
+            "fast": _log("fast", [5, 5]),
+        }
+        speedups = per_job_speedups(logs, "fast")
+        assert speedups == [2.0, 4.0]
+
+    def test_id_mismatch_detected(self):
+        logs = {
+            "baseline": _log("baseline", [10]),
+            "fast": _log("fast", [5, 5]),
+        }
+        with pytest.raises(KeyError):
+            per_job_speedups(logs, "fast")
+
+
+class TestEffBwDistribution:
+    def test_filters(self):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 10, workload="vgg-16", sensitive=True, effbw=40))
+        log.append(_record(2, 10, workload="gmm", sensitive=False, effbw=20))
+        log.append(_record(3, 10, workload="vgg-16", sensitive=True, gpus=(3,), effbw=0))
+        assert effective_bw_distribution(log) == [40, 20]
+        assert effective_bw_distribution(log, sensitive=True) == [40]
+        assert effective_bw_distribution(log, workload="gmm") == [20]
+
+    def test_predicted_vs_measured_column(self):
+        log = SimulationLog("p", "t")
+        rec = JobRecord(
+            job_id=1, workload="w", num_gpus=2, pattern="ring",
+            bandwidth_sensitive=True, submit_time=0, start_time=0,
+            finish_time=1, allocation=(1, 2), agg_bw=1.0,
+            predicted_effective_bw=11.0, measured_effective_bw=22.0,
+        )
+        log.append(rec)
+        assert effective_bw_distribution(log, predicted=True) == [11.0]
+        assert effective_bw_distribution(log, predicted=False) == [22.0]

@@ -1,0 +1,105 @@
+"""Tests for GPU/NVLink utilisation accounting."""
+
+import pytest
+
+from repro.policies.registry import make_policy
+from repro.sim.cluster import run_all_policies, run_policy
+from repro.sim.records import JobRecord, SimulationLog
+from repro.sim.utilization import (
+    busy_gpus_timeline,
+    gpu_utilization,
+    nvlink_utilization,
+    summarize_utilization,
+)
+from repro.workloads.generator import generate_job_file
+
+
+def _record(job_id, start, finish, gpus):
+    return JobRecord(
+        job_id=job_id,
+        workload="vgg-16",
+        num_gpus=len(gpus),
+        pattern="ring",
+        bandwidth_sensitive=True,
+        submit_time=0.0,
+        start_time=start,
+        finish_time=finish,
+        allocation=tuple(gpus),
+        agg_bw=0.0,
+        predicted_effective_bw=0.0,
+        measured_effective_bw=0.0,
+    )
+
+
+class TestGpuUtilization:
+    def test_full_machine_full_time(self, dgx):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 0.0, 10.0, dgx.gpus))
+        assert gpu_utilization(log, dgx.num_gpus) == pytest.approx(1.0)
+
+    def test_half_machine(self, dgx):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 0.0, 10.0, (1, 2, 3, 4)))
+        assert gpu_utilization(log, 8) == pytest.approx(0.5)
+
+    def test_empty_log(self, dgx):
+        assert gpu_utilization(SimulationLog("p", "t"), 8) == 0.0
+
+    def test_bounded_by_one_on_real_traces(self, dgx, dgx_model):
+        trace = generate_job_file(60, seed=20)
+        for log in run_all_policies(dgx, trace, dgx_model).values():
+            u = gpu_utilization(log, dgx.num_gpus)
+            assert 0.0 < u <= 1.0
+
+
+class TestNvlinkUtilization:
+    def test_single_gpu_jobs_hold_nothing(self, dgx):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 0.0, 10.0, (1,)))
+        assert nvlink_utilization(log, dgx) == 0.0
+
+    def test_full_machine_holds_all(self, dgx):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 0.0, 10.0, dgx.gpus))
+        assert nvlink_utilization(log, dgx) == pytest.approx(1.0)
+
+    def test_fragmented_allocation_holds_little(self, dgx):
+        log = SimulationLog("p", "t")
+        log.append(_record(1, 0.0, 10.0, (1, 2, 5)))  # 75 of 595 GB/s
+        frag = nvlink_utilization(log, dgx)
+        log2 = SimulationLog("p", "t")
+        log2.append(_record(1, 0.0, 10.0, (1, 3, 4)))  # 125 of 595
+        good = nvlink_utilization(log2, dgx)
+        assert good > frag
+
+
+class TestSummaryAndTimeline:
+    def test_summary_fields(self, dgx, dgx_model):
+        trace = generate_job_file(40, seed=21)
+        log = run_policy(dgx, make_policy("preserve", dgx_model), trace, dgx_model)
+        s = summarize_utilization(log, dgx)
+        assert 0 < s.gpu_utilization <= 1
+        assert 0 <= s.nvlink_utilization <= 1
+        assert s.makespan == log.makespan
+        assert s.gpu_seconds > 0
+
+    def test_timeline_samples(self, dgx, dgx_model):
+        trace = generate_job_file(30, seed=22)
+        log = run_policy(dgx, make_policy("baseline"), trace, dgx_model)
+        timeline = busy_gpus_timeline(log, resolution=50)
+        assert len(timeline) == 51
+        assert all(0 <= busy <= dgx.num_gpus for _, busy in timeline)
+        assert max(busy for _, busy in timeline) > 0
+
+    def test_timeline_empty_log(self):
+        assert busy_gpus_timeline(SimulationLog("p", "t")) == []
+
+    def test_preserve_utilization_at_least_baseline(self, dgx, dgx_model):
+        """The paper's throughput story: better allocations finish sooner,
+        so the same work packs into less wall-clock — utilisation is at
+        least as high."""
+        trace = generate_job_file(300, seed=2021, max_gpus=5)
+        logs = run_all_policies(dgx, trace, dgx_model)
+        base = summarize_utilization(logs["baseline"], dgx)
+        pres = summarize_utilization(logs["preserve"], dgx)
+        assert pres.makespan <= base.makespan

@@ -1,0 +1,153 @@
+"""Unit tests for the server topology builders.
+
+The DGX-1 V100 assertions encode the arithmetic facts stated in the
+paper (sections 2.1–2.2) that the builder was reverse-engineered from.
+"""
+
+import pytest
+
+from repro.topology import (
+    TOPOLOGY_BUILDERS,
+    LinkType,
+    by_name,
+    validate_port_budget,
+)
+from repro.topology.builders import (
+    cube_mesh_16,
+    dgx1_p100,
+    dgx1_v100,
+    dgx1_v100_cube_mesh,
+    dgx2,
+    summit_node,
+    torus_2d_16,
+)
+
+
+class TestDgx1V100PaperFacts:
+    """Every numeric fact the paper states about the DGX-V topology."""
+
+    def setup_method(self):
+        self.hw = dgx1_v100()
+
+    def test_eight_gpus(self):
+        assert self.hw.num_gpus == 8
+
+    def test_gpu1_gpu5_double_nvlink(self):
+        # Fig. 2b: "to utilize double NVLink ... GPUs 1 and 5"
+        assert self.hw.link(1, 5) is LinkType.NVLINK2_DOUBLE
+
+    def test_gpu1_gpu2_single_nvlink(self):
+        # Fig. 2b: "single NVLink ... GPUs 1 and 2"
+        assert self.hw.link(1, 2) is LinkType.NVLINK2_SINGLE
+
+    def test_gpu1_gpu6_pcie(self):
+        # Fig. 2b: "PCIe ... GPUs 1 and 6"
+        assert self.hw.link(1, 6) is LinkType.PCIE
+
+    def test_fragmented_allocation_125_has_87_gbps(self):
+        # Section 2.2: allocation {1, 2, 5} aggregates 87 GB/s
+        assert self.hw.aggregate_bandwidth([1, 2, 5]) == 87.0
+
+    def test_ideal_3gpu_allocation_134_has_125_gbps(self):
+        # Section 2.2: the ideal 3-GPU allocation {1, 3, 4} is 125 GB/s
+        assert self.hw.aggregate_bandwidth([1, 3, 4]) == 125.0
+
+    def test_134_is_the_ideal_3gpu_allocation(self):
+        from itertools import combinations
+
+        best = max(
+            combinations(self.hw.gpus, 3), key=self.hw.aggregate_bandwidth
+        )
+        assert self.hw.aggregate_bandwidth(best) == 125.0
+
+    def test_port_budget_respected(self):
+        validate_port_budget(self.hw, 6)
+
+    def test_two_sockets_of_four(self):
+        assert self.hw.sockets == ((1, 2, 3, 4), (5, 6, 7, 8))
+
+
+class TestOtherBuilders:
+    def test_dgx1_p100_all_nvlink1(self):
+        hw = dgx1_p100()
+        assert hw.num_gpus == 8
+        for link in hw.nvlink_links():
+            assert link.link_type is LinkType.NVLINK1_SINGLE
+        validate_port_budget(hw, 4)  # P100 has 4 bricks
+
+    def test_dgx1_p100_quads_fully_connected(self):
+        hw = dgx1_p100()
+        for base in (1, 5):
+            quad = range(base, base + 4)
+            for u in quad:
+                for v in quad:
+                    if u < v:
+                        assert hw.has_nvlink(u, v)
+
+    def test_dgx1_v100_cube_mesh_port_budget(self):
+        validate_port_budget(dgx1_v100_cube_mesh(), 6)
+
+    def test_summit_six_gpus_two_triples(self):
+        hw = summit_node()
+        assert hw.num_gpus == 6
+        for triple in ((1, 2, 3), (4, 5, 6)):
+            for u in triple:
+                for v in triple:
+                    if u < v:
+                        assert hw.link(u, v) is LinkType.NVLINK2_DOUBLE
+        assert hw.link(1, 4) is LinkType.PCIE
+
+    def test_torus_uniform_link_mix(self):
+        hw = torus_2d_16()
+        assert hw.num_gpus == 16
+        # Every GPU sees exactly 2 double (row) + 2 single (column) links.
+        for g in hw.gpus:
+            doubles = singles = 0
+            for link in hw.nvlink_links():
+                if g in link.endpoints:
+                    if link.link_type is LinkType.NVLINK2_DOUBLE:
+                        doubles += 1
+                    else:
+                        singles += 1
+            assert (doubles, singles) == (2, 2)
+        validate_port_budget(hw, 6)
+
+    def test_cube_mesh_irregular_but_within_budget(self):
+        hw = cube_mesh_16()
+        assert hw.num_gpus == 16
+        validate_port_budget(hw, 6)
+        # Every V100 spends its full brick budget.
+        assert all(hw.nvlink_ports(g) == 6 for g in hw.gpus)
+
+    def test_cube_mesh_quads_fully_connected(self):
+        hw = cube_mesh_16()
+        for base in (1, 5, 9, 13):
+            quad = range(base, base + 4)
+            for u in quad:
+                for v in quad:
+                    if u < v:
+                        assert hw.has_nvlink(u, v)
+
+    def test_dgx2_all_to_all(self):
+        hw = dgx2()
+        assert hw.num_gpus == 16
+        for u in hw.gpus:
+            for v in hw.gpus:
+                if u < v:
+                    assert hw.link(u, v) is LinkType.NVLINK2_DOUBLE
+
+
+class TestRegistry:
+    def test_all_builders_instantiate(self):
+        for name in TOPOLOGY_BUILDERS:
+            hw = by_name(name)
+            assert hw.num_gpus >= 6
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            by_name("dgx-9000")
+
+    def test_port_budget_violation_detected(self):
+        hw = dgx1_v100()
+        with pytest.raises(ValueError, match="NVLink bricks"):
+            validate_port_budget(hw, 2)

@@ -1,0 +1,155 @@
+"""Unit tests for the HardwareGraph abstraction."""
+
+import pytest
+
+from repro.topology.hardware import HardwareGraph, HardwareLink
+from repro.topology.links import LinkType
+
+_D = LinkType.NVLINK2_DOUBLE
+_S = LinkType.NVLINK2_SINGLE
+
+
+@pytest.fixture
+def tiny() -> HardwareGraph:
+    """4 GPUs: 1-2 double, 2-3 single, everything else PCIe."""
+    return HardwareGraph(
+        "tiny", [1, 2, 3, 4], {(1, 2): _D, (2, 3): _S}, sockets=[(1, 2), (3, 4)]
+    )
+
+
+class TestConstruction:
+    def test_gpus_sorted(self, tiny):
+        assert tiny.gpus == (1, 2, 3, 4)
+        assert tiny.num_gpus == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("empty", [], {})
+
+    def test_rejects_unknown_gpu_edge(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2], {(1, 9): _D})
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2], {(1, 1): _D})
+
+    def test_rejects_explicit_pcie_edge(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2], {(1, 2): LinkType.PCIE})
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2], {(1, 2): _D, (2, 1): _S})
+
+    def test_rejects_bad_socket_partition(self):
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2, 3], {}, sockets=[(1, 2)])
+        with pytest.raises(ValueError):
+            HardwareGraph("bad", [1, 2], {}, sockets=[(1, 2), (2,)])
+
+
+class TestLinkLookup:
+    def test_explicit_links(self, tiny):
+        assert tiny.link(1, 2) is _D
+        assert tiny.link(2, 1) is _D  # undirected
+        assert tiny.link(2, 3) is _S
+
+    def test_pcie_fallback(self, tiny):
+        assert tiny.link(1, 3) is LinkType.PCIE
+        assert tiny.link(3, 4) is LinkType.PCIE
+
+    def test_bandwidth(self, tiny):
+        assert tiny.bandwidth(1, 2) == 50.0
+        assert tiny.bandwidth(1, 4) == 12.0
+
+    def test_has_nvlink(self, tiny):
+        assert tiny.has_nvlink(1, 2)
+        assert not tiny.has_nvlink(1, 3)
+
+    def test_unknown_gpu_raises(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.link(1, 99)
+        with pytest.raises(KeyError):
+            tiny.has_nvlink(0, 1)
+
+
+class TestEdgeIteration:
+    def test_complete_graph_edge_count(self, tiny):
+        assert len(list(tiny.all_links())) == 6  # C(4,2)
+
+    def test_nvlink_edge_count(self, tiny):
+        assert len(list(tiny.nvlink_links())) == 2
+
+    def test_induced_subgraph_links(self, tiny):
+        links = list(tiny.all_links([1, 2, 3]))
+        assert len(links) == 3
+        types = {frozenset((l.u, l.v)): l.link_type for l in links}
+        assert types[frozenset((1, 2))] is _D
+        assert types[frozenset((1, 3))] is LinkType.PCIE
+
+    def test_aggregate_bandwidth_full(self, tiny):
+        # 50 + 25 + 4x PCIe(12)
+        assert tiny.aggregate_bandwidth() == 50 + 25 + 4 * 12
+
+    def test_aggregate_bandwidth_subset(self, tiny):
+        assert tiny.aggregate_bandwidth([1, 2, 3]) == 50 + 25 + 12
+
+    def test_nvlink_ports(self, tiny):
+        assert tiny.nvlink_ports(1) == 2  # one double
+        assert tiny.nvlink_ports(2) == 3  # double + single
+        assert tiny.nvlink_ports(4) == 0
+
+
+class TestSocketsAndSubgraph:
+    def test_socket_of(self, tiny):
+        assert tiny.socket_of(1) == 0
+        assert tiny.socket_of(4) == 1
+
+    def test_subgraph_keeps_links(self, tiny):
+        sub = tiny.subgraph([1, 2, 3])
+        assert sub.num_gpus == 3
+        assert sub.link(1, 2) is _D
+        assert sub.link(1, 3) is LinkType.PCIE
+
+    def test_subgraph_drops_external_links(self, tiny):
+        sub = tiny.subgraph([1, 3, 4])
+        assert not sub.has_nvlink(1, 3)
+        assert len(list(sub.nvlink_links())) == 0
+
+    def test_subgraph_unknown_gpu(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.subgraph([1, 99])
+
+
+class TestNetworkxExport:
+    def test_complete_export(self, tiny):
+        g = tiny.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 6
+        assert g[1][2]["bandwidth"] == 50.0
+
+    def test_nvlink_only_export(self, tiny):
+        g = tiny.to_networkx(complete=False)
+        assert g.number_of_edges() == 2
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = HardwareGraph("a", [1, 2], {(1, 2): _D})
+        b = HardwareGraph("b", [1, 2], {(2, 1): _D})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_link_types(self):
+        a = HardwareGraph("a", [1, 2], {(1, 2): _D})
+        b = HardwareGraph("b", [1, 2], {(1, 2): _S})
+        assert a != b
+
+
+class TestHardwareLink:
+    def test_properties(self):
+        link = HardwareLink(1, 2, _D)
+        assert link.bandwidth == 50.0
+        assert link.channels == 2
+        assert link.endpoints == frozenset((1, 2))

@@ -1,0 +1,71 @@
+"""Unit tests for link types and Table 1 bandwidths."""
+
+import pytest
+
+from repro.topology.links import (
+    LINK_BANDWIDTH_GBPS,
+    LinkType,
+    bandwidth_of,
+    channels_of,
+    classify_xyz,
+    is_nvlink,
+    per_channel_bandwidth,
+)
+
+
+class TestTable1Bandwidths:
+    """The exact peak bandwidths of paper Table 1."""
+
+    def test_single_nvlink_v1(self):
+        assert bandwidth_of(LinkType.NVLINK1_SINGLE) == 20.0
+
+    def test_single_nvlink_v2(self):
+        assert bandwidth_of(LinkType.NVLINK2_SINGLE) == 25.0
+
+    def test_double_nvlink_v2(self):
+        assert bandwidth_of(LinkType.NVLINK2_DOUBLE) == 50.0
+
+    def test_pcie_gen3_x16(self):
+        assert bandwidth_of(LinkType.PCIE) == 12.0
+
+    def test_all_link_types_have_bandwidth(self):
+        for link in LinkType:
+            assert bandwidth_of(link) > 0
+
+
+class TestChannels:
+    def test_double_links_have_two_channels(self):
+        assert channels_of(LinkType.NVLINK2_DOUBLE) == 2
+        assert channels_of(LinkType.NVLINK1_DOUBLE) == 2
+
+    def test_single_links_have_one_channel(self):
+        assert channels_of(LinkType.NVLINK2_SINGLE) == 1
+        assert channels_of(LinkType.NVLINK1_SINGLE) == 1
+        assert channels_of(LinkType.PCIE) == 1
+
+    def test_per_channel_bandwidth_of_double_is_single(self):
+        assert per_channel_bandwidth(LinkType.NVLINK2_DOUBLE) == 25.0
+        assert per_channel_bandwidth(LinkType.NVLINK2_SINGLE) == 25.0
+
+    def test_channel_split_consistent(self):
+        for link in LinkType:
+            assert per_channel_bandwidth(link) * channels_of(link) == pytest.approx(
+                bandwidth_of(link)
+            )
+
+
+class TestClassification:
+    def test_pcie_is_not_nvlink(self):
+        assert not is_nvlink(LinkType.PCIE)
+
+    def test_nvlinks_are_nvlink(self):
+        for link in LinkType:
+            if link is not LinkType.PCIE:
+                assert is_nvlink(link)
+
+    def test_xyz_axes(self):
+        assert classify_xyz(LinkType.NVLINK2_DOUBLE) == "x"
+        assert classify_xyz(LinkType.NVLINK1_DOUBLE) == "x"
+        assert classify_xyz(LinkType.NVLINK2_SINGLE) == "y"
+        assert classify_xyz(LinkType.NVLINK1_SINGLE) == "y"
+        assert classify_xyz(LinkType.PCIE) == "z"

@@ -1,0 +1,68 @@
+"""Unit tests for the CPU/NUMA-aware extension."""
+
+import pytest
+
+from repro.topology.numa import (
+    host_routed_crossings,
+    numa_adjusted_bandwidth,
+    numa_penalty_factor,
+    socket_spread,
+)
+
+
+class TestSocketSpread:
+    def test_single_socket(self, dgx):
+        assert socket_spread(dgx, [1, 2, 3]) == 1
+
+    def test_cross_socket(self, dgx):
+        assert socket_spread(dgx, [1, 5]) == 2
+
+    def test_whole_machine(self, dgx):
+        assert socket_spread(dgx, dgx.gpus) == 2
+
+
+class TestCrossings:
+    def test_nvlink_allocation_has_no_crossings(self, dgx):
+        # {1,5} crosses sockets but over NVLink: no host traffic.
+        assert host_routed_crossings(dgx, [1, 5]) == 0
+
+    def test_fragmented_cross_socket_pays(self, dgx):
+        # {1,2,5}: host PCIe ring 1-2-5 with two socket crossings (1-5, 2-5).
+        assert host_routed_crossings(dgx, [1, 2, 5]) == 2
+
+    def test_same_socket_pcie_free(self, summit):
+        # Summit intra-socket triples are all-NVLink: no crossings.
+        assert host_routed_crossings(summit, [1, 2, 3]) == 0
+
+
+class TestPenalty:
+    def test_no_penalty_for_nvlink(self, dgx):
+        assert numa_penalty_factor(dgx, [1, 3, 4]) == 1.0
+        assert numa_penalty_factor(dgx, [1, 5]) == 1.0
+
+    def test_penalty_for_cross_socket_host_ring(self, dgx):
+        factor = numa_penalty_factor(dgx, [1, 2, 5])
+        assert factor == pytest.approx(0.75**2)
+
+    def test_penalty_floor(self, dgx):
+        # Fully scattered host ring never drops below discount^3.
+        factor = numa_penalty_factor(dgx, [2, 5, 3, 6], crossing_discount=0.5)
+        assert factor >= 0.5**3
+
+    def test_custom_discount_validated(self, dgx):
+        with pytest.raises(ValueError):
+            numa_penalty_factor(dgx, [1, 2], crossing_discount=0.0)
+
+    def test_adjusted_bandwidth(self, dgx):
+        from repro.comm.microbench import peak_effective_bandwidth
+
+        base = peak_effective_bandwidth(dgx, [1, 2, 5])
+        adjusted = numa_adjusted_bandwidth(dgx, [1, 2, 5])
+        assert adjusted == pytest.approx(base * 0.75**2)
+
+    def test_adjusted_equals_base_for_clean_allocations(self, dgx):
+        from repro.comm.microbench import peak_effective_bandwidth
+
+        assert numa_adjusted_bandwidth(dgx, [1, 3, 4]) == pytest.approx(
+            peak_effective_bandwidth(dgx, [1, 3, 4])
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the workload catalogue (paper Figs. 2b/5 and section 4)."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    INSENSITIVE_WORKLOADS,
+    ML_NETWORKS,
+    SENSITIVE_WORKLOADS,
+    WORKLOADS,
+    get_workload,
+)
+
+
+class TestCatalogueContents:
+    def test_nine_workloads(self):
+        assert len(WORKLOADS) == 9
+
+    def test_six_ml_networks(self):
+        assert len(ML_NETWORKS) == 6
+        for name in ML_NETWORKS:
+            assert WORKLOADS[name].kind == "ml-training"
+
+    def test_paper_sensitivity_classes(self):
+        # Fig. 5b plus section 4's classification of the HPC codes.
+        assert set(SENSITIVE_WORKLOADS) == {
+            "alexnet",
+            "vgg-16",
+            "resnet-50",
+            "inception-v3",
+        }
+        assert set(INSENSITIVE_WORKLOADS) == {
+            "caffenet",
+            "googlenet",
+            "cusimann",
+            "gmm",
+            "jacobi",
+        }
+
+    def test_paper_call_counts_verbatim(self):
+        # Fig. 5b numbers.
+        assert WORKLOADS["alexnet"].profile.paper_calls_per_iter == 80_001
+        assert WORKLOADS["inception-v3"].profile.paper_calls_per_iter == 2_830_001
+        assert WORKLOADS["vgg-16"].profile.paper_calls_per_iter == 160_001
+        assert WORKLOADS["resnet-50"].profile.paper_calls_per_iter == 1_600_001
+        assert WORKLOADS["caffenet"].profile.paper_calls_per_iter == 84_936
+        assert WORKLOADS["googlenet"].profile.paper_calls_per_iter == 640_001
+
+    def test_hpc_workloads_patterns(self):
+        assert WORKLOADS["cusimann"].pattern == "single"
+        assert WORKLOADS["gmm"].pattern == "single"
+        assert WORKLOADS["jacobi"].pattern == "chain"
+
+    def test_ml_workloads_use_rings(self):
+        for name in ML_NETWORKS:
+            assert WORKLOADS[name].pattern == "ring"
+
+
+class TestMessageSizes:
+    def test_googlenet_messages_below_1e5(self):
+        """Section 2.3: GoogleNet's average message is below 10^5 bytes,
+        too small to exploit fast links."""
+        assert WORKLOADS["googlenet"].profile.mean_message_bytes < 1e5
+
+    def test_sensitive_nets_have_large_messages(self):
+        # "data size has to be larger than 10^5 bytes to make use of the
+        # available high-speed links"
+        for name in ("alexnet", "vgg-16", "inception-v3", "resnet-50"):
+            assert WORKLOADS[name].profile.mean_message_bytes >= 1e5
+
+    def test_vgg_has_biggest_volume(self):
+        """VGG-16's 138M parameters dominate the per-iteration volume."""
+        vols = {n: WORKLOADS[n].comm_bytes_per_iter for n in ML_NETWORKS}
+        assert max(vols, key=vols.get) == "vgg-16"
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_workload("VGG-16").name == "vgg-16"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("bert")
+
+    def test_positive_constants(self):
+        for w in WORKLOADS.values():
+            assert w.compute_time_per_iter > 0
+            assert w.iterations > 0
+            assert w.profile.calls_per_iter > 0
+            assert w.profile.bytes_per_iter > 0

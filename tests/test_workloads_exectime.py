@@ -1,0 +1,127 @@
+"""Unit tests for the execution-time model (paper Figs. 2b, 6 and 16)."""
+
+import pytest
+
+from repro.workloads.catalog import WORKLOADS, get_workload
+from repro.workloads.exectime import (
+    classify_sensitivity,
+    execution_time,
+    execution_time_on_allocation,
+    iteration_time,
+    sensitivity_ratio,
+)
+
+PCIE_BW = 11.04  # modelled effective bandwidth of a PCIe pair
+DOUBLE_BW = 46.0  # modelled effective bandwidth of a double NVLink pair
+
+
+class TestIterationTime:
+    def test_single_gpu_pure_compute(self):
+        w = get_workload("vgg-16")
+        assert iteration_time(w, 1, 0.0) == w.compute_time_per_iter
+
+    def test_multi_gpu_adds_comm(self):
+        w = get_workload("vgg-16")
+        assert iteration_time(w, 2, DOUBLE_BW) > w.compute_time_per_iter
+
+    def test_faster_links_shorter_iterations(self):
+        w = get_workload("vgg-16")
+        assert iteration_time(w, 2, DOUBLE_BW) < iteration_time(w, 2, PCIE_BW)
+
+    def test_more_gpus_more_comm(self):
+        """Weak scaling: per-iteration comm volume grows with the ring."""
+        w = get_workload("vgg-16")
+        assert iteration_time(w, 4, DOUBLE_BW) > iteration_time(w, 2, DOUBLE_BW)
+
+    def test_zero_bandwidth_rejected(self):
+        w = get_workload("vgg-16")
+        with pytest.raises(ValueError):
+            iteration_time(w, 2, 0.0)
+
+    def test_bad_gpu_count(self):
+        with pytest.raises(ValueError):
+            iteration_time(get_workload("vgg-16"), 0, DOUBLE_BW)
+
+
+class TestPaperSpeedups:
+    """Fig. 2b: per-network speedup of double NVLink over PCIe (2 GPUs)."""
+
+    def test_vgg_speedup_about_3x(self):
+        r = sensitivity_ratio(get_workload("vgg-16"))
+        assert 2.5 <= r <= 3.5
+
+    def test_alexnet_clearly_sensitive(self):
+        assert sensitivity_ratio(get_workload("alexnet")) >= 2.0
+
+    def test_resnet_and_inception_sensitive(self):
+        assert sensitivity_ratio(get_workload("resnet-50")) >= 1.3
+        assert sensitivity_ratio(get_workload("inception-v3")) >= 1.3
+
+    def test_googlenet_insensitive(self):
+        assert sensitivity_ratio(get_workload("googlenet")) <= 1.2
+
+    def test_caffenet_insensitive(self):
+        assert sensitivity_ratio(get_workload("caffenet")) <= 1.2
+
+    def test_jacobi_under_3_percent(self):
+        """Section 4: less than 3% improvement for the Jacobi solver."""
+        assert sensitivity_ratio(get_workload("jacobi")) <= 1.03
+
+    def test_model_sensitivity_matches_catalogue_flags(self):
+        for w in WORKLOADS.values():
+            assert classify_sensitivity(w) == w.bandwidth_sensitive
+
+
+class TestExecutionTime:
+    def test_scales_with_iterations(self):
+        w = get_workload("vgg-16")
+        t1 = execution_time(w, 2, DOUBLE_BW, iterations=100)
+        t2 = execution_time(w, 2, DOUBLE_BW, iterations=200)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_default_iterations(self):
+        w = get_workload("vgg-16")
+        assert execution_time(w, 2, DOUBLE_BW) == pytest.approx(
+            w.iterations * iteration_time(w, 2, DOUBLE_BW)
+        )
+
+    def test_fig16_flattening(self):
+        """Past ~50 GB/s extra bandwidth stops helping much (Fig. 16)."""
+        w = get_workload("vgg-16")
+        t20 = execution_time(w, 4, 20.0)
+        t50 = execution_time(w, 4, 50.0)
+        t80 = execution_time(w, 4, 80.0)
+        gain_low = t20 - t50
+        gain_high = t50 - t80
+        assert gain_low > 3 * gain_high
+
+    def test_monotone_decreasing_in_bandwidth(self):
+        w = get_workload("resnet-50")
+        times = [execution_time(w, 4, bw) for bw in (10, 20, 40, 80)]
+        assert times == sorted(times, reverse=True)
+
+    def test_insensitive_flat_in_bandwidth(self):
+        w = get_workload("cusimann")
+        t_slow = execution_time(w, 4, 11.0)
+        t_fast = execution_time(w, 4, 80.0)
+        assert t_slow / t_fast <= 1.02
+
+
+class TestOnAllocation:
+    def test_uses_microbenchmark(self, dgx):
+        w = get_workload("vgg-16")
+        fast = execution_time_on_allocation(w, dgx, [1, 5])
+        slow = execution_time_on_allocation(w, dgx, [1, 6])
+        assert slow / fast >= 2.5
+
+    def test_single_gpu(self, dgx):
+        w = get_workload("vgg-16")
+        assert execution_time_on_allocation(w, dgx, [3]) == pytest.approx(
+            w.iterations * w.compute_time_per_iter
+        )
+
+    def test_fragmented_is_slowest(self, dgx):
+        w = get_workload("vgg-16")
+        good = execution_time_on_allocation(w, dgx, [1, 3, 4])
+        bad = execution_time_on_allocation(w, dgx, [1, 2, 5])
+        assert bad > good

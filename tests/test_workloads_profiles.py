@@ -1,0 +1,58 @@
+"""Unit tests for communication profiles (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.catalog import ML_NETWORKS, WORKLOADS
+from repro.workloads.profiles import CommProfile
+
+
+class TestCommProfile:
+    def test_mean_message(self):
+        p = CommProfile(calls_per_iter=10, bytes_per_iter=1e6, sigma=1.0)
+        assert p.mean_message_bytes == 1e5
+
+    def test_median_below_mean_for_lognormal(self):
+        p = CommProfile(calls_per_iter=10, bytes_per_iter=1e6, sigma=1.0)
+        assert p.median_message_bytes < p.mean_message_bytes
+
+    def test_cdf_monotone(self):
+        p = WORKLOADS["vgg-16"].profile
+        sizes = np.logspace(2, 9, 30)
+        cdf = p.message_size_cdf(sizes)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] < 0.05
+        assert cdf[-1] > 0.95
+
+    def test_cdf_half_at_median(self):
+        p = WORKLOADS["alexnet"].profile
+        assert p.message_size_cdf([p.median_message_bytes])[0] == pytest.approx(
+            0.5, abs=1e-6
+        )
+
+    def test_cdf_zero_size(self):
+        p = WORKLOADS["alexnet"].profile
+        assert p.message_size_cdf([0.0])[0] == 0.0
+
+    def test_sampling_matches_distribution(self):
+        p = WORKLOADS["vgg-16"].profile
+        rng = np.random.default_rng(7)
+        samples = p.sample_message_sizes(20000, rng)
+        # Sample median close to model median; mean close to model mean.
+        assert np.median(samples) == pytest.approx(
+            p.median_message_bytes, rel=0.1
+        )
+        assert samples.mean() == pytest.approx(p.mean_message_bytes, rel=0.15)
+
+
+class TestFig5Shape:
+    def test_googlenet_cdf_left_of_vgg(self):
+        """GoogleNet's message sizes sit left of VGG's (Fig. 5a)."""
+        sizes = [1e5]
+        google = WORKLOADS["googlenet"].profile.message_size_cdf(sizes)[0]
+        vgg = WORKLOADS["vgg-16"].profile.message_size_cdf(sizes)[0]
+        assert google > vgg  # more of GoogleNet's mass below 1e5
+
+    def test_all_ml_profiles_have_paper_counts(self):
+        for name in ML_NETWORKS:
+            assert WORKLOADS[name].profile.paper_calls_per_iter is not None
