@@ -1,13 +1,16 @@
-"""Ablation: FIFO head-of-line blocking vs backfill reordering.
+"""Ablation: queue disciplines on the same trace.
 
 The paper evaluates under FIFO and notes MAPA "is agnostic to scheduling
 policies ... and can employ reordering".  This ablation measures what
-reordering buys on the same trace: backfill fills the holes FIFO leaves
-while a big job blocks the queue head.
+reordering buys on the same trace across every discipline in the
+registry: backfill and SJF fill the holes FIFO leaves while a big job
+blocks the queue head; EASY backfilling does the same without ever
+delaying the blocked head's reservation.
 """
 
 from repro.analysis.tables import format_table
 from repro.sim.cluster import run_all_policies
+from repro.sim.disciplines import DISCIPLINE_NAMES
 from repro.workloads.generator import generate_job_file
 
 from conftest import emit
@@ -16,7 +19,7 @@ from conftest import emit
 def build_table(dgx, dgx_model) -> str:
     trace = generate_job_file(300, seed=2021, max_gpus=5)
     rows = []
-    for discipline in ("fifo", "backfill"):
+    for discipline in DISCIPLINE_NAMES:
         logs = run_all_policies(dgx, trace, dgx_model, scheduling=discipline)
         for name, log in logs.items():
             waits = [r.wait_time for r in log.records]
@@ -32,7 +35,7 @@ def build_table(dgx, dgx_model) -> str:
     return format_table(
         ["Discipline", "Policy", "makespan (s)", "mean wait (s)", "jobs/h"],
         rows,
-        title="Scheduling-discipline ablation (300-job DGX-V trace)",
+        title="Queue-discipline ablation (300-job DGX-V trace)",
         float_fmt="{:.1f}",
     )
 

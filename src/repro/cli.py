@@ -28,6 +28,7 @@ from .policies.registry import POLICY_NAMES, make_policy
 from .scoring.effective import FEATURE_NAMES, PAPER_COEFFICIENTS
 from .scoring.regression import fit_for_hardware
 from .sim.cluster import run_all_policies
+from .sim.disciplines import DISCIPLINES
 from .sim.metrics import TABLE3_QUANTILES, speedup_summary
 from .topology.builders import TOPOLOGY_BUILDERS, by_name
 from .workloads.generator import generate_job_file
@@ -85,7 +86,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             num_jobs=args.jobs, seed=args.seed, max_gpus=min(5, hw.num_gpus)
         )
     model, _, _ = fit_for_hardware(hw)
-    logs = run_all_policies(hw, job_file, model)
+    logs = run_all_policies(hw, job_file, model, scheduling=args.scheduling)
     summaries = speedup_summary(logs)
     headers = ["Policy"] + [name for name, _ in TABLE3_QUANTILES] + ["Tput"]
     rows = [[s.policy] + [f"{v:.3f}" for v in s.row()] for s in summaries]
@@ -95,7 +96,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"Normalized speedup vs baseline — {hw.name}, "
-                f"{len(job_file)} jobs (sensitive jobs)"
+                f"{len(job_file)} jobs ({args.scheduling}, sensitive jobs)"
             ),
         )
     )
@@ -116,7 +117,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     rows = []
     for node_policy in NODE_POLICIES:
         sim = run_cluster(
-            servers, job_file, gpu_policy=args.policy, node_policy=node_policy
+            servers,
+            job_file,
+            gpu_policy=args.policy,
+            node_policy=node_policy,
+            scheduling=args.scheduling,
         )
         sens = [r for r in sim.log.sensitive() if r.num_gpus > 1]
         mean_bw = float(np.mean([r.measured_effective_bw for r in sens])) if sens else 0.0
@@ -135,7 +140,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             title=(
                 f"Cluster of {len(servers)} servers "
                 f"({', '.join(hw.name for hw in servers)}), "
-                f"{len(job_file)} jobs, {args.policy} inside nodes"
+                f"{len(job_file)} jobs, {args.policy} inside nodes, "
+                f"{args.scheduling} queue"
             ),
         )
     )
@@ -208,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--jobs", type=int, default=300)
     p_trace.add_argument("--seed", type=int, default=2021)
     p_trace.add_argument("--jobfile", help="CSV job file to replay instead")
+    p_trace.add_argument(
+        "--scheduling",
+        default="fifo",
+        choices=tuple(DISCIPLINES),  # live view: includes registered plugins
+        help="queue discipline for the simulated dispatcher",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
@@ -226,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--policy", default="preserve", choices=POLICY_NAMES)
     p_cluster.add_argument("--jobs", type=int, default=100)
     p_cluster.add_argument("--seed", type=int, default=2021)
+    p_cluster.add_argument(
+        "--scheduling",
+        default="fifo",
+        choices=tuple(DISCIPLINES),  # live view: includes registered plugins
+        help="queue discipline for the cluster-wide dispatcher",
+    )
     p_cluster.set_defaults(func=_cmd_cluster)
 
     p_report = sub.add_parser(

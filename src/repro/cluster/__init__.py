@@ -5,7 +5,12 @@ from .scheduler import (
     ClusterPlacement,
     MultiServerScheduler,
 )
-from .simulator import ClusterJobRecord, ClusterSimulator, run_cluster
+from .simulator import (
+    ClusterJobRecord,
+    ClusterSimulator,  # deprecated alias of MultiServerSimulator
+    MultiServerSimulator,
+    run_cluster,
+)
 
 __all__ = [
     "NODE_POLICIES",
@@ -13,5 +18,6 @@ __all__ = [
     "MultiServerScheduler",
     "ClusterJobRecord",
     "ClusterSimulator",
+    "MultiServerSimulator",
     "run_cluster",
 ]

@@ -85,6 +85,18 @@ class MultiServerScheduler:
         )
 
     # ------------------------------------------------------------------ #
+    # PlacementBackend protocol (repro.sim.core) — the scheduler plugs
+    # straight into the unified simulation core.
+    # ------------------------------------------------------------------ #
+    def free_gpu_counts(self) -> Tuple[int, ...]:
+        """Free GPUs per server, indexed like ``engines``."""
+        return tuple(e.state.num_free for e in self.engines)
+
+    def hardware_for(self, server_index: int) -> HardwareGraph:
+        """The hardware graph of one server."""
+        return self.engines[server_index].hardware
+
+    # ------------------------------------------------------------------ #
     def _candidate_order(self, request: AllocationRequest) -> List[int]:
         feasible = [
             i

@@ -1,39 +1,43 @@
 """Event-driven simulation of a multi-server MAPA cluster.
 
-Reuses the single-node event engine and log records; placements carry
-the hosting server's index so per-server utilisation can be analysed.
+A thin wrapper over the unified :class:`~repro.sim.core.SimulationCore`
+with the :class:`~repro.cluster.scheduler.MultiServerScheduler` as the
+placement backend.  Because the event loop and queue disciplines are
+shared with the single-server simulator, multi-server runs support
+every registered discipline — FIFO, backfill, SJF, EASY backfilling —
+not just the FIFO loop this module used to hard-code.
+
+Placements carry the hosting server's index so per-server utilisation
+can be analysed.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
+import warnings
+from typing import Deque, Dict, List, Sequence
 
-from ..comm.microbench import peak_effective_bandwidth
 from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
+from ..sim.core import PlacementRecord, SimulationCore
+from ..sim.disciplines import make_discipline
 from ..sim.engine import EventEngine
-from ..sim.records import JobRecord, SimulationLog
+from ..sim.records import SimulationLog
 from ..topology.hardware import HardwareGraph
-from ..workloads.exectime import execution_time
 from ..workloads.jobs import Job, JobFile
 from .scheduler import MultiServerScheduler
 
-_ARRIVAL = "arrival"
-_COMPLETION = "completion"
+#: A completed job plus the server that hosted it.  Alias of the core's
+#: :class:`~repro.sim.core.PlacementRecord`, kept under the name this
+#: module has always exported.
+ClusterJobRecord = PlacementRecord
 
 
-@dataclass(frozen=True)
-class ClusterJobRecord:
-    """A completed job plus the server that hosted it."""
+class MultiServerSimulator:
+    """Multi-server simulator: one queue, a fleet of MAPA-managed servers.
 
-    record: JobRecord
-    server_index: int
-
-
-class ClusterSimulator:
-    """FIFO multi-server simulator (head-of-line blocking across the
-    whole cluster, mirroring the single-node discipline)."""
+    ``scheduling`` selects the queue discipline by registry name; the
+    default ``"fifo"`` mirrors the single-server (and paper) setup with
+    head-of-line blocking across the whole cluster.
+    """
 
     def __init__(
         self,
@@ -41,98 +45,71 @@ class ClusterSimulator:
         gpu_policy: str = "preserve",
         node_policy: str = "first-fit",
         model: EffectiveBandwidthModel = PAPER_MODEL,
+        scheduling: str = "fifo",
     ) -> None:
         self.scheduler = MultiServerScheduler(
             servers, gpu_policy=gpu_policy, node_policy=node_policy, model=model
         )
-        self.engine = EventEngine()
-        self.queue: Deque[Job] = deque()
-        self.log = SimulationLog(
-            f"{gpu_policy}/{node_policy}", f"cluster[{len(servers)}]"
+        self.scheduling = scheduling
+        self.core = SimulationCore(
+            backend=self.scheduler,
+            discipline=make_discipline(scheduling),
+            log=SimulationLog(
+                f"{gpu_policy}/{node_policy}", f"cluster[{len(servers)}]"
+            ),
         )
-        self.placements: List[ClusterJobRecord] = []
-        self._pending: Dict[int, ClusterJobRecord] = {}
 
     def run(self, job_file: JobFile) -> SimulationLog:
-        for job in job_file:
-            if not self.scheduler.can_ever_fit(job.request()):
-                raise ValueError(
-                    f"job {job.job_id} needs {job.num_gpus} GPUs; no server "
-                    "is large enough"
-                )
-            self.engine.schedule(job.submit_time, _ARRIVAL, job)
-        while True:
-            event = self.engine.pop()
-            if event is None:
-                break
-            _, kind, payload = event
-            if kind == _ARRIVAL:
-                self.queue.append(payload)
-                self._drain()
-            elif kind == _COMPLETION:
-                self._complete(payload)
-                self._drain()
-        if self.queue:  # pragma: no cover - defensive
-            raise RuntimeError("cluster simulation ended with queued jobs")
-        return self.log
-
-    # ------------------------------------------------------------------ #
-    def _drain(self) -> None:
-        while self.queue:
-            job = self.queue[0]
-            placement = self.scheduler.try_place(job.request())
-            if placement is None:
-                return
-            self.queue.popleft()
-            self._start(job, placement)
-
-    def _start(self, job: Job, placement) -> None:
-        now = self.engine.now
-        hw = self.scheduler.engines[placement.server_index].hardware
-        workload = job.workload_spec()
-        gpus = placement.gpus
-        if len(gpus) == 1:
-            measured = 0.0
-            exec_time = execution_time(workload, 1, float("inf"))
-        else:
-            measured = peak_effective_bandwidth(hw, gpus)
-            exec_time = execution_time(workload, len(gpus), measured)
-        record = JobRecord(
-            job_id=job.job_id,
-            workload=job.workload,
-            num_gpus=job.num_gpus,
-            pattern=job.pattern,
-            bandwidth_sensitive=job.bandwidth_sensitive,
-            submit_time=job.submit_time,
-            start_time=now,
-            finish_time=now + exec_time,
-            allocation=gpus,
-            agg_bw=placement.allocation.scores.get("agg_bw", 0.0),
-            predicted_effective_bw=placement.allocation.scores.get(
-                "effective_bw", 0.0
-            ),
-            measured_effective_bw=measured,
-        )
-        self._pending[job.job_id] = ClusterJobRecord(
-            record=record, server_index=placement.server_index
-        )
-        self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
-
-    def _complete(self, job_id: int) -> None:
-        self.scheduler.release(job_id)
-        cluster_record = self._pending.pop(job_id)
-        self.placements.append(cluster_record)
-        self.log.append(cluster_record.record)
+        return self.core.run(job_file)
 
     # ------------------------------------------------------------------ #
     def jobs_per_server(self) -> Dict[int, int]:
         """How many completed jobs each server hosted."""
-        counts: Dict[int, int] = {
-            i: 0 for i in range(self.scheduler.num_servers)
-        }
-        for cr in self.placements:
-            counts[cr.server_index] += 1
-        return counts
+        return self.core.jobs_per_server()
+
+    # Compatibility accessors (the pre-unification simulator exposed
+    # these directly).
+    @property
+    def placements(self) -> List[ClusterJobRecord]:
+        return self.core.placements
+
+    @property
+    def engine(self) -> EventEngine:
+        return self.core.engine
+
+    @property
+    def queue(self) -> Deque[Job]:
+        return self.core.queue
+
+    @property
+    def log(self) -> SimulationLog:
+        return self.core.log
+
+
+class _DeprecatedAliasMeta(type):
+    """Keeps ``isinstance(sim, ClusterSimulator)`` working for every
+    :class:`MultiServerSimulator` (e.g. the ones ``run_cluster`` returns),
+    not just those constructed through the deprecated name."""
+
+    def __instancecheck__(cls, instance: object) -> bool:
+        return isinstance(instance, MultiServerSimulator)
+
+
+class ClusterSimulator(MultiServerSimulator, metaclass=_DeprecatedAliasMeta):
+    """Deprecated alias of :class:`MultiServerSimulator`.
+
+    The old name collided with the single-server
+    :class:`repro.sim.cluster.ClusterSimulator`; import the new name.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.cluster.ClusterSimulator is deprecated; use "
+            "repro.cluster.MultiServerSimulator instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
 
 def run_cluster(
@@ -141,8 +118,11 @@ def run_cluster(
     gpu_policy: str = "preserve",
     node_policy: str = "first-fit",
     model: EffectiveBandwidthModel = PAPER_MODEL,
-) -> ClusterSimulator:
+    scheduling: str = "fifo",
+) -> MultiServerSimulator:
     """Simulate a trace on a cluster; returns the simulator (log inside)."""
-    sim = ClusterSimulator(servers, gpu_policy, node_policy, model)
+    sim = MultiServerSimulator(
+        servers, gpu_policy, node_policy, model, scheduling
+    )
     sim.run(job_file)
     return sim

@@ -17,8 +17,8 @@ NVLink-v2 pair tops out near 46 GB/s, not 50); α = 20 µs per collective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Iterable, Sequence, Tuple
 
 from ..topology.hardware import HardwareGraph
 from .rings import RingDecomposition, build_rings
@@ -51,6 +51,20 @@ def size_efficiency(
     return data_size_bytes / (data_size_bytes + half_saturation)
 
 
+@lru_cache(maxsize=8192)
+def _ring_bandwidth(hardware: HardwareGraph, gpus: Tuple[int, ...]) -> float:
+    """Memoised peak bus bandwidth of one allocation's ring decomposition.
+
+    The simulators re-measure the same (topology, GPU-set) pairs for
+    every job placement — and the ring peel itself reads pairwise link
+    properties from the topology's precomputed
+    :class:`~repro.topology.linktable.LinkTable` — so repeated
+    measurements are a cache hit.  Keyed by graph equality, the cache is
+    shared across equal topology instances.
+    """
+    return build_rings(hardware, gpus).total_bandwidth_gbps
+
+
 def peak_effective_bandwidth(
     hardware: HardwareGraph,
     gpus: Iterable[int],
@@ -60,8 +74,7 @@ def peak_effective_bandwidth(
 
     Single-GPU allocations have no inter-GPU traffic and report 0.
     """
-    decomposition = build_rings(hardware, gpus)
-    return decomposition.total_bandwidth_gbps * efficiency
+    return _ring_bandwidth(hardware, tuple(sorted(set(gpus)))) * efficiency
 
 
 def effective_bandwidth(

@@ -22,13 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..topology.hardware import HardwareGraph
-from ..topology.links import (
-    LinkType,
-    bandwidth_of,
-    channels_of,
-    is_nvlink,
-    per_channel_bandwidth,
-)
+from ..topology.links import LinkType, bandwidth_of
 
 Pair = FrozenSet[int]
 
@@ -70,13 +64,19 @@ class _ChannelGraph:
         self.gpus = tuple(sorted(gpus))
         self.channels: Dict[Pair, int] = {}
         self.channel_bw: Dict[Pair, float] = {}
+        # Read channel counts / per-channel bandwidths from the topology's
+        # precomputed link table instead of resolving each pair.
+        table = hardware.link_table
+        idx = table.index
+        n = table.n
         for i, u in enumerate(self.gpus):
+            ru = idx[u] * n
             for v in self.gpus[i + 1 :]:
-                link = hardware.link(u, v)
-                if is_nvlink(link):
+                p = ru + idx[v]
+                if table.nvlink[p]:
                     key = frozenset((u, v))
-                    self.channels[key] = channels_of(link)
-                    self.channel_bw[key] = per_channel_bandwidth(link)
+                    self.channels[key] = table.channels[p]
+                    self.channel_bw[key] = table.per_channel[p]
 
     def available(self, u: int, v: int) -> bool:
         return self.channels.get(frozenset((u, v)), 0) > 0
@@ -184,11 +184,12 @@ def build_rings(
 
     if len(verts) == 2:
         u, v = verts
-        link = hardware.link(u, v)
-        if is_nvlink(link):
-            per = per_channel_bandwidth(link)
+        table = hardware.link_table
+        if table.has_nvlink(u, v):
+            per = table.channel_bandwidth(u, v)
             rings = tuple(
-                Ring(order=verts, bottleneck_gbps=per) for _ in range(channels_of(link))
+                Ring(order=verts, bottleneck_gbps=per)
+                for _ in range(table.num_channels(u, v))
             )
         else:
             rings = (Ring(order=verts, bottleneck_gbps=pcie_bandwidth_gbps, uses_pcie=True),)

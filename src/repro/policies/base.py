@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from types import MappingProxyType
+from typing import FrozenSet, Hashable, Mapping, Optional, Tuple
 
 from ..appgraph.application import ApplicationGraph
 from ..matching.candidates import Match
@@ -21,11 +22,16 @@ from ..topology.hardware import HardwareGraph
 
 @dataclass(frozen=True)
 class AllocationRequest:
-    """One job's resource request."""
+    """One job's resource request.
+
+    ``job_id`` is any hashable identifier — the simulators use the
+    integer ids from :class:`~repro.workloads.jobs.Job`, but callers
+    driving the scheduler directly may use whatever they track jobs by.
+    """
 
     pattern: ApplicationGraph
     bandwidth_sensitive: bool = True
-    job_id: Optional[object] = None
+    job_id: Optional[Hashable] = None
 
     @property
     def num_gpus(self) -> int:
@@ -34,11 +40,19 @@ class AllocationRequest:
 
 @dataclass(frozen=True)
 class Allocation:
-    """A policy's decision for one request."""
+    """A policy's decision for one request.
+
+    Fully immutable: ``scores`` is wrapped in a read-only mapping view
+    at construction, so a committed allocation can never be reshaped by
+    downstream annotation or logging code.
+    """
 
     gpus: Tuple[int, ...]
     match: Optional[Match] = None
-    scores: Dict[str, float] = field(default_factory=dict)
+    scores: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scores", MappingProxyType(dict(self.scores)))
 
     @property
     def num_gpus(self) -> int:

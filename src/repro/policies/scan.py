@@ -10,24 +10,27 @@ things only:
   also what the NCCL microbenchmark that trains the model exercises);
 * the **mapped pattern edges** ``E(P) ∩ E(M)`` — what AggBW (Eq. 1) sums.
 
-We therefore scan subset-by-subset: the pairwise link table of a subset
-is built once, the induced census falls out of it directly, and each
-orbit permutation of the pattern is scored against the table for AggBW.
-A worst-case DGX-V allocation (5-GPU ring, 8 free GPUs) costs a few
-thousand lightweight iterations.
+We therefore scan subset-by-subset against the topology's precomputed
+:class:`~repro.topology.linktable.LinkTable`: the link class and
+bandwidth of every GPU pair are resolved once per *topology* (not per
+subset per allocation), remapped once per scan onto the available
+vertices, and each subset then reduces to pure integer indexing — the
+induced census falls out of the pair codes directly, and each orbit
+permutation of the pattern is scored against the same flat arrays for
+AggBW.  A worst-case DGX-V allocation (5-GPU ring, 8 free GPUs) costs a
+few thousand lightweight iterations with no link resolution at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..appgraph.application import ApplicationGraph
 from ..matching.candidates import orbit_permutations
 from ..scoring.census import LinkCensus
 from ..topology.hardware import HardwareGraph
-from ..topology.links import bandwidth_of, classify_xyz
 
 Pair = Tuple[int, int]
 
@@ -70,47 +73,58 @@ def scan_scored_matches(
     """Yield every distinct match with its censuses and AggBW."""
     verts = tuple(sorted(set(available)))
     k = pattern.num_gpus
-    if k > len(verts):
+    m = len(verts)
+    if k > m:
         return
-    orbit_pairs = _orbit_index_pairs(pattern)
     orbits = orbit_permutations(pattern)
-    link = hardware.link  # local binding for speed
-    for subset in combinations(verts, k):
-        # Pairwise link class / bandwidth table for this subset, plus the
-        # induced census shared by every mapping on it.
-        cls: Dict[Pair, str] = {}
-        bw: Dict[Pair, float] = {}
-        ix = iy = iz = 0
-        for i in range(k):
-            for j in range(i + 1, k):
-                l = link(subset[i], subset[j])
-                c = classify_xyz(l)
-                cls[(i, j)] = c
-                bw[(i, j)] = bandwidth_of(l)
-                if c == "x":
-                    ix += 1
-                elif c == "y":
-                    iy += 1
-                else:
-                    iz += 1
-        induced = LinkCensus(ix, iy, iz)
-        for perm, pairs in zip(orbits, orbit_pairs):
-            x = y = z = 0
+    # Pattern edges per orbit permutation as flat a*k+b subset indices.
+    orbit_flat: List[Tuple[int, ...]] = [
+        tuple(a * k + b for a, b in pairs) for pairs in _orbit_index_pairs(pattern)
+    ]
+    # Remap the topology-wide link table onto the available vertices once:
+    # flat m*m upper-triangular arrays of link-class code and bandwidth.
+    table = hardware.link_table
+    rows = [table.index[g] for g in verts]
+    n = table.n
+    tcodes = table.codes
+    tbw = table.bandwidths
+    vcodes = [0] * (m * m)
+    vbw = [0.0] * (m * m)
+    for i in range(m):
+        ri = rows[i] * n
+        base = i * m
+        for j in range(i + 1, m):
+            p = ri + rows[j]
+            vcodes[base + j] = tcodes[p]
+            vbw[base + j] = tbw[p]
+    scode = [0] * (k * k)
+    sbw = [0.0] * (k * k)
+    for local in combinations(range(m), k):
+        subset = tuple(verts[i] for i in local)
+        # Per-subset pair codes/bandwidths (flat a*k+b) plus the induced
+        # census shared by every mapping on the subset.
+        counts = [0, 0, 0]
+        for a in range(k):
+            base = local[a] * m
+            arow = a * k
+            for b in range(a + 1, k):
+                p = base + local[b]
+                c = vcodes[p]
+                scode[arow + b] = c
+                sbw[arow + b] = vbw[p]
+                counts[c] += 1
+        induced = LinkCensus(counts[0], counts[1], counts[2])
+        for perm, pairs in zip(orbits, orbit_flat):
+            mc = [0, 0, 0]
             agg = 0.0
-            for p in pairs:
-                c = cls[p]
-                agg += bw[p]
-                if c == "x":
-                    x += 1
-                elif c == "y":
-                    y += 1
-                else:
-                    z += 1
+            for q in pairs:
+                mc[scode[q]] += 1
+                agg += sbw[q]
             yield ScoredMatch(
                 subset=subset,
                 mapping=tuple(subset[perm[i]] for i in range(k)),
                 census=induced,
-                match_census=LinkCensus(x, y, z),
+                match_census=LinkCensus(mc[0], mc[1], mc[2]),
                 agg_bw=agg,
             )
 

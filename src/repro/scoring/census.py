@@ -65,9 +65,19 @@ def census_of_match(hardware: HardwareGraph, match: Match) -> LinkCensus:
 def census_of_allocation(
     hardware: HardwareGraph, gpus: Iterable[int]
 ) -> LinkCensus:
-    """Induced census: all pairwise links among an allocated GPU set."""
+    """Induced census: all pairwise links among an allocated GPU set.
+
+    Reads the topology's precomputed link table — this runs once per
+    committed allocation, on the simulator's hot path.
+    """
     verts = tuple(sorted(set(gpus)))
-    return census_of_edges(
-        hardware,
-        ((u, verts[j]) for i, u in enumerate(verts) for j in range(i + 1, len(verts))),
-    )
+    table = hardware.link_table
+    idx = table.index
+    n = table.n
+    codes = table.codes
+    counts = [0, 0, 0]
+    for i, u in enumerate(verts):
+        ru = idx[u] * n
+        for v in verts[i + 1 :]:
+            counts[codes[ru + idx[v]]] += 1
+    return LinkCensus(counts[0], counts[1], counts[2])

@@ -2,6 +2,21 @@
 
 from .engine import EventEngine
 from .records import JobRecord, SimulationLog
+from .core import (
+    PlacedJob,
+    PlacementBackend,
+    PlacementRecord,
+    SimPlacement,
+    SimulationCore,
+    SingleServerBackend,
+)
+from .disciplines import (
+    DISCIPLINE_NAMES,
+    DISCIPLINES,
+    QueueDiscipline,
+    make_discipline,
+    register_discipline,
+)
 from .cluster import ClusterSimulator, run_all_policies, run_policy
 from .metrics import (
     TABLE3_QUANTILES,
@@ -25,6 +40,17 @@ __all__ = [
     "EventEngine",
     "JobRecord",
     "SimulationLog",
+    "PlacedJob",
+    "PlacementBackend",
+    "PlacementRecord",
+    "SimPlacement",
+    "SimulationCore",
+    "SingleServerBackend",
+    "DISCIPLINE_NAMES",
+    "DISCIPLINES",
+    "QueueDiscipline",
+    "make_discipline",
+    "register_discipline",
     "ClusterSimulator",
     "run_all_policies",
     "run_policy",

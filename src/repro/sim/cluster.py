@@ -1,13 +1,13 @@
-"""The MAPA simulation framework (paper Fig. 14).
+"""The MAPA simulation framework (paper Fig. 14), single-server front end.
 
-The dispatcher reads the job file into a FIFO queue.  Whenever GPUs free
-up (or at t = 0), the simulator asks MAPA for an allocation for the job
-at the *head* of the queue — FIFO with head-of-line blocking, exactly the
-scheduling discipline of the paper's real-world runs (section 4).  On
-allocation the job's execution time is computed from the simulated NCCL
-effective bandwidth of its GPUs, a completion event is scheduled, and on
-completion the GPUs return to the pool ("Job Finished Signal"), possibly
-unblocking the queue head.
+A thin wrapper over the unified :class:`~repro.sim.core.SimulationCore`:
+the dispatcher reads the job file into a queue, the configured
+:class:`~repro.sim.disciplines.QueueDiscipline` decides when queued jobs
+start (``"fifo"`` — the paper's head-of-line-blocking setup — by
+default), MAPA places each started job, and completions return GPUs to
+the pool ("Job Finished Signal").  The event loop itself lives in the
+core and is shared with the multi-server simulator
+(:class:`repro.cluster.MultiServerSimulator`).
 
 The logger records, per job, the allocation, its Aggregated Bandwidth,
 the Eq. 2 *predicted* effective bandwidth (the simulator's quality
@@ -17,33 +17,26 @@ the pair of columns behind the validation scatter of Fig. 15.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Deque, Dict, Optional
 
 from ..allocator.mapa import Mapa
-from ..comm.microbench import peak_effective_bandwidth
 from ..policies.base import AllocationPolicy
 from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
 from ..topology.hardware import HardwareGraph
-from ..workloads.exectime import execution_time
 from ..workloads.jobs import Job, JobFile
+from .core import SimulationCore, SingleServerBackend
+from .disciplines import make_discipline
 from .engine import EventEngine
-from .records import JobRecord, SimulationLog
-
-_ARRIVAL = "arrival"
-_COMPLETION = "completion"
+from .records import SimulationLog
 
 
 class ClusterSimulator:
-    """Single-server multi-tenant simulator with a FIFO job queue.
+    """Single-server multi-tenant simulator.
 
-    ``scheduling`` selects the queue discipline:
-
-    * ``"fifo"`` (default, the paper's setup): strict head-of-line
-      blocking — if the head job cannot be placed, everything waits;
-    * ``"backfill"``: later jobs may start when the head is blocked, as
-      long as resources allow (the reordering the paper notes MAPA is
-      compatible with, section 4).
+    ``scheduling`` selects the queue discipline by registry name —
+    ``"fifo"`` (default, the paper's setup), ``"backfill"``, ``"sjf"``,
+    ``"easy-backfill"``, or anything registered via
+    :func:`repro.sim.disciplines.register_discipline`.
     """
 
     def __init__(
@@ -53,99 +46,34 @@ class ClusterSimulator:
         model: EffectiveBandwidthModel = PAPER_MODEL,
         scheduling: str = "fifo",
     ) -> None:
-        if scheduling not in ("fifo", "backfill"):
-            raise ValueError(f"unknown scheduling discipline {scheduling!r}")
         self.hardware = hardware
         self.policy = policy
         self.scheduling = scheduling
         self.mapa = Mapa(hardware, policy, model)
-        self.engine = EventEngine()
-        self.queue: Deque[Job] = deque()
-        self.log = SimulationLog(policy.name, hardware.name)
-        self._pending_records: Dict[int, JobRecord] = {}
+        self.core = SimulationCore(
+            backend=SingleServerBackend(self.mapa),
+            discipline=make_discipline(scheduling),
+            log=SimulationLog(policy.name, hardware.name),
+        )
 
     # ------------------------------------------------------------------ #
     def run(self, job_file: JobFile) -> SimulationLog:
         """Simulate the whole trace and return the log."""
-        for job in job_file:
-            if job.num_gpus > self.hardware.num_gpus:
-                raise ValueError(
-                    f"job {job.job_id} requests {job.num_gpus} GPUs; "
-                    f"{self.hardware.name} has {self.hardware.num_gpus}"
-                )
-            self.engine.schedule(job.submit_time, _ARRIVAL, job)
-        while True:
-            event = self.engine.pop()
-            if event is None:
-                break
-            _, kind, payload = event
-            if kind == _ARRIVAL:
-                self.queue.append(payload)
-                self._drain_queue()
-            elif kind == _COMPLETION:
-                self._complete(payload)
-                self._drain_queue()
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
-        if self.queue:  # pragma: no cover - defensive
-            raise RuntimeError("simulation ended with jobs still queued")
-        return self.log
+        return self.core.run(job_file)
 
-    # ------------------------------------------------------------------ #
-    def _drain_queue(self) -> None:
-        """Start queued jobs according to the scheduling discipline."""
-        if self.scheduling == "fifo":
-            while self.queue:
-                job = self.queue[0]
-                allocation = self.mapa.try_allocate(job.request())
-                if allocation is None:
-                    return  # head-of-line blocking: wait for a completion
-                self.queue.popleft()
-                self._start(job, allocation)
-        else:  # backfill: scan past a blocked head
-            still_queued: Deque[Job] = deque()
-            while self.queue:
-                job = self.queue.popleft()
-                if self.mapa.state.num_free < job.num_gpus:
-                    still_queued.append(job)
-                    continue
-                allocation = self.mapa.try_allocate(job.request())
-                if allocation is None:
-                    still_queued.append(job)
-                else:
-                    self._start(job, allocation)
-            self.queue = still_queued
+    # Compatibility accessors (the pre-unification simulator exposed
+    # these directly; tests and notebooks still reach for them).
+    @property
+    def engine(self) -> EventEngine:
+        return self.core.engine
 
-    def _start(self, job: Job, allocation) -> None:
-        now = self.engine.now
-        workload = job.workload_spec()
-        gpus = allocation.gpus
-        if len(gpus) == 1:
-            measured_bw = 0.0
-            exec_time = execution_time(workload, 1, float("inf"))
-        else:
-            measured_bw = peak_effective_bandwidth(self.hardware, gpus)
-            exec_time = execution_time(workload, len(gpus), measured_bw)
-        record = JobRecord(
-            job_id=job.job_id,
-            workload=job.workload,
-            num_gpus=job.num_gpus,
-            pattern=job.pattern,
-            bandwidth_sensitive=job.bandwidth_sensitive,
-            submit_time=job.submit_time,
-            start_time=now,
-            finish_time=now + exec_time,
-            allocation=gpus,
-            agg_bw=allocation.scores.get("agg_bw", 0.0),
-            predicted_effective_bw=allocation.scores.get("effective_bw", 0.0),
-            measured_effective_bw=measured_bw,
-        )
-        self._pending_records[job.job_id] = record
-        self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
+    @property
+    def queue(self) -> Deque[Job]:
+        return self.core.queue
 
-    def _complete(self, job_id: int) -> None:
-        self.mapa.release(job_id)
-        self.log.append(self._pending_records.pop(job_id))
+    @property
+    def log(self) -> SimulationLog:
+        return self.core.log
 
 
 def run_policy(

@@ -1,0 +1,328 @@
+"""The unified simulation core: one event loop, pluggable everything.
+
+Historically the single-server simulator (:mod:`repro.sim.cluster`) and
+the multi-server simulator (:mod:`repro.cluster.simulator`) each owned a
+copy of the same arrival/completion dispatch loop, and each grew its own
+queue disciplines.  This module is the single shared loop, parameterised
+on two axes:
+
+* a :class:`PlacementBackend` — *where* jobs land.  The single-server
+  :class:`~repro.allocator.mapa.Mapa` engine (via
+  :class:`SingleServerBackend`) and the
+  :class:`~repro.cluster.scheduler.MultiServerScheduler` both satisfy
+  the protocol, so the same loop drives one DGX or a whole fleet;
+* a :class:`~repro.sim.disciplines.QueueDiscipline` — *when* queued jobs
+  start.  Disciplines drive the core through a small toolkit
+  (:meth:`SimulationCore.place` / :meth:`~SimulationCore.commit` /
+  :meth:`~SimulationCore.abort`, runtime estimates and shadow times), so
+  every discipline works with every backend: multi-server runs get
+  backfill, SJF and EASY for free, and new disciplines never need to be
+  written twice.
+
+The loop itself is unchanged from the paper's Fig. 14 dispatcher: jobs
+arrive into a queue, the discipline starts what it can, completions
+return GPUs to the backend ("Job Finished Signal") and wake the
+discipline again.  Per-job records carry the allocation, AggBW, the
+Eq. 2 *predicted* effective bandwidth and the microbenchmark *measured*
+effective bandwidth — the columns behind the validation scatter of
+Fig. 15.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..allocator.mapa import Mapa
+from ..comm.microbench import peak_effective_bandwidth
+from ..policies.base import Allocation, AllocationRequest
+from ..topology.hardware import HardwareGraph
+from ..workloads.exectime import execution_time
+from ..workloads.jobs import Job, JobFile
+from .disciplines import QueueDiscipline
+from .engine import EventEngine
+from .records import JobRecord, SimulationLog
+
+_ARRIVAL = "arrival"
+_COMPLETION = "completion"
+
+
+class Placement(Protocol):
+    """Where a job landed: a server index plus the committed allocation."""
+
+    @property
+    def server_index(self) -> int: ...
+
+    @property
+    def allocation(self) -> Allocation: ...
+
+    @property
+    def gpus(self) -> Tuple[int, ...]: ...
+
+
+@runtime_checkable
+class PlacementBackend(Protocol):
+    """What the simulation core needs from an allocator.
+
+    Implemented by :class:`SingleServerBackend` (one MAPA-managed
+    server) and :class:`~repro.cluster.scheduler.MultiServerScheduler`
+    (a fleet of them).  ``try_place`` must *commit* the returned
+    placement; ``release`` undoes it, both at completion time and when a
+    discipline aborts a speculative placement (EASY reservations).
+    """
+
+    def can_ever_fit(self, request: AllocationRequest) -> bool: ...
+
+    def try_place(self, request: AllocationRequest) -> Optional[Placement]: ...
+
+    def release(self, job_id: Hashable) -> object: ...
+
+    def free_gpu_counts(self) -> Tuple[int, ...]: ...
+
+    def hardware_for(self, server_index: int) -> HardwareGraph: ...
+
+
+@dataclass(frozen=True)
+class SimPlacement:
+    """Single-server placement: always server 0."""
+
+    server_index: int
+    allocation: Allocation
+
+    @property
+    def gpus(self) -> Tuple[int, ...]:
+        return self.allocation.gpus
+
+
+class SingleServerBackend:
+    """Adapts a :class:`~repro.allocator.mapa.Mapa` engine to the
+    :class:`PlacementBackend` protocol."""
+
+    def __init__(self, mapa: Mapa) -> None:
+        self.mapa = mapa
+
+    def can_ever_fit(self, request: AllocationRequest) -> bool:
+        return self.mapa.can_ever_fit(request)
+
+    def try_place(self, request: AllocationRequest) -> Optional[SimPlacement]:
+        allocation = self.mapa.try_allocate(request)
+        if allocation is None:
+            return None
+        return SimPlacement(server_index=0, allocation=allocation)
+
+    def release(self, job_id: Hashable) -> Tuple[int, ...]:
+        return self.mapa.release(job_id)
+
+    def free_gpu_counts(self) -> Tuple[int, ...]:
+        return (self.mapa.state.num_free,)
+
+    def hardware_for(self, server_index: int) -> HardwareGraph:
+        return self.mapa.hardware
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """A completed job's log record plus the server that hosted it."""
+
+    record: JobRecord
+    server_index: int
+
+
+@dataclass(frozen=True)
+class PlacedJob:
+    """A placement committed to the backend but not yet started.
+
+    Disciplines receive one from :meth:`SimulationCore.place`, inspect
+    the exact execution time, then either :meth:`~SimulationCore.commit`
+    or :meth:`~SimulationCore.abort` it.
+    """
+
+    job: Job
+    placement: Placement
+    exec_time: float
+    measured_bw: float
+
+
+class SimulationCore:
+    """The shared event loop (paper Fig. 14's dispatcher).
+
+    Parameters
+    ----------
+    backend:
+        Placement backend (single server or multi-server fleet).
+    discipline:
+        Queue discipline deciding which queued jobs start after each
+        arrival / completion event.
+    log:
+        The :class:`~repro.sim.records.SimulationLog` completed jobs are
+        appended to (in completion order, as the paper's logger does).
+    """
+
+    def __init__(
+        self,
+        backend: PlacementBackend,
+        discipline: QueueDiscipline,
+        log: SimulationLog,
+    ) -> None:
+        self.backend = backend
+        self.discipline = discipline
+        self.log = log
+        self.engine = EventEngine()
+        self.queue: Deque[Job] = deque()
+        self.placements: List[PlacementRecord] = []
+        self._running: Dict[Hashable, PlacementRecord] = {}
+        self._estimates: Dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # the one event loop
+    # ------------------------------------------------------------------ #
+    def run(self, job_file: JobFile) -> SimulationLog:
+        """Simulate the whole trace and return the log."""
+        for job in job_file:
+            if not self.backend.can_ever_fit(job.request()):
+                raise ValueError(
+                    f"job {job.job_id} requests {job.num_gpus} GPUs; "
+                    "no server can ever host it"
+                )
+            self.engine.schedule(job.submit_time, _ARRIVAL, job)
+        while True:
+            event = self.engine.pop()
+            if event is None:
+                break
+            _, kind, payload = event
+            if kind == _ARRIVAL:
+                self.queue.append(payload)
+            elif kind == _COMPLETION:
+                self._complete(payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+            self.discipline.schedule(self)
+        if self.queue:  # pragma: no cover - defensive
+            raise RuntimeError("simulation ended with jobs still queued")
+        return self.log
+
+    def _complete(self, job_id: Hashable) -> None:
+        self.backend.release(job_id)
+        placement_record = self._running.pop(job_id)
+        self.placements.append(placement_record)
+        self.log.append(placement_record.record)
+
+    # ------------------------------------------------------------------ #
+    # discipline toolkit
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def place(self, job: Job) -> Optional[PlacedJob]:
+        """Commit a placement for ``job`` and evaluate its runtime.
+
+        Returns ``None`` when the backend cannot place the job.  On
+        success the backend state already holds the GPUs — the caller
+        must :meth:`commit` or :meth:`abort` the result.
+        """
+        placement = self.backend.try_place(job.request())
+        if placement is None:
+            return None
+        gpus = placement.gpus
+        workload = job.workload_spec()
+        if len(gpus) == 1:
+            measured = 0.0
+            exec_time = execution_time(workload, 1, float("inf"))
+        else:
+            hardware = self.backend.hardware_for(placement.server_index)
+            measured = peak_effective_bandwidth(hardware, gpus)
+            exec_time = execution_time(workload, len(gpus), measured)
+        return PlacedJob(
+            job=job, placement=placement, exec_time=exec_time, measured_bw=measured
+        )
+
+    def commit(self, placed: PlacedJob) -> JobRecord:
+        """Start a placed job: build its record, schedule its completion."""
+        job = placed.job
+        now = self.engine.now
+        scores = placed.placement.allocation.scores
+        record = JobRecord(
+            job_id=job.job_id,
+            workload=job.workload,
+            num_gpus=job.num_gpus,
+            pattern=job.pattern,
+            bandwidth_sensitive=job.bandwidth_sensitive,
+            submit_time=job.submit_time,
+            start_time=now,
+            finish_time=now + placed.exec_time,
+            allocation=placed.placement.gpus,
+            agg_bw=scores.get("agg_bw", 0.0),
+            predicted_effective_bw=scores.get("effective_bw", 0.0),
+            measured_effective_bw=placed.measured_bw,
+        )
+        self._running[job.job_id] = PlacementRecord(
+            record=record, server_index=placed.placement.server_index
+        )
+        self.engine.schedule_after(placed.exec_time, _COMPLETION, job.job_id)
+        return record
+
+    def abort(self, placed: PlacedJob) -> None:
+        """Undo a speculative placement (EASY reservation miss)."""
+        self.backend.release(placed.job.job_id)
+
+    def try_start(self, job: Job) -> bool:
+        """Place and immediately start ``job`` (the common case)."""
+        placed = self.place(job)
+        if placed is None:
+            return False
+        self.commit(placed)
+        return True
+
+    def runtime_estimate(self, job: Job) -> float:
+        """Ideal-bandwidth runtime lower bound, for SJF-style ordering."""
+        estimate = self._estimates.get(job.job_id)
+        if estimate is None:
+            estimate = execution_time(
+                job.workload_spec(), job.num_gpus, float("inf")
+            )
+            self._estimates[job.job_id] = estimate
+        return estimate
+
+    def earliest_fit_time(self, num_gpus: int) -> float:
+        """Earliest time ``num_gpus`` GPUs are simultaneously free on one
+        server — EASY's shadow time.
+
+        Counts GPUs only (a reservation cannot see intra-server
+        fragmentation); exact completion times are known in simulation.
+        """
+        frees = list(self.backend.free_gpu_counts())
+        if any(f >= num_gpus for f in frees):
+            return self.engine.now
+        capacities = [
+            self.backend.hardware_for(i).num_gpus for i in range(len(frees))
+        ]
+        completions = sorted(
+            (pr.record.finish_time, pr.server_index, pr.record.num_gpus)
+            for pr in self._running.values()
+        )
+        for finish_time, server, freed in completions:
+            frees[server] += freed
+            if capacities[server] >= num_gpus and frees[server] >= num_gpus:
+                return finish_time
+        return float("inf")
+
+    # ------------------------------------------------------------------ #
+    def jobs_per_server(self) -> Dict[int, int]:
+        """How many completed jobs each server hosted."""
+        counts: Dict[int, int] = {
+            i: 0 for i in range(len(self.backend.free_gpu_counts()))
+        }
+        for pr in self.placements:
+            counts[pr.server_index] += 1
+        return counts

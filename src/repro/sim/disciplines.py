@@ -1,0 +1,205 @@
+"""Pluggable queue disciplines for the unified simulation core.
+
+The paper evaluates under strict FIFO and notes MAPA "is agnostic to
+scheduling policies ... and can employ reordering" (section 4).  This
+module turns that observation into a strategy registry: a
+:class:`QueueDiscipline` decides, after every arrival and completion,
+which queued jobs to start, using the :class:`~repro.sim.core.SimulationCore`
+toolkit (``place``/``commit``/``abort``, runtime estimates, shadow
+times).  Disciplines are backend-agnostic — the same code schedules one
+DGX or a fleet of heterogeneous servers.
+
+Built-in disciplines
+--------------------
+``fifo``
+    Strict head-of-line blocking (the paper's setup).
+``backfill``
+    Later jobs may start while the head is blocked, as long as resources
+    allow — no reservation, so the head can starve under adversarial
+    traffic (aggressive backfilling).
+``sjf``
+    Shortest-job-first: like ``backfill`` but candidates are tried in
+    order of estimated runtime (ideal-bandwidth execution time), so
+    short jobs jump the queue.
+``easy-backfill``
+    EASY backfilling (Lifka '95): the blocked head holds a reservation
+    at the earliest time enough GPUs will be free, and later jobs may
+    start only if they finish before that shadow time.  Runtimes of
+    running jobs are known exactly in simulation, so the reservation is
+    exact up to GPU counts (the shadow time ignores intra-server
+    fragmentation, as real EASY schedulers do).
+
+Use :func:`register_discipline` to add custom disciplines; they become
+available to both simulators and the CLI by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..workloads.jobs import Job
+    from .core import SimulationCore
+
+#: Slack added to reservation comparisons so float round-off in event
+#: times never flips a backfill decision.
+_EPS = 1e-9
+
+
+class QueueDiscipline(abc.ABC):
+    """Strategy deciding which queued jobs start after each event."""
+
+    #: Registry name used in logs and the CLI.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, core: "SimulationCore") -> None:
+        """Start queued jobs on ``core`` according to this discipline."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FifoDiscipline(QueueDiscipline):
+    """Strict FIFO with head-of-line blocking (paper section 4)."""
+
+    name = "fifo"
+
+    def schedule(self, core: "SimulationCore") -> None:
+        queue = core.queue
+        while queue:
+            if not core.try_start(queue[0]):
+                return  # head-of-line blocking: wait for a completion
+            queue.popleft()
+
+
+class BackfillDiscipline(QueueDiscipline):
+    """Aggressive backfill: scan past a blocked head, no reservation."""
+
+    name = "backfill"
+
+    def schedule(self, core: "SimulationCore") -> None:
+        still: Deque["Job"] = deque()
+        while core.queue:
+            job = core.queue.popleft()
+            if max(core.backend.free_gpu_counts()) < job.num_gpus:
+                still.append(job)
+                continue
+            if not core.try_start(job):
+                still.append(job)
+        core.queue = still
+
+
+class ShortestJobFirstDiscipline(QueueDiscipline):
+    """Backfill with candidates ordered by estimated runtime.
+
+    The estimate is the job's ideal-bandwidth execution time (a lower
+    bound independent of placement quality), so ordering is known before
+    any allocation is attempted.  Jobs that do not start keep their
+    arrival order in the queue.
+    """
+
+    name = "sjf"
+
+    def schedule(self, core: "SimulationCore") -> None:
+        order = sorted(
+            enumerate(core.queue),
+            key=lambda item: (core.runtime_estimate(item[1]), item[0]),
+        )
+        started = set()
+        for pos, job in order:
+            if max(core.backend.free_gpu_counts()) < job.num_gpus:
+                continue
+            if core.try_start(job):
+                started.add(pos)
+        if started:
+            core.queue = deque(
+                job for pos, job in enumerate(core.queue) if pos not in started
+            )
+
+
+class EasyBackfillDiscipline(QueueDiscipline):
+    """EASY backfilling: reservation for the head, strict for the rest.
+
+    The head of the queue gets a reservation at the shadow time — the
+    earliest instant enough GPUs free up on one server.  A later job may
+    backfill only if its placement finishes by then, so the head is
+    never delayed by a backfilled job (up to intra-server fragmentation,
+    which GPU-count reservations cannot see).
+    """
+
+    name = "easy-backfill"
+
+    def schedule(self, core: "SimulationCore") -> None:
+        queue = core.queue
+        while queue:
+            placed = core.place(queue[0])
+            if placed is None:
+                break
+            queue.popleft()
+            core.commit(placed)
+        if not queue:
+            return
+        head = queue.popleft()
+        shadow = core.earliest_fit_time(head.num_gpus)
+        rest: Deque["Job"] = deque()
+        while queue:
+            job = queue.popleft()
+            placed = core.place(job)
+            if placed is None:
+                rest.append(job)
+                continue
+            if core.now + placed.exec_time <= shadow + _EPS:
+                core.commit(placed)
+            else:
+                core.abort(placed)  # would delay the head's reservation
+                rest.append(job)
+        rest.appendleft(head)
+        core.queue = rest
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+DISCIPLINES: Dict[str, Callable[[], QueueDiscipline]] = {}
+
+#: Alternative spellings accepted by :func:`make_discipline`.
+_ALIASES: Dict[str, str] = {
+    "easy": "easy-backfill",
+    "easy_backfill": "easy-backfill",
+    "shortest-job-first": "sjf",
+    "shortest_job_first": "sjf",
+}
+
+
+def register_discipline(
+    name: str, factory: Callable[[], QueueDiscipline]
+) -> None:
+    """Register a discipline factory under ``name`` (lowercase)."""
+    DISCIPLINES[name.lower()] = factory
+
+
+def make_discipline(name: str) -> QueueDiscipline:
+    """Instantiate a queue discipline by (case-insensitive) name."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    factory = DISCIPLINES.get(key)
+    if factory is None:
+        known = ", ".join(DISCIPLINES)
+        raise ValueError(
+            f"unknown scheduling discipline {name!r}; known: {known}"
+        )
+    return factory()
+
+
+register_discipline("fifo", FifoDiscipline)
+register_discipline("backfill", BackfillDiscipline)
+register_discipline("sjf", ShortestJobFirstDiscipline)
+register_discipline("easy-backfill", EasyBackfillDiscipline)
+
+#: Canonical built-in discipline names, in registration order.  A
+#: snapshot taken at import time — for a live view that includes later
+#: :func:`register_discipline` calls, iterate :data:`DISCIPLINES`.
+DISCIPLINE_NAMES: Tuple[str, ...] = tuple(DISCIPLINES)

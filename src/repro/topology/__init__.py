@@ -12,6 +12,7 @@ from .links import (
     per_channel_bandwidth,
 )
 from .hardware import HardwareGraph, HardwareLink
+from .linktable import CODE_TO_AXIS, LinkTable
 from .builders import (
     TOPOLOGY_BUILDERS,
     big_basin,
@@ -50,6 +51,8 @@ __all__ = [
     "per_channel_bandwidth",
     "HardwareGraph",
     "HardwareLink",
+    "CODE_TO_AXIS",
+    "LinkTable",
     "TOPOLOGY_BUILDERS",
     "big_basin",
     "by_name",

@@ -113,6 +113,8 @@ class HardwareGraph:
         self._socket_of: Dict[int, int] = {
             g: i for i, sock in enumerate(self._sockets) for g in sock
         }
+        self._link_table: Optional["LinkTable"] = None
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -143,6 +145,21 @@ class HardwareGraph:
         if u not in self or v not in self:
             raise KeyError(f"unknown GPU pair ({u}, {v})")
         return self._nvlink.get(_key(u, v), self._pcie_link)
+
+    @property
+    def link_table(self) -> "LinkTable":
+        """Precomputed pairwise link table (built once, then cached).
+
+        Hardware graphs are immutable after construction, so the table
+        never goes stale; hot paths (match scanning, ring decomposition)
+        read link class and bandwidth from its flat arrays instead of
+        resolving pairs through :meth:`link` one at a time.
+        """
+        if self._link_table is None:
+            from .linktable import LinkTable
+
+            self._link_table = LinkTable(self)
+        return self._link_table
 
     def bandwidth(self, u: int, v: int) -> float:
         """Peak bandwidth in GB/s between ``u`` and ``v``."""
@@ -261,4 +278,10 @@ class HardwareGraph:
         )
 
     def __hash__(self) -> int:
-        return hash((self._gpus, frozenset(self._nvlink.items()), self._sockets))
+        # Cached: graphs are immutable and hashed on every memoised
+        # bandwidth lookup, and the frozenset build is O(links).
+        if self._hash is None:
+            self._hash = hash(
+                (self._gpus, frozenset(self._nvlink.items()), self._sockets)
+            )
+        return self._hash

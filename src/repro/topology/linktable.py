@@ -1,0 +1,127 @@
+"""Precomputed per-pair link table for a hardware graph.
+
+:meth:`HardwareGraph.link` resolves one pair at a time through a
+``frozenset``-keyed dict, and every caller that needs the Eq. 2 link
+class re-runs :func:`~repro.topology.links.classify_xyz` on the result.
+That is fine for one-off queries, but the allocation hot path
+(:mod:`repro.policies.scan`) asks for every pair of every candidate
+subset of every allocation, and the simulated NCCL microbenchmark
+(:mod:`repro.comm.rings`) asks again for every placed job — the same
+answers, recomputed millions of times per simulated trace.
+
+:class:`LinkTable` computes the answers once per topology: flat
+row-major arrays of link class, bandwidth, channel count, per-channel
+bandwidth and NVLink-ness over all ``n²`` ordered GPU pairs.  Hot loops
+grab the flat tuples plus the GPU→row index and do pure integer
+arithmetic; casual callers can use the by-id accessors.  The table is
+cached on the graph via :attr:`HardwareGraph.link_table` (hardware
+graphs are immutable after construction, so the cache never staleness).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from .links import (
+    LinkType,
+    bandwidth_of,
+    channels_of,
+    classify_xyz,
+    is_nvlink,
+    per_channel_bandwidth,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .hardware import HardwareGraph
+
+#: Integer codes for the Eq. 2 link-class axes ("x", "y", "z").
+X, Y, Z = 0, 1, 2
+
+#: Axis letter for each integer code, ``CODE_TO_AXIS[X] == "x"``.
+CODE_TO_AXIS: Tuple[str, str, str] = ("x", "y", "z")
+
+_AXIS_TO_CODE = {"x": X, "y": Y, "z": Z}
+
+
+class LinkTable:
+    """Dense pairwise link properties of one :class:`HardwareGraph`.
+
+    All per-pair attributes are flat row-major tuples of length ``n²``
+    over the *table rows* (``0 … n-1``, ascending GPU id); entry
+    ``row(u) * n + row(v)`` describes the ``u``–``v`` link.  Diagonal
+    entries are filled with the PCIe fallback but are meaningless —
+    hardware graphs have no self-links.
+    """
+
+    __slots__ = (
+        "gpus",
+        "n",
+        "index",
+        "codes",
+        "bandwidths",
+        "channels",
+        "per_channel",
+        "nvlink",
+    )
+
+    def __init__(self, hardware: "HardwareGraph") -> None:
+        self.gpus: Tuple[int, ...] = hardware.gpus
+        self.n: int = len(self.gpus)
+        self.index: Dict[int, int] = {g: i for i, g in enumerate(self.gpus)}
+        n = self.n
+        codes = [Z] * (n * n)
+        bws = [0.0] * (n * n)
+        chans = [1] * (n * n)
+        per_chan = [0.0] * (n * n)
+        nvl = [False] * (n * n)
+        for i, u in enumerate(self.gpus):
+            for j in range(i + 1, n):
+                v = self.gpus[j]
+                link = hardware.link(u, v)
+                code = _AXIS_TO_CODE[classify_xyz(link)]
+                bw = bandwidth_of(link)
+                ch = channels_of(link)
+                pc = per_channel_bandwidth(link)
+                nv = is_nvlink(link)
+                for p in (i * n + j, j * n + i):
+                    codes[p] = code
+                    bws[p] = bw
+                    chans[p] = ch
+                    per_chan[p] = pc
+                    nvl[p] = nv
+        self.codes: Tuple[int, ...] = tuple(codes)
+        self.bandwidths: Tuple[float, ...] = tuple(bws)
+        self.channels: Tuple[int, ...] = tuple(chans)
+        self.per_channel: Tuple[float, ...] = tuple(per_chan)
+        self.nvlink: Tuple[bool, ...] = tuple(nvl)
+
+    # ------------------------------------------------------------------ #
+    # by-GPU-id accessors (convenience; hot loops index the flat tuples)
+    # ------------------------------------------------------------------ #
+    def flat(self, u: int, v: int) -> int:
+        """Flat index of the ``u``–``v`` pair (GPU ids, not rows)."""
+        return self.index[u] * self.n + self.index[v]
+
+    def code(self, u: int, v: int) -> int:
+        """Eq. 2 link-class code (:data:`X`/:data:`Y`/:data:`Z`)."""
+        return self.codes[self.flat(u, v)]
+
+    def axis(self, u: int, v: int) -> str:
+        """Eq. 2 link-class axis letter (``"x"``/``"y"``/``"z"``)."""
+        return CODE_TO_AXIS[self.code(u, v)]
+
+    def bandwidth(self, u: int, v: int) -> float:
+        """Peak bandwidth in GB/s between ``u`` and ``v``."""
+        return self.bandwidths[self.flat(u, v)]
+
+    def num_channels(self, u: int, v: int) -> int:
+        return self.channels[self.flat(u, v)]
+
+    def channel_bandwidth(self, u: int, v: int) -> float:
+        return self.per_channel[self.flat(u, v)]
+
+    def has_nvlink(self, u: int, v: int) -> bool:
+        return self.nvlink[self.flat(u, v)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinkTable(gpus={self.n})"
