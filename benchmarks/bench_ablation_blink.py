@@ -19,7 +19,7 @@ from repro.comm.microbench import peak_effective_bandwidth
 from repro.comm.spanning_trees import blink_effective_bandwidth, recovery_ratio
 from repro.policies.registry import make_policy
 from repro.sim.cluster import run_policy
-from repro.workloads.generator import generate_job_file
+from repro.experiments import paper_job_file
 
 from conftest import emit
 
@@ -53,7 +53,7 @@ def build_recovery_table(dgx) -> str:
 def build_policy_table(dgx, dgx_model) -> str:
     """Fraction of sensitive multi-GPU jobs landing on fragmented
     allocations per policy — the population Blink would have to rescue."""
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    trace = paper_job_file()
     rows = []
     for name in ("baseline", "topo-aware", "greedy", "preserve"):
         log = run_policy(dgx, make_policy(name, dgx_model), trace, dgx_model)
@@ -105,7 +105,7 @@ def test_blink_vs_mapa_positioning(benchmark, dgx, dgx_model):
         build_policy_table, args=(dgx, dgx_model), rounds=1, iterations=1
     )
     emit("ablation_blink_vs_mapa", table)
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    trace = paper_job_file()
     frac = {}
     for name in ("baseline", "preserve"):
         log = run_policy(dgx, make_policy(name, dgx_model), trace, dgx_model)

@@ -11,7 +11,7 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.cluster import run_cluster
 from repro.topology.builders import dgx1_v100
-from repro.workloads.generator import generate_job_file
+from repro.experiments import CLUSTER_NUM_JOBS, paper_job_file
 
 from conftest import emit
 
@@ -20,7 +20,7 @@ NODE_POLICIES = ("first-fit", "pack", "spread", "best-score")
 
 def build_table(dgx_model) -> str:
     servers = [dgx1_v100() for _ in range(4)]
-    trace = generate_job_file(400, seed=2021, max_gpus=5)
+    trace = paper_job_file(CLUSTER_NUM_JOBS)
     rows = []
     for node_policy in NODE_POLICIES:
         sim = run_cluster(
@@ -51,7 +51,7 @@ def test_cluster_node_policies(benchmark, dgx_model):
     )
     emit("ablation_cluster", table)
     servers = [dgx1_v100() for _ in range(4)]
-    trace = generate_job_file(400, seed=2021, max_gpus=5)
+    trace = paper_job_file(CLUSTER_NUM_JOBS)
     makespans = {}
     for node_policy in NODE_POLICIES:
         sim = run_cluster(

@@ -20,7 +20,7 @@ from repro.policies.preserve import PreservePolicy
 from repro.policies.registry import make_policy
 from repro.scoring.effective import PAPER_MODEL
 from repro.sim.cluster import run_policy
-from repro.workloads.generator import generate_job_file
+from repro.experiments import paper_job_file
 
 from conftest import emit
 
@@ -34,7 +34,7 @@ def _variants(dgx_model):
 
 
 def build_table(dgx, dgx_model) -> str:
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    trace = paper_job_file()
     rows = []
     for label, policy in _variants(dgx_model).items():
         log = run_policy(dgx, policy, trace, dgx_model)
@@ -63,7 +63,7 @@ def test_model_ablation(benchmark, dgx, dgx_model):
         build_table, args=(dgx, dgx_model), rounds=1, iterations=1
     )
     emit("ablation_model", table)
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
+    trace = paper_job_file()
     means = {}
     for label, policy in _variants(dgx_model).items():
         log = run_policy(dgx, policy, trace, dgx_model)

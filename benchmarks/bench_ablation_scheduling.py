@@ -6,22 +6,32 @@ reordering buys on the same trace across every discipline in the
 registry: backfill and SJF fill the holes FIFO leaves while a big job
 blocks the queue head; EASY backfilling does the same without ever
 delaying the blocked head's reservation.
+
+The (discipline × policy) grid runs through the declarative experiment
+layer — one sweep, every cell an independently cacheable simulation.
 """
 
+from functools import lru_cache
+
 from repro.analysis.tables import format_table
-from repro.sim.cluster import run_all_policies
+from repro.experiments import SweepRunner, dgx_evaluation_spec
 from repro.sim.disciplines import DISCIPLINE_NAMES
-from repro.workloads.generator import generate_job_file
 
 from conftest import emit
 
 
-def build_table(dgx, dgx_model) -> str:
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
+@lru_cache(maxsize=1)
+def _sweep():
+    return SweepRunner().run(dgx_evaluation_spec(disciplines=DISCIPLINE_NAMES))
+
+
+def build_table() -> str:
+    # The sweep runs inside the measured region: this benchmark times
+    # the discipline ablation itself, not just table formatting.
+    outcome = _sweep()
     rows = []
     for discipline in DISCIPLINE_NAMES:
-        logs = run_all_policies(dgx, trace, dgx_model, scheduling=discipline)
-        for name, log in logs.items():
+        for name, log in outcome.logs(discipline=discipline).items():
             waits = [r.wait_time for r in log.records]
             rows.append(
                 [
@@ -40,14 +50,12 @@ def build_table(dgx, dgx_model) -> str:
     )
 
 
-def test_scheduling_ablation(benchmark, dgx, dgx_model):
-    table = benchmark.pedantic(
-        build_table, args=(dgx, dgx_model), rounds=1, iterations=1
-    )
+def test_scheduling_ablation(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
     emit("ablation_scheduling", table)
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
-    fifo = run_all_policies(dgx, trace, dgx_model, scheduling="fifo")
-    back = run_all_policies(dgx, trace, dgx_model, scheduling="backfill")
+    outcome = _sweep()
+    fifo = outcome.logs(discipline="fifo")
+    back = outcome.logs(discipline="backfill")
     # Backfill reduces (or at worst matches) makespan for every policy.
     for name in fifo:
         assert back[name].makespan <= fifo[name].makespan * 1.02

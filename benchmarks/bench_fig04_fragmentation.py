@@ -11,13 +11,19 @@ from repro.analysis.fragmentation import quality_by_job_size, summarize_fragment
 from repro.analysis.tables import format_table
 from repro.policies.registry import make_policy
 from repro.sim.cluster import run_policy
-from repro.workloads.generator import generate_job_file
+from repro.experiments import (
+    FRAGMENTATION_MIN_GPUS,
+    FRAGMENTATION_NUM_JOBS,
+    paper_job_file,
+)
 
 from conftest import emit
 
 
 def run_fragmentation_study(dgx):
-    trace = generate_job_file(100, seed=2021, min_gpus=2, max_gpus=5)
+    trace = paper_job_file(
+        FRAGMENTATION_NUM_JOBS, min_gpus=FRAGMENTATION_MIN_GPUS
+    )
     log = run_policy(dgx, make_policy("baseline"), trace)
     return quality_by_job_size(dgx, log)
 

@@ -9,18 +9,15 @@ lifting the lower tail well above the topology-blind policies.
 """
 
 from repro.analysis.tables import format_boxplot_rows
-from repro.scoring.regression import fit_for_hardware
-from repro.sim.cluster import run_all_policies
+from repro.experiments import SweepRunner, topology_evaluation_spec
 from repro.sim.metrics import boxplot_stats, effective_bw_distribution
-from repro.workloads.generator import generate_job_file
 
 from conftest import emit
 
 
 def run_topology(hw):
-    model, _, _ = fit_for_hardware(hw)
-    trace = generate_job_file(300, seed=2021, max_gpus=5)
-    return run_all_policies(hw, trace, model)
+    spec = topology_evaluation_spec(topologies=(hw.name,))
+    return SweepRunner().run(spec).logs()
 
 
 def build_fig18(hw) -> str:

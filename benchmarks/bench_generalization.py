@@ -14,14 +14,16 @@ awareness only matters when there is topology to be aware of.
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.scoring.regression import fit_for_hardware
-from repro.sim.cluster import run_all_policies
-from repro.topology.builders import by_name
-from repro.workloads.generator import generate_job_file
+from repro.experiments import (
+    GENERALIZATION_NUM_JOBS,
+    GENERALIZATION_TOPOLOGIES,
+    SweepRunner,
+    topology_evaluation_spec,
+)
 
 from conftest import emit
 
-TOPOLOGIES = ("summit", "dgx1-p100", "dgx1-v100-cube-mesh", "dgx2")
+TOPOLOGIES = GENERALIZATION_TOPOLOGIES
 
 
 def _tail_q3(log):
@@ -30,10 +32,10 @@ def _tail_q3(log):
 
 
 def run_topology(name: str):
-    hw = by_name(name)
-    model, _, _ = fit_for_hardware(hw, sizes=(2, 3, 4, 5))
-    trace = generate_job_file(200, seed=2021, max_gpus=min(5, hw.num_gpus))
-    return run_all_policies(hw, trace, model)
+    spec = topology_evaluation_spec(
+        topologies=(name,), num_jobs=GENERALIZATION_NUM_JOBS
+    )
+    return SweepRunner().run(spec).logs()
 
 
 def build_table() -> str:

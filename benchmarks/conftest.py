@@ -6,7 +6,10 @@ so EXPERIMENTS.md's paper-vs-measured index can be refreshed from a
 single ``pytest benchmarks/ --benchmark-only`` run.
 
 Expensive artefacts (the 300-job trace simulated under all four
-policies) are computed once per session and shared.
+policies) come from the declarative experiment layer
+(:mod:`repro.experiments`): one sweep per session, and the trace
+constants live in :mod:`repro.experiments.presets` instead of being
+repeated per benchmark.
 """
 
 from __future__ import annotations
@@ -16,23 +19,30 @@ from typing import Dict
 
 import pytest
 
+from repro.experiments import (
+    SweepRunner,
+    dgx_evaluation_spec,
+    paper_job_file,
+)
+from repro.ioutils import atomic_write_text
 from repro.scoring.regression import fit_for_hardware
-from repro.sim.cluster import run_all_policies
 from repro.topology.builders import cube_mesh_16, dgx1_v100, torus_2d_16
-from repro.workloads.generator import generate_job_file
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def emit(experiment: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
+    """Print a result block and persist it under benchmarks/results/.
+
+    The write is atomic (temp file + ``os.replace``) so parallel sweep
+    workers — or two concurrent benchmark runs — can never leave a
+    half-written result file behind.
+    """
     banner = f"\n===== {experiment} =====\n"
     print(banner + text)
-    with open(
-        os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w", encoding="utf-8"
-    ) as fh:
-        fh.write(text + "\n")
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, f"{experiment}.txt"), text + "\n"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -59,10 +69,11 @@ def dgx_model(dgx):
 @pytest.fixture(scope="session")
 def trace300():
     """The paper's evaluation trace: 300 jobs, uniform mix, 1–5 GPUs."""
-    return generate_job_file(300, seed=2021, max_gpus=5)
+    return paper_job_file()
 
 
 @pytest.fixture(scope="session")
-def dgx_logs(dgx, dgx_model, trace300) -> Dict[str, object]:
-    """The 300-job trace simulated under all four policies on DGX-V."""
-    return run_all_policies(dgx, trace300, dgx_model)
+def dgx_logs() -> Dict[str, object]:
+    """The 300-job trace simulated under all four policies on DGX-V,
+    via the experiment layer's sweep runner."""
+    return SweepRunner().run(dgx_evaluation_spec()).logs()

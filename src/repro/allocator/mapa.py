@@ -50,6 +50,7 @@ class Mapa:
         self.policy = policy
         self.model = model
         self.state = AllocationState(hardware)
+        self._anon_counter = 0
 
     # ------------------------------------------------------------------ #
     def can_ever_fit(self, request: AllocationRequest) -> bool:
@@ -72,8 +73,13 @@ class Mapa:
         proposal = self.policy.allocate(request, self.hardware, available)
         if proposal is None:
             return None
-        annotated = self._annotate(proposal, available)
-        job_id: Hashable = request.job_id if request.job_id is not None else object()
+        job_id: Hashable = request.job_id
+        if job_id is None:
+            # Anonymous request: mint a handle and hand it back on the
+            # allocation so the caller can release the job later.
+            self._anon_counter += 1
+            job_id = ("anon", self._anon_counter)
+        annotated = self._annotate(proposal, available, job_id)
         self.state.allocate(job_id, annotated.gpus)
         return annotated
 
@@ -85,7 +91,9 @@ class Mapa:
         self.state.reset()
 
     # ------------------------------------------------------------------ #
-    def _annotate(self, alloc: Allocation, available) -> Allocation:
+    def _annotate(
+        self, alloc: Allocation, available, job_id: Hashable
+    ) -> Allocation:
         scores = dict(alloc.scores)
         match = alloc.match
         if match is not None:
@@ -103,4 +111,6 @@ class Mapa:
                 "preserved_bw",
                 preserved_bandwidth(self.hardware, match, available),
             )
-        return Allocation(gpus=alloc.gpus, match=match, scores=scores)
+        return Allocation(
+            gpus=alloc.gpus, match=match, scores=scores, job_id=job_id
+        )

@@ -81,3 +81,12 @@ def log_to_csv(log, path: Optional[str] = None) -> str:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(text)
     return text
+
+
+def sweep_to_csv(outcome, path: Optional[str] = None) -> str:
+    """Export a :class:`~repro.experiments.runner.SweepOutcome`'s
+    per-cell summary (one row per grid cell) — what ``mapa sweep
+    --format csv`` prints."""
+    from ..experiments.runner import SUMMARY_COLUMNS
+
+    return series_to_csv(list(SUMMARY_COLUMNS), outcome.summary_rows(), path)

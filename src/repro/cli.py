@@ -12,6 +12,10 @@ Subcommands
 ``fit``
     Fit the Eq. 2 effective-bandwidth model for a topology and print the
     coefficients next to the paper's.
+``sweep``
+    Expand a declarative topology×policy×discipline grid, simulate the
+    cells in parallel worker processes with content-hash result caching,
+    and print a per-cell summary (table, JSON or CSV).
 """
 
 from __future__ import annotations
@@ -148,6 +152,80 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.export import sweep_to_csv
+    from .experiments import (
+        SUMMARY_COLUMNS,
+        ResultStore,
+        SweepRunner,
+        TraceSpec,
+        default_cache_dir,
+        parse_grid,
+    )
+
+    try:
+        spec = parse_grid(
+            args.grid,
+            trace=TraceSpec(
+                num_jobs=args.trace_jobs, seed=args.seed, max_gpus=args.max_gpus
+            ),
+            model=args.model,
+        )
+        runner = SweepRunner(
+            store=(
+                None
+                if args.no_cache
+                else ResultStore(args.cache_dir or default_cache_dir())
+            ),
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    outcome = runner.run(spec)
+    rows = outcome.summary_rows()
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "cells": [
+                        dict(zip(SUMMARY_COLUMNS, row)) for row in rows
+                    ],
+                    "num_cells": outcome.num_cells,
+                    "num_cached": outcome.num_cached,
+                    "num_simulated": outcome.num_simulated,
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "csv":
+        print(sweep_to_csv(outcome), end="")
+    else:
+        print(
+            format_table(
+                list(SUMMARY_COLUMNS),
+                rows,
+                title=(
+                    f"Sweep: {len(spec.topologies)} topologies × "
+                    f"{len(spec.policies)} policies × "
+                    f"{len(spec.disciplines)} disciplines, "
+                    f"{args.trace_jobs}-job trace (seed {args.seed})"
+                ),
+                float_fmt="{:.1f}",
+            )
+        )
+    print(
+        f"sweep: {outcome.num_cells} cells, {outcome.num_cached} cached, "
+        f"{outcome.num_simulated} simulated "
+        f"({args.jobs} worker{'s' if args.jobs != 1 else ''}, "
+        f"{outcome.elapsed:.1f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     hw = by_name(args.topology)
     model, quality, samples = fit_for_hardware(hw)
@@ -221,6 +299,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue discipline for the simulated dispatcher",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a topology×policy×discipline grid in parallel, with caching",
+    )
+    p_sweep.add_argument(
+        "--grid",
+        nargs="*",
+        default=[],
+        metavar="AXIS=V1,V2",
+        help=(
+            "grid axes as axis=value[,value...] items; axes: topology, "
+            "policy, discipline; 'all' expands an axis to every "
+            "registered value (default grid: dgx1-v100 × the four "
+            "policies × fifo)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for cache misses"
+    )
+    p_sweep.add_argument("--trace-jobs", type=int, default=300)
+    p_sweep.add_argument("--seed", type=int, default=2021)
+    p_sweep.add_argument("--max-gpus", type=int, default=5)
+    p_sweep.add_argument(
+        "--model",
+        default="refit",
+        choices=("refit", "paper"),
+        help="Eq. 2 scoring model: per-topology refit or paper coefficients",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        help="result-cache directory (default: $MAPA_SWEEP_CACHE or "
+        ".mapa_sweep_cache)",
+    )
+    p_sweep.add_argument(
+        "--format", default="table", choices=("table", "json", "csv")
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
     p_fit.add_argument("--topology", default="dgx1-v100")

@@ -140,7 +140,9 @@ class MultiServerScheduler:
             )
             if proposal is None:
                 continue
-            annotated = engine._annotate(proposal, engine.state.free_gpus)
+            annotated = engine._annotate(
+                proposal, engine.state.free_gpus, request.job_id
+            )
             score = annotated.scores.get("effective_bw", 0.0)
             if score > best_score:
                 best_score = score

@@ -1,0 +1,98 @@
+"""The paper's canonical experiment constants, in one place.
+
+Every benchmark used to repeat ``generate_job_file(300, seed=2021,
+max_gpus=5)`` and friends inline; the magic numbers now live here so
+benchmarks, tests and the sweep CLI all agree on what "the evaluation
+trace" means.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.jobs import JobFile
+from .spec import ExperimentSpec, TraceSpec
+
+#: RNG seed used by every trace in the paper's evaluation (section 4).
+PAPER_SEED = 2021
+
+#: The main evaluation trace: 300 jobs, uniform workload mix.
+PAPER_NUM_JOBS = 300
+
+#: Uniform GPU-request range of the evaluation trace (1–5 GPUs).
+PAPER_MIN_GPUS = 1
+PAPER_MAX_GPUS = 5
+
+#: The Fig. 4 fragmentation study uses 100 multi-GPU jobs (2–5 GPUs).
+FRAGMENTATION_NUM_JOBS = 100
+FRAGMENTATION_MIN_GPUS = 2
+
+#: The cross-topology generalisation study uses a shorter 200-job trace.
+GENERALIZATION_NUM_JOBS = 200
+
+#: The multi-server ablation loads four servers with 400 jobs.
+CLUSTER_NUM_JOBS = 400
+
+#: The paper's single-server evaluation topology.
+PAPER_TOPOLOGY = "dgx1-v100"
+
+#: The novel 16-GPU fabrics of Fig. 18.
+NOVEL_TOPOLOGIES = ("torus-2d-16", "cube-mesh-16")
+
+#: The topologies of the generalisation study (abstract's claim).
+GENERALIZATION_TOPOLOGIES = ("summit", "dgx1-p100", "dgx1-v100-cube-mesh", "dgx2")
+
+
+def paper_trace(
+    num_jobs: int = PAPER_NUM_JOBS,
+    seed: int = PAPER_SEED,
+    min_gpus: int = PAPER_MIN_GPUS,
+    max_gpus: int = PAPER_MAX_GPUS,
+    workload_names: Optional[Sequence[str]] = None,
+) -> TraceSpec:
+    """The evaluation trace as a declarative :class:`TraceSpec`."""
+    return TraceSpec(
+        num_jobs=num_jobs,
+        seed=seed,
+        min_gpus=min_gpus,
+        max_gpus=max_gpus,
+        workload_names=tuple(workload_names) if workload_names else None,
+    )
+
+
+def paper_job_file(
+    num_jobs: int = PAPER_NUM_JOBS,
+    seed: int = PAPER_SEED,
+    min_gpus: int = PAPER_MIN_GPUS,
+    max_gpus: int = PAPER_MAX_GPUS,
+) -> JobFile:
+    """The evaluation trace as a concrete :class:`JobFile`."""
+    return paper_trace(
+        num_jobs=num_jobs, seed=seed, min_gpus=min_gpus, max_gpus=max_gpus
+    ).build()
+
+
+def dgx_evaluation_spec(
+    disciplines: Sequence[str] = ("fifo",),
+    num_jobs: int = PAPER_NUM_JOBS,
+) -> ExperimentSpec:
+    """The paper's core experiment: all four policies on the DGX-V."""
+    return ExperimentSpec(
+        name="dgx-evaluation",
+        topologies=(PAPER_TOPOLOGY,),
+        disciplines=tuple(disciplines),
+        trace=paper_trace(num_jobs=num_jobs),
+    )
+
+
+def topology_evaluation_spec(
+    topologies: Sequence[str],
+    num_jobs: int = PAPER_NUM_JOBS,
+) -> ExperimentSpec:
+    """The Fig. 18 / generalisation shape: refit Eq. 2 per topology and
+    replay the evaluation trace under all four policies."""
+    return ExperimentSpec(
+        name="topology-evaluation",
+        topologies=tuple(topologies),
+        trace=paper_trace(num_jobs=num_jobs),
+    )

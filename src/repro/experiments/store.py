@@ -1,0 +1,111 @@
+"""Content-addressed cache of sweep cell results.
+
+Each simulated cell persists its :class:`~repro.sim.records.SimulationLog`
+(plus summary metrics) as JSON under the cell's config hash, so an
+identical re-run — same trace, topology, policy, discipline, model —
+is served from disk instead of re-simulating.  Floats round-trip
+through JSON bit-exactly, so every table derived from a cached log is
+byte-identical to one derived from a fresh simulation.
+
+Writes are atomic (temp file + ``os.replace``) because sweep workers
+run in parallel and several processes may target the same store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..ioutils import atomic_write_text
+from ..sim.records import SimulationLog
+from .spec import CellConfig
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "MAPA_SWEEP_CACHE"
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".mapa_sweep_cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One simulated cell: its config summary plus the full log."""
+
+    config_hash: str
+    label: str
+    log: SimulationLog
+    cached: bool = False
+
+    @property
+    def makespan(self) -> float:
+        return self.log.makespan
+
+    @property
+    def throughput(self) -> float:
+        return self.log.throughput
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config_hash": self.config_hash,
+            "label": self.label,
+            "log": self.log.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], cached: bool = False
+    ) -> "CellResult":
+        return cls(
+            config_hash=payload["config_hash"],
+            label=payload["label"],
+            log=SimulationLog.from_dict(payload["log"]),
+            cached=cached,
+        )
+
+
+class ResultStore:
+    """Filesystem-backed map from config hash to :class:`CellResult`."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def _path(self, config_hash: str) -> str:
+        return os.path.join(self.root, config_hash[:2], f"{config_hash}.json")
+
+    def __contains__(self, cell: CellConfig) -> bool:
+        return os.path.exists(self._path(cell.config_hash()))
+
+    def load(self, cell: CellConfig) -> Optional[CellResult]:
+        """Return the cached result for ``cell``, or ``None`` on a miss.
+
+        Unreadable or truncated entries (e.g. from an interrupted run on
+        a pre-atomic-write store) count as misses.
+        """
+        path = self._path(cell.config_hash())
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            result = CellResult.from_dict(payload, cached=True)
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, result: CellResult) -> str:
+        """Atomically persist ``result``; returns the entry's path."""
+        path = self._path(result.config_hash)
+        return atomic_write_text(path, json.dumps(result.to_dict()))

@@ -1,0 +1,31 @@
+"""Small filesystem helpers shared across the package and harnesses."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Safe under concurrent writers — parallel sweep workers and
+    simultaneous benchmark runs can never leave a half-written file
+    behind.  Returns ``path``.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".tmp-", suffix=os.path.splitext(path)[1], dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path

@@ -45,11 +45,18 @@ class Allocation:
     Fully immutable: ``scores`` is wrapped in a read-only mapping view
     at construction, so a committed allocation can never be reshaped by
     downstream annotation or logging code.
+
+    ``job_id`` is the handle the allocation was committed under.
+    Policies leave it ``None`` (they only propose); the
+    :class:`~repro.allocator.mapa.Mapa` engine fills it in when it
+    commits — including the generated handle for anonymous requests —
+    so the caller can always ``release()`` what it was given.
     """
 
     gpus: Tuple[int, ...]
     match: Optional[Match] = None
     scores: Mapping[str, float] = field(default_factory=dict)
+    job_id: Optional[Hashable] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scores", MappingProxyType(dict(self.scores)))

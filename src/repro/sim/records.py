@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, fields
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,30 @@ class SimulationLog:
     def execution_times(self, records: Optional[Sequence[JobRecord]] = None) -> List[float]:
         recs = self.records if records is None else records
         return [r.execution_time for r in recs]
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of the whole log.
+
+        Floats survive a JSON round-trip bit-exactly, so a log restored
+        with :meth:`from_dict` (e.g. from the sweep result cache)
+        reproduces every derived table byte-identically.
+        """
+        return {
+            "policy": self.policy_name,
+            "topology": self.topology_name,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationLog":
+        """Rebuild a log produced by :meth:`to_dict`."""
+        log = cls(payload["policy"], payload["topology"])
+        for raw in payload["records"]:
+            data = dict(raw)
+            data["allocation"] = tuple(data["allocation"])
+            log.append(JobRecord(**data))
+        return log
 
     # ------------------------------------------------------------------ #
     def to_csv(self) -> str:

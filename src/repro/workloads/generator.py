@@ -4,6 +4,10 @@ The evaluation trace is 300 jobs: a uniform mix over the workload set
 with a uniformly distributed GPU request between 1 and 5 — prior work
 (Philly) found multi-tenant GPU requests to be roughly uniform.  All jobs
 are submitted at time 0 and drained FIFO, matching the paper's setup.
+
+The canonical parameter values (seed 2021, trace lengths per study) are
+centralised in :mod:`repro.experiments.presets`; benchmarks and the
+sweep CLI go through there rather than repeating the numbers inline.
 """
 
 from __future__ import annotations

@@ -37,6 +37,29 @@ class TestAllocateRelease:
         with pytest.raises(AllocationError):
             mapa.release("ghost")
 
+    def test_allocation_carries_job_id(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        alloc = mapa.try_allocate(_req(3, job_id="j1"))
+        assert alloc.job_id == "j1"
+
+    def test_anonymous_job_gets_releasable_handle(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        alloc = mapa.try_allocate(_req(3, job_id=None))
+        assert alloc.job_id is not None
+        assert mapa.state.gpus_of(alloc.job_id) == alloc.gpus
+        freed = mapa.release(alloc.job_id)
+        assert freed == alloc.gpus
+        assert mapa.state.num_free == 8
+
+    def test_anonymous_handles_are_distinct(self, dgx):
+        mapa = Mapa(dgx, BaselinePolicy())
+        first = mapa.try_allocate(_req(2, job_id=None))
+        second = mapa.try_allocate(_req(2, job_id=None))
+        assert first.job_id != second.job_id
+        mapa.release(second.job_id)
+        mapa.release(first.job_id)
+        assert mapa.state.num_free == 8
+
     def test_allocation_failure_leaves_state(self, dgx):
         mapa = Mapa(dgx, BaselinePolicy())
         mapa.try_allocate(_req(5, job_id="big"))

@@ -7,6 +7,7 @@ from repro.analysis.export import (
     log_to_csv,
     scatter_to_csv,
     series_to_csv,
+    sweep_to_csv,
 )
 
 
@@ -61,3 +62,20 @@ class TestShapedExports:
         text = log_to_csv(log, path=str(path))
         assert path.read_text() == text
         assert len(text.strip().splitlines()) == 11
+
+    def test_sweep_export(self, tmp_path):
+        from repro.experiments import ExperimentSpec, SweepRunner, TraceSpec
+
+        outcome = SweepRunner().run(
+            ExperimentSpec(
+                name="export-test",
+                policies=("baseline",),
+                trace=TraceSpec(num_jobs=8),
+            )
+        )
+        path = tmp_path / "sweep.csv"
+        text = sweep_to_csv(outcome, path=str(path))
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("topology,policy,discipline")
+        assert len(lines) == 2  # header + one cell

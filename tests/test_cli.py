@@ -11,7 +11,7 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_known_commands(self):
-        for cmd in ("topos", "alloc", "trace", "fit", "cluster"):
+        for cmd in ("topos", "alloc", "trace", "fit", "cluster", "sweep"):
             args = build_parser().parse_args([cmd])
             assert hasattr(args, "func")
 
@@ -72,3 +72,76 @@ class TestCommands:
         rc = main(["trace", "--jobfile", str(path)])
         assert rc == 0
         assert "15 jobs" in capsys.readouterr().out
+
+
+class TestSweep:
+    GRID = [
+        "--grid",
+        "policy=baseline,preserve",
+        "--trace-jobs",
+        "12",
+    ]
+
+    def test_table_output(self, tmp_path, capsys):
+        rc = main(["sweep", *self.GRID, "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "baseline" in captured.out
+        assert "preserve" in captured.out
+        assert "2 simulated" in captured.err
+
+    def test_second_run_served_from_cache(self, tmp_path, capsys):
+        assert main(["sweep", *self.GRID, "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", *self.GRID, "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "2 cached, 0 simulated" in captured.err
+        assert "cached" in captured.out
+
+    def test_no_cache_never_persists(self, tmp_path, capsys):
+        args = ["sweep", *self.GRID, "--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "0 cached, 2 simulated" in captured.err
+        assert not any(tmp_path.iterdir())
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        rc = main(
+            ["sweep", *self.GRID, "--format", "json", "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_cells"] == 2
+        assert {c["policy"] for c in payload["cells"]} == {
+            "baseline",
+            "preserve",
+        }
+
+    def test_csv_output(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", *self.GRID, "--format", "csv", "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("topology,policy,discipline")
+        assert len(lines) == 3
+
+    def test_parallel_workers(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", *self.GRID, "--jobs", "2", "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "2 workers" in capsys.readouterr().err
+
+    def test_bad_grid_is_an_error(self, capsys):
+        rc = main(["sweep", "--grid", "flavor=mint", "--no-cache"])
+        assert rc == 2
+        assert "unknown grid axis" in capsys.readouterr().err
+
+    def test_bad_jobs_is_an_error(self, capsys):
+        rc = main(["sweep", "--jobs", "0", "--no-cache"])
+        assert rc == 2
+        assert "jobs must be" in capsys.readouterr().err

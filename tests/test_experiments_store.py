@@ -1,0 +1,92 @@
+"""Unit tests for the content-addressed sweep result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    CellResult,
+    ResultStore,
+    TraceSpec,
+    default_cache_dir,
+    simulate_cell,
+)
+from repro.experiments.spec import CellConfig
+from repro.experiments.store import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return CellConfig(
+        topology="dgx1-v100",
+        policy="baseline",
+        discipline="fifo",
+        trace=TraceSpec(num_jobs=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(cell):
+    return simulate_cell(cell)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        assert cell not in store
+        store.save(result)
+        assert cell in store
+        loaded = store.load(cell)
+        assert loaded is not None
+        assert loaded.cached is True
+        assert loaded.config_hash == result.config_hash
+        assert loaded.log.to_dict() == result.log.to_dict()
+        assert store.hits == 1
+
+    def test_no_partial_files_after_save(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        store.save(result)
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if name.endswith(".tmp") or name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_dict_round_trip_preserves_metrics(self, result):
+        clone = CellResult.from_dict(result.to_dict())
+        assert clone.makespan == result.makespan
+        assert clone.throughput == result.throughput
+
+
+class TestMisses:
+    def test_load_missing_counts_miss(self, tmp_path, cell):
+        store = ResultStore(str(tmp_path))
+        assert store.load(cell) is None
+        assert store.misses == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        path = store.save(result)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"truncated": ')
+        assert store.load(cell) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        path = store.save(result)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"not": "a result"}, fh)
+        assert store.load(cell) is None
+
+
+class TestDefaults:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/tmp/somewhere-else")
+        assert default_cache_dir() == "/tmp/somewhere-else"
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir() == DEFAULT_CACHE_DIR

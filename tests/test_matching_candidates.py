@@ -52,6 +52,51 @@ class TestOrbitPermutations:
             images.add(image)
 
 
+class TestMatchingInvariants:
+    """Cross-checks between the closed-form count, the enumerator and
+    the orbit cache."""
+
+    PATTERNS = [
+        patterns.ring(3),
+        patterns.ring(4),
+        patterns.ring(5),
+        patterns.chain(4),
+        patterns.star(4),
+        patterns.tree(5),
+        patterns.all_to_all(4),
+        patterns.single(1),
+    ]
+
+    @pytest.mark.parametrize(
+        "pattern", PATTERNS, ids=lambda p: f"{p.name}-{p.num_gpus}"
+    )
+    @pytest.mark.parametrize("available", [3, 5, 8])
+    def test_count_matches_exhaustive_enumeration(self, pattern, available):
+        hw = dgx1_v100()
+        free = list(hw.gpus)[:available]
+        enumerated = list(enumerate_matches(pattern, hw, available=free))
+        assert len(enumerated) == num_distinct_matches(pattern, available)
+        # Every enumerated match is distinct by (vertex set, edge image).
+        keys = {(m.vertices, m.edges) for m in enumerated}
+        assert len(keys) == len(enumerated)
+
+    def test_zero_when_pattern_cannot_fit(self):
+        assert num_distinct_matches(patterns.ring(5), 4) == 0
+
+    def test_orbits_cached_for_structurally_equal_patterns(self):
+        # Two independently-built but structurally equal patterns hit
+        # the same lru_cache entry: the returned tuple is the *same*
+        # object, which is what keeps the hot allocation path cheap.
+        first = orbit_permutations(patterns.ring(5))
+        second = orbit_permutations(patterns.ring(5))
+        assert first is second
+
+    def test_orbit_cache_distinguishes_shapes(self):
+        assert orbit_permutations(patterns.ring(4)) is not orbit_permutations(
+            patterns.chain(4)
+        )
+
+
 class TestEnumeration:
     def test_match_count_formula(self):
         hw = dgx1_v100()
