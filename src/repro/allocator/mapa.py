@@ -69,7 +69,10 @@ class Mapa:
                 f"job needs {request.num_gpus} GPUs but "
                 f"{self.hardware.name} has only {self.hardware.num_gpus}"
             )
-        available = self.state.free_gpus
+        # The incremental index serves the free pool as a cached, already
+        # sorted tuple — the scan normalises to sorted order anyway, so
+        # no per-event set building or re-sorting happens here.
+        available = self.state.free_sorted
         proposal = self.policy.allocate(request, self.hardware, available)
         if proposal is None:
             return None
@@ -88,12 +91,14 @@ class Mapa:
         return self.state.release(job_id)
 
     def reset(self) -> None:
+        """Release every job (e.g. between simulation runs)."""
         self.state.reset()
 
     # ------------------------------------------------------------------ #
     def _annotate(
         self, alloc: Allocation, available, job_id: Hashable
     ) -> Allocation:
+        """Fill in the full score vector and the committed ``job_id``."""
         scores = dict(alloc.scores)
         match = alloc.match
         if match is not None:

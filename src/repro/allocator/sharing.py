@@ -36,6 +36,7 @@ class SharedJobSpec:
     job_id: Optional[Hashable] = None
 
     def __post_init__(self) -> None:
+        """Require one resource vector per pattern slot."""
         if len(self.requirements) != self.pattern.num_gpus:
             raise ValueError(
                 "one requirement vector per pattern slot is required"
@@ -49,6 +50,7 @@ class SharedJobSpec:
         memory_gb: float = 10.0,
         job_id: Optional[Hashable] = None,
     ) -> "SharedJobSpec":
+        """A spec whose every slot needs the same (slices, memory)."""
         req = tuple(
             {"slices": slices, "memory_gb": memory_gb}
             for _ in range(pattern.num_gpus)
@@ -74,6 +76,45 @@ class SharedAllocationState:
             g: {k: 0.0 for k in c} for g, c in self._capacity.items()
         }
         self._jobs: Dict[Hashable, List[Tuple[int, Resources]]] = {}
+        # Incremental idle-GPU index: how many committed slot placements
+        # touch each GPU (integer counts, so no float-residue pitfalls),
+        # plus the set of GPUs no placement touches.  Answers "which
+        # GPUs are completely untouched?" in O(1) without scanning the
+        # fractional usage tables — e.g. for handing a whole GPU to a
+        # non-shared job.
+        self._touch: Dict[int, int] = {g: 0 for g in self._capacity}
+        self._idle: set = set(self._capacity)
+        self._idle_frozen: Optional[frozenset] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def idle_gpus(self) -> frozenset:
+        """GPUs no committed placement touches (cached frozenset).
+
+        Maintained incrementally from the per-GPU placement counts: a
+        GPU leaves the index when its first slot lands and returns when
+        its last one is released, so reading the set never rescans the
+        fractional usage tables.
+        """
+        if self._idle_frozen is None:
+            self._idle_frozen = frozenset(self._idle)
+        return self._idle_frozen
+
+    def num_idle(self) -> int:
+        """How many GPUs are completely untouched (O(1))."""
+        return len(self._idle)
+
+    def _touch_gpu(self, gpu: int, delta: int) -> None:
+        """Adjust one GPU's placement count, keeping the idle index exact."""
+        count = self._touch[gpu] + delta
+        if count < 0:
+            raise AssertionError(f"GPU {gpu} placement count underflow")
+        self._touch[gpu] = count
+        if count == 0:
+            self._idle.add(gpu)
+        else:
+            self._idle.discard(gpu)
+        self._idle_frozen = None
 
     # ------------------------------------------------------------------ #
     def available(self, gpu: int) -> Dict[str, float]:
@@ -83,6 +124,7 @@ class SharedAllocationState:
         return {k: cap[k] - used.get(k, 0.0) for k in cap}
 
     def availability(self) -> Dict[int, Dict[str, float]]:
+        """Remaining capacity of every GPU."""
         return {g: self.available(g) for g in self._capacity}
 
     def utilization(self, resource: str = "slices") -> float:
@@ -95,18 +137,30 @@ class SharedAllocationState:
     def commit(
         self, job_id: Hashable, placements: List[Tuple[int, Resources]]
     ) -> None:
-        """Record slot placements (gpu, resources) for a job."""
+        """Record slot placements (gpu, resources) for a job.
+
+        Validation is against *cumulative* per-GPU demand: a job
+        placing several slots on the same GPU must fit as a whole, not
+        slot-by-slot against the pre-commit availability.
+        """
         if job_id in self._jobs:
             raise ValueError(f"job {job_id!r} already placed")
+        demand: Dict[int, Dict[str, float]] = {}
         for gpu, req in placements:
+            acc = demand.setdefault(gpu, {})
+            for k, v in req.items():
+                acc[k] = acc.get(k, 0.0) + v
+        for gpu, req in demand.items():
             if not resources_fit(req, self.available(gpu)):
                 raise ValueError(f"GPU {gpu} lacks capacity for {req}")
         for gpu, req in placements:
             for k, v in req.items():
                 self._used[gpu][k] = self._used[gpu].get(k, 0.0) + v
+            self._touch_gpu(gpu, +1)
         self._jobs[job_id] = list(placements)
 
     def release(self, job_id: Hashable) -> None:
+        """Return a job's fractional occupancy to every touched GPU."""
         try:
             placements = self._jobs.pop(job_id)
         except KeyError:
@@ -114,12 +168,26 @@ class SharedAllocationState:
         for gpu, req in placements:
             for k, v in req.items():
                 self._used[gpu][k] -= v
+            self._touch_gpu(gpu, -1)
 
     def check_invariants(self) -> None:
+        """Usage within capacity and the idle index exactly in sync."""
         for g, used in self._used.items():
             for k, v in used.items():
                 if v < -1e-9 or v > self._capacity[g].get(k, 0.0) + 1e-9:
                     raise AssertionError(f"GPU {g} resource {k} out of range: {v}")
+        # The idle index must mirror the committed placements exactly.
+        touched: Dict[int, int] = {g: 0 for g in self._capacity}
+        for placements in self._jobs.values():
+            for gpu, _ in placements:
+                touched[gpu] += 1
+        if touched != self._touch:
+            raise AssertionError("placement counts out of sync with jobs")
+        expected_idle = {g for g, c in touched.items() if c == 0}
+        if self._idle != expected_idle:
+            raise AssertionError("idle-GPU index out of sync")
+        if self._idle_frozen is not None and self._idle_frozen != self._idle:
+            raise AssertionError("cached idle frozenset is stale")
 
 
 def allocate_shared(

@@ -5,12 +5,21 @@ their incident links leave the pool) and whenever a job finishes (they
 return).  :class:`AllocationState` tracks which GPUs are free, which job
 owns which GPUs, and enforces the obvious invariants: no GPU is ever
 double-allocated and releases restore exactly what was allocated.
+
+The free pool is kept as an **incremental index**: a sorted list
+maintained by binary insertion/removal on every allocate/release, with
+the derived views (:attr:`AllocationState.free_gpus`,
+:attr:`AllocationState.free_sorted`) cached until the next mutation.
+The match scan asks for the free set on every simulated event — often
+several times per event on a multi-server fleet — so serving a cached
+tuple instead of rebuilding a set each time keeps candidate-server
+pruning off the hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..topology.hardware import HardwareGraph
 
@@ -25,28 +34,66 @@ class AllocationState:
     def __init__(self, hardware: HardwareGraph) -> None:
         self.hardware = hardware
         self._free: Set[int] = set(hardware.gpus)
+        self._free_list: List[int] = sorted(self._free)
+        self._free_frozen: Optional[FrozenSet[int]] = None
+        self._free_tuple: Optional[Tuple[int, ...]] = None
+        self._version: int = 0
         self._owner: Dict[int, Hashable] = {}
         self._jobs: Dict[Hashable, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ #
+    def _invalidate(self) -> None:
+        """Drop the cached free-set views after a mutation."""
+        self._free_frozen = None
+        self._free_tuple = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every allocate/release/reset.
+
+        For callers that cache per-state derived structures (remapped
+        link tables, candidate matrices) and need an O(1) staleness
+        check.  No production caller yet — the churn property tests
+        pin its semantics so such caches can rely on it.
+        """
+        return self._version
+
     @property
     def free_gpus(self) -> FrozenSet[int]:
-        """GPUs currently available for allocation."""
-        return frozenset(self._free)
+        """GPUs currently available for allocation (cached frozenset)."""
+        if self._free_frozen is None:
+            self._free_frozen = frozenset(self._free_list)
+        return self._free_frozen
+
+    @property
+    def free_sorted(self) -> Tuple[int, ...]:
+        """Free GPUs as an ascending tuple (cached; the scan's input).
+
+        Maintained incrementally — reading it never re-sorts or rebuilds
+        the underlying pool.
+        """
+        if self._free_tuple is None:
+            self._free_tuple = tuple(self._free_list)
+        return self._free_tuple
 
     @property
     def num_free(self) -> int:
+        """Free-GPU count (O(1))."""
         return len(self._free)
 
     @property
     def num_allocated(self) -> int:
+        """Allocated-GPU count."""
         return self.hardware.num_gpus - len(self._free)
 
     @property
     def active_jobs(self) -> Tuple[Hashable, ...]:
+        """Ids of jobs currently holding GPUs, in allocation order."""
         return tuple(self._jobs)
 
     def is_free(self, gpu: int) -> bool:
+        """Whether ``gpu`` is currently unallocated."""
         if gpu not in self.hardware:
             raise KeyError(f"unknown GPU {gpu}")
         return gpu in self._free
@@ -58,6 +105,7 @@ class AllocationState:
         return self._owner.get(gpu)
 
     def gpus_of(self, job_id: Hashable) -> Tuple[int, ...]:
+        """The GPUs ``job_id`` holds (raises if it holds none)."""
         try:
             return self._jobs[job_id]
         except KeyError:
@@ -80,8 +128,10 @@ class AllocationState:
                 )
         for g in chosen:
             self._free.discard(g)
+            del self._free_list[bisect_left(self._free_list, g)]
             self._owner[g] = job_id
         self._jobs[job_id] = chosen
+        self._invalidate()
 
     def release(self, job_id: Hashable) -> Tuple[int, ...]:
         """Return ``job_id``'s GPUs to the pool; returns the freed GPUs."""
@@ -92,13 +142,17 @@ class AllocationState:
         for g in gpus:
             del self._owner[g]
             self._free.add(g)
+            insort(self._free_list, g)
+        self._invalidate()
         return gpus
 
     def reset(self) -> None:
         """Release everything (e.g. between simulation runs)."""
         self._free = set(self.hardware.gpus)
+        self._free_list = sorted(self._free)
         self._owner.clear()
         self._jobs.clear()
+        self._invalidate()
 
     def check_invariants(self) -> None:
         """Internal consistency check, used heavily by property tests."""
@@ -114,6 +168,15 @@ class AllocationState:
             for g in gpus:
                 if self._owner[g] != job:
                     raise AssertionError(f"GPU {g} owner mismatch")
+        # The incremental index must mirror the free set exactly.
+        if self._free_list != sorted(self._free):
+            raise AssertionError("free-GPU index out of sync with free set")
+        if self._free_frozen is not None and self._free_frozen != self._free:
+            raise AssertionError("cached free frozenset is stale")
+        if self._free_tuple is not None and self._free_tuple != tuple(
+            self._free_list
+        ):
+            raise AssertionError("cached free tuple is stale")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -61,6 +61,7 @@ class ApplicationGraph:
 
     @property
     def vertices(self) -> range:
+        """Slot ids ``0 … num_gpus-1``."""
         return range(self._n)
 
     @property
@@ -70,6 +71,7 @@ class ApplicationGraph:
 
     @property
     def num_edges(self) -> int:
+        """Number of communication edges."""
         return len(self._edges)
 
     def neighbors(self, v: int) -> FrozenSet[int]:
@@ -77,9 +79,11 @@ class ApplicationGraph:
         return frozenset(self._adj[v])
 
     def degree(self, v: int) -> int:
+        """Number of slots ``v`` communicates with."""
         return len(self._adj[v])
 
     def has_edge(self, u: int, v: int) -> bool:
+        """Whether slots ``u`` and ``v`` communicate directly."""
         return v in self._adj.get(u, ())
 
     def is_connected(self) -> bool:
@@ -135,6 +139,7 @@ class ApplicationGraph:
         return tuple(sorted((len(s) for s in self._adj.values()), reverse=True))
 
     def to_networkx(self) -> nx.Graph:
+        """Export as a :class:`networkx.Graph` over the slots."""
         g = nx.Graph(name=self.name)
         g.add_nodes_from(self.vertices)
         g.add_edges_from(self._edges)
@@ -142,11 +147,13 @@ class ApplicationGraph:
 
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        """Equal iff same slot count and edge set (names ignored)."""
         if not isinstance(other, ApplicationGraph):
             return NotImplemented
         return self._n == other._n and self._edges == other._edges
 
     def __hash__(self) -> int:
+        """Hash consistent with :meth:`__eq__`."""
         return hash((self._n, self._edges))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -40,6 +40,7 @@ from .workloads.jobs import JobFile
 
 
 def _cmd_topos(_: argparse.Namespace) -> int:
+    """``mapa topos``: print the registered server topologies."""
     rows = []
     for name in sorted(TOPOLOGY_BUILDERS):
         hw = by_name(name)
@@ -61,6 +62,7 @@ def _cmd_topos(_: argparse.Namespace) -> int:
 
 
 def _cmd_alloc(args: argparse.Namespace) -> int:
+    """``mapa alloc``: one allocation on an idle server, scores printed."""
     hw = by_name(args.topology)
     policy = make_policy(args.policy)
     mapa = Mapa(hw, policy)
@@ -82,6 +84,7 @@ def _cmd_alloc(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    """``mapa trace``: simulate a trace under all four policies."""
     hw = by_name(args.topology)
     if args.jobfile:
         job_file = JobFile.load(args.jobfile)
@@ -108,6 +111,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``mapa cluster``: compare node policies on a server fleet."""
     import numpy as np
 
     from .cluster import NODE_POLICIES, run_cluster
@@ -153,6 +157,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``mapa sweep``: run a cached, parallel experiment grid."""
     import json
 
     from .analysis.export import sweep_to_csv
@@ -227,6 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    """``mapa fit``: refit Eq. 2 for a topology, print coefficients."""
     hw = by_name(args.topology)
     model, quality, samples = fit_for_hardware(hw)
     rows = [
@@ -248,6 +254,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    """``mapa report``: regenerate the markdown reproduction report."""
     from .analysis.report import generate_report, write_report
 
     if args.output:
@@ -268,6 +275,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``mapa`` argparse tree (also rendered by ``repro.docgen``)."""
     parser = argparse.ArgumentParser(
         prog="mapa", description="MAPA (SC '21) reproduction toolkit"
     )
@@ -278,19 +286,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_alloc = sub.add_parser("alloc", help="allocate one pattern on an idle server")
-    p_alloc.add_argument("--topology", default="dgx1-v100")
-    p_alloc.add_argument("--policy", default="preserve", choices=POLICY_NAMES)
-    p_alloc.add_argument("--pattern", default="ring")
-    p_alloc.add_argument("--gpus", type=int, default=3)
+    p_alloc.add_argument(
+        "--topology", default="dgx1-v100", help="server topology name (see `mapa topos`)"
+    )
+    p_alloc.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="pattern-selection policy",
+    )
+    p_alloc.add_argument(
+        "--pattern", default="ring", help="application pattern (ring, tree, star, …)"
+    )
+    p_alloc.add_argument("--gpus", type=int, default=3, help="GPUs requested")
     p_alloc.add_argument(
         "--insensitive", action="store_true", help="mark the job bandwidth-insensitive"
     )
     p_alloc.set_defaults(func=_cmd_alloc)
 
     p_trace = sub.add_parser("trace", help="simulate a job trace under all policies")
-    p_trace.add_argument("--topology", default="dgx1-v100")
-    p_trace.add_argument("--jobs", type=int, default=300)
-    p_trace.add_argument("--seed", type=int, default=2021)
+    p_trace.add_argument(
+        "--topology", default="dgx1-v100", help="server topology name (see `mapa topos`)"
+    )
+    p_trace.add_argument(
+        "--jobs", type=int, default=300, help="number of jobs to generate"
+    )
+    p_trace.add_argument(
+        "--seed", type=int, default=2021, help="trace-generator RNG seed"
+    )
     p_trace.add_argument("--jobfile", help="CSV job file to replay instead")
     p_trace.add_argument(
         "--scheduling",
@@ -319,9 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--jobs", type=int, default=1, help="worker processes for cache misses"
     )
-    p_sweep.add_argument("--trace-jobs", type=int, default=300)
-    p_sweep.add_argument("--seed", type=int, default=2021)
-    p_sweep.add_argument("--max-gpus", type=int, default=5)
+    p_sweep.add_argument(
+        "--trace-jobs", type=int, default=300, help="jobs in the generated trace"
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=2021, help="trace-generator RNG seed"
+    )
+    p_sweep.add_argument(
+        "--max-gpus",
+        type=int,
+        default=5,
+        help="largest GPU request (clamped to each topology's size)",
+    )
     p_sweep.add_argument(
         "--model",
         default="refit",
@@ -337,12 +369,17 @@ def build_parser() -> argparse.ArgumentParser:
         ".mapa_sweep_cache)",
     )
     p_sweep.add_argument(
-        "--format", default="table", choices=("table", "json", "csv")
+        "--format",
+        default="table",
+        choices=("table", "json", "csv"),
+        help="output format for the per-cell summary",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
-    p_fit.add_argument("--topology", default="dgx1-v100")
+    p_fit.add_argument(
+        "--topology", default="dgx1-v100", help="server topology name (see `mapa topos`)"
+    )
     p_fit.set_defaults(func=_cmd_fit)
 
     p_cluster = sub.add_parser(
@@ -354,9 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=["dgx1-v100", "dgx1-v100"],
         help="topology names, one per server",
     )
-    p_cluster.add_argument("--policy", default="preserve", choices=POLICY_NAMES)
-    p_cluster.add_argument("--jobs", type=int, default=100)
-    p_cluster.add_argument("--seed", type=int, default=2021)
+    p_cluster.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="GPU-selection policy inside each node",
+    )
+    p_cluster.add_argument(
+        "--jobs", type=int, default=100, help="number of jobs to generate"
+    )
+    p_cluster.add_argument(
+        "--seed", type=int, default=2021, help="trace-generator RNG seed"
+    )
     p_cluster.add_argument(
         "--scheduling",
         default="fifo",
@@ -368,13 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="regenerate the full reproduction report (markdown)"
     )
-    p_report.add_argument("--jobs", type=int, default=300)
-    p_report.add_argument("--seed", type=int, default=2021)
+    p_report.add_argument(
+        "--jobs", type=int, default=300, help="number of jobs to generate"
+    )
+    p_report.add_argument(
+        "--seed", type=int, default=2021, help="trace-generator RNG seed"
+    )
     p_report.add_argument("--output", help="write to file instead of stdout")
     p_report.add_argument(
         "--topologies",
         nargs="+",
         default=["dgx1-v100", "torus-2d-16", "cube-mesh-16"],
+        help="topologies to include in the report",
     )
     p_report.set_defaults(func=_cmd_report)
 
@@ -382,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -40,6 +40,7 @@ class ClusterPlacement:
 
     @property
     def gpus(self) -> Tuple[int, ...]:
+        """The GPUs the job received on its server."""
         return self.allocation.gpus
 
 
@@ -69,17 +70,21 @@ class MultiServerScheduler:
     # ------------------------------------------------------------------ #
     @property
     def num_servers(self) -> int:
+        """Servers in the fleet."""
         return len(self.engines)
 
     @property
     def total_gpus(self) -> int:
+        """Fleet-wide GPU count."""
         return sum(e.hardware.num_gpus for e in self.engines)
 
     @property
     def total_free(self) -> int:
+        """Fleet-wide free-GPU count."""
         return sum(e.state.num_free for e in self.engines)
 
     def can_ever_fit(self, request: AllocationRequest) -> bool:
+        """Whether any (idle) server could host the request."""
         return any(
             request.num_gpus <= e.hardware.num_gpus for e in self.engines
         )
@@ -98,6 +103,11 @@ class MultiServerScheduler:
 
     # ------------------------------------------------------------------ #
     def _candidate_order(self, request: AllocationRequest) -> List[int]:
+        """Feasible servers in the node policy's preference order.
+
+        Pruning reads each engine's O(1) ``num_free`` counter — no sets
+        are built or copied per event.
+        """
         feasible = [
             i
             for i, e in enumerate(self.engines)
@@ -130,19 +140,17 @@ class MultiServerScheduler:
     def _place_best_score(
         self, request: AllocationRequest, order: List[int]
     ) -> Optional[ClusterPlacement]:
+        """Speculatively run MAPA on every feasible server, keep the best."""
         best_idx: Optional[int] = None
         best_alloc: Optional[Allocation] = None
         best_score = float("-inf")
         for idx in order:
             engine = self.engines[idx]
-            proposal = engine.policy.allocate(
-                request, engine.hardware, engine.state.free_gpus
-            )
+            free = engine.state.free_sorted  # cached by the free-GPU index
+            proposal = engine.policy.allocate(request, engine.hardware, free)
             if proposal is None:
                 continue
-            annotated = engine._annotate(
-                proposal, engine.state.free_gpus, request.job_id
-            )
+            annotated = engine._annotate(proposal, free, request.job_id)
             score = annotated.scores.get("effective_bw", 0.0)
             if score > best_score:
                 best_score = score
@@ -163,6 +171,7 @@ class MultiServerScheduler:
         return idx, self.engines[idx].release(job_id)
 
     def reset(self) -> None:
+        """Release every job on every server."""
         for e in self.engines:
             e.reset()
         self._job_server.clear()

@@ -60,6 +60,7 @@ class MultiServerSimulator:
         )
 
     def run(self, job_file: JobFile) -> SimulationLog:
+        """Simulate the whole trace and return the log."""
         return self.core.run(job_file)
 
     # ------------------------------------------------------------------ #
@@ -71,18 +72,22 @@ class MultiServerSimulator:
     # these directly).
     @property
     def placements(self) -> List[ClusterJobRecord]:
+        """Completed jobs with their hosting server."""
         return self.core.placements
 
     @property
     def engine(self) -> EventEngine:
+        """The core's event queue."""
         return self.core.engine
 
     @property
     def queue(self) -> Deque[Job]:
+        """Jobs waiting to start."""
         return self.core.queue
 
     @property
     def log(self) -> SimulationLog:
+        """The completed-job log."""
         return self.core.log
 
 
@@ -92,6 +97,7 @@ class _DeprecatedAliasMeta(type):
     not just those constructed through the deprecated name."""
 
     def __instancecheck__(cls, instance: object) -> bool:
+        """Any :class:`MultiServerSimulator` counts as the alias."""
         return isinstance(instance, MultiServerSimulator)
 
 

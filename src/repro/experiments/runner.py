@@ -75,18 +75,22 @@ class SweepOutcome:
 
     @property
     def num_cells(self) -> int:
+        """Total cells in the expanded grid."""
         return len(self.cells)
 
     @property
     def num_cached(self) -> int:
+        """Cells served from the result store without simulating."""
         return sum(1 for r in self.results.values() if r.cached)
 
     @property
     def num_simulated(self) -> int:
+        """Cells that had to be simulated this run."""
         return self.num_cells - self.num_cached
 
     # ------------------------------------------------------------------ #
     def log_for(self, cell: CellConfig) -> SimulationLog:
+        """The simulation log of one grid cell."""
         return self.results[cell].log
 
     def logs(
@@ -189,6 +193,21 @@ class SweepRunner:
     def run(
         self, spec_or_cells: Union[ExperimentSpec, Sequence[CellConfig]]
     ) -> SweepOutcome:
+        """Execute a spec (or explicit cell list) and collect the results.
+
+        Parameters
+        ----------
+        spec_or_cells:
+            An :class:`~repro.experiments.spec.ExperimentSpec` to
+            expand, or an already-expanded sequence of
+            :class:`~repro.experiments.spec.CellConfig`.
+
+        Returns
+        -------
+        SweepOutcome
+            Results in expansion order, with cache/simulation counters
+            and wall-clock timing.
+        """
         started = time.perf_counter()
         if isinstance(spec_or_cells, ExperimentSpec):
             spec: Optional[ExperimentSpec] = spec_or_cells
@@ -220,6 +239,7 @@ class SweepRunner:
         )
 
     def _simulate(self, cells: Sequence[CellConfig]) -> List[CellResult]:
+        """Simulate cache-miss cells, serially or across worker processes."""
         if not cells:
             return []
         if self.jobs == 1 or len(cells) == 1:

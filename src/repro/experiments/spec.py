@@ -53,6 +53,7 @@ class TraceSpec:
     arrival_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
+        """Validate ranges and normalise the workload-name tuple."""
         if self.num_jobs < 1:
             raise ValueError("num_jobs must be ≥ 1")
         if self.min_gpus < 1 or self.max_gpus < self.min_gpus:
@@ -83,6 +84,7 @@ class TraceSpec:
         )
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, the trace's contribution to the cell hash."""
         return {
             "num_jobs": self.num_jobs,
             "seed": self.seed,
@@ -114,9 +116,11 @@ class CellConfig:
 
     @property
     def label(self) -> str:
+        """Human-readable cell identifier (``topology/policy/discipline``)."""
         return f"{self.topology}/{self.policy}/{self.discipline}"
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of every hash-relevant parameter."""
         return {
             "topology": self.topology,
             "policy": self.policy,
@@ -156,6 +160,7 @@ class ExperimentSpec:
     fit_sizes: Tuple[int, ...] = (2, 3, 4, 5)
 
     def __post_init__(self) -> None:
+        """Dedup the axes and validate every name against its registry."""
         # Order-preserving dedup: a repeated axis value would otherwise
         # produce duplicate cells (double-simulated, ambiguous slices).
         object.__setattr__(self, "topologies", _unique(self.topologies))
@@ -183,6 +188,7 @@ class ExperimentSpec:
 
     @property
     def num_cells(self) -> int:
+        """Grid size: topologies × policies × disciplines."""
         return len(self.topologies) * len(self.policies) * len(self.disciplines)
 
     def expand(self) -> Tuple[CellConfig, ...]:
@@ -258,6 +264,7 @@ def parse_grid(
         axes[key] = values
 
     def axis(key: str, everything: Tuple[str, ...], default: Tuple[str, ...]):
+        """One axis's values, with ``all`` expanded to the registry."""
         values = axes.get(key, default)
         if values == ("all",):
             return everything

@@ -30,6 +30,7 @@ DEFAULT_CACHE_DIR = ".mapa_sweep_cache"
 
 
 def default_cache_dir() -> str:
+    """The cache root: ``$MAPA_SWEEP_CACHE`` or ``.mapa_sweep_cache``."""
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
 
 
@@ -44,13 +45,16 @@ class CellResult:
 
     @property
     def makespan(self) -> float:
+        """Finish time of the cell's last job (seconds)."""
         return self.log.makespan
 
     @property
     def throughput(self) -> float:
+        """Completed jobs per simulated second."""
         return self.log.throughput
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload persisted by :meth:`ResultStore.save`."""
         return {
             "config_hash": self.config_hash,
             "label": self.label,
@@ -61,6 +65,7 @@ class CellResult:
     def from_dict(
         cls, payload: Mapping[str, Any], cached: bool = False
     ) -> "CellResult":
+        """Rebuild a result from its persisted payload."""
         return cls(
             config_hash=payload["config_hash"],
             label=payload["label"],
@@ -79,9 +84,11 @@ class ResultStore:
 
     # ------------------------------------------------------------------ #
     def _path(self, config_hash: str) -> str:
+        """Entry path: two-character fan-out directory + hash file name."""
         return os.path.join(self.root, config_hash[:2], f"{config_hash}.json")
 
     def __contains__(self, cell: CellConfig) -> bool:
+        """Whether a cell's result is already on disk."""
         return os.path.exists(self._path(cell.config_hash()))
 
     def load(self, cell: CellConfig) -> Optional[CellResult]:

@@ -53,10 +53,12 @@ class Match:
 
     @property
     def num_gpus(self) -> int:
+        """GPUs this match occupies."""
         return len(self.vertices)
 
 
 def _pattern_key(pattern: ApplicationGraph) -> Tuple[int, Tuple[Pair, ...]]:
+    """Hashable cache key of a pattern's shape (slots + edges)."""
     return (pattern.num_gpus, pattern.edges)
 
 

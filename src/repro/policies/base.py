@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import FrozenSet, Hashable, Mapping, Optional, Tuple
+from typing import FrozenSet, Hashable, Mapping, Optional, Sequence, Tuple
 
 from ..appgraph.application import ApplicationGraph
 from ..matching.candidates import Match
@@ -35,6 +35,7 @@ class AllocationRequest:
 
     @property
     def num_gpus(self) -> int:
+        """GPUs the pattern needs."""
         return self.pattern.num_gpus
 
 
@@ -59,10 +60,12 @@ class Allocation:
     job_id: Optional[Hashable] = None
 
     def __post_init__(self) -> None:
+        """Freeze ``scores`` behind a read-only mapping view."""
         object.__setattr__(self, "scores", MappingProxyType(dict(self.scores)))
 
     @property
     def num_gpus(self) -> int:
+        """GPUs this allocation holds."""
         return len(self.gpus)
 
 
@@ -77,11 +80,18 @@ class AllocationPolicy(abc.ABC):
         self,
         request: AllocationRequest,
         hardware: HardwareGraph,
-        available: FrozenSet[int],
+        available: "FrozenSet[int] | Sequence[int]",
     ) -> Optional[Allocation]:
-        """Propose GPUs for ``request`` from ``available``, or ``None``."""
+        """Propose GPUs for ``request`` from ``available``, or ``None``.
+
+        ``available`` is any collection of free GPU ids — the
+        :class:`~repro.allocator.mapa.Mapa` engine passes the
+        allocation state's cached sorted tuple; policies normalise
+        (sort / set-convert) as they need.
+        """
 
     def _feasible(self, request: AllocationRequest, available: FrozenSet[int]) -> bool:
+        """Cheap necessary condition: enough free GPUs at all."""
         return request.num_gpus <= len(available)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

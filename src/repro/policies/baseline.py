@@ -27,6 +27,7 @@ class BaselinePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
+        """Propose the ``k`` lowest-numbered free GPUs, or ``None``."""
         if not self._feasible(request, available):
             return None
         chosen = tuple(sorted(available)[: request.num_gpus])

@@ -16,13 +16,27 @@ from typing import FrozenSet, Optional
 from ..matching.candidates import match_from_mapping
 from ..topology.hardware import HardwareGraph
 from .base import Allocation, AllocationPolicy, AllocationRequest
-from .scan import best_scored_match
+from .scan import batch_scan, best_match_by_agg, best_scored_match
 
 
 class GreedyPolicy(AllocationPolicy):
-    """Pick the match with the highest Aggregated Bandwidth."""
+    """Pick the match with the highest Aggregated Bandwidth.
+
+    Parameters
+    ----------
+    engine:
+        ``"batch"`` (default) scores every candidate match at once
+        through the vectorized engine; ``"scalar"`` walks matches one
+        at a time — kept as the bit-identical reference oracle the
+        property tests compare against.
+    """
 
     name = "greedy"
+
+    def __init__(self, engine: str = "batch") -> None:
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown scan engine {engine!r}")
+        self.engine = engine
 
     def allocate(
         self,
@@ -30,11 +44,16 @@ class GreedyPolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
+        """Propose the AggBW-maximal match on the free GPUs, or ``None``."""
         if not self._feasible(request, available):
             return None
-        best = best_scored_match(
-            request.pattern, hardware, available, key=lambda sm: sm.agg_bw
-        )
+        if self.engine == "batch":
+            scan = batch_scan(request.pattern, hardware, available)
+            best = None if scan is None else best_match_by_agg(scan)
+        else:
+            best = best_scored_match(
+                request.pattern, hardware, available, key=lambda sm: sm.agg_bw
+            )
         if best is None:
             return None
         match = match_from_mapping(request.pattern, best.mapping)

@@ -10,6 +10,8 @@ infeasible), but free in simulation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from itertools import combinations
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -18,18 +20,36 @@ from ..matching.candidates import match_from_mapping
 from ..scoring.preserved import remaining_bandwidth
 from ..topology.hardware import HardwareGraph
 from .base import Allocation, AllocationPolicy, AllocationRequest
-from .scan import best_subset_then_mapping
+from .scan import (
+    batch_scan,
+    best_match_by_preserved,
+    best_match_by_subset_score,
+    best_subset_then_mapping,
+)
 
 
 class OraclePolicy(AllocationPolicy):
-    """Algorithm 1 with measured effective bandwidth instead of Eq. 2."""
+    """Algorithm 1 with measured effective bandwidth instead of Eq. 2.
+
+    Parameters
+    ----------
+    engine:
+        ``"batch"`` (default) enumerates and tie-breaks candidates
+        through the vectorized scan (the microbenchmark itself stays
+        scalar, memoised per subset); ``"scalar"`` is the original
+        reference walk.
+    """
 
     name = "oracle"
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "batch") -> None:
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown scan engine {engine!r}")
+        self.engine = engine
         self._cache: Dict[Tuple[HardwareGraph, Tuple[int, ...]], float] = {}
 
     def _measure(self, hardware: HardwareGraph, subset: Tuple[int, ...]) -> float:
+        """Memoised simulated-NCCL bandwidth of one GPU subset."""
         key = (hardware, subset)
         bw = self._cache.get(key)
         if bw is None:
@@ -43,45 +63,83 @@ class OraclePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
+        """Propose the measured-EffBW-optimal match, or ``None``."""
         if not self._feasible(request, available):
             return None
         if request.bandwidth_sensitive:
+            return self._allocate_sensitive(request, hardware, available)
+        return self._allocate_insensitive(request, hardware, available)
+
+    # ------------------------------------------------------------------ #
+    def _allocate_sensitive(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        """Maximise the *measured* bandwidth over candidate subsets."""
+        if self.engine == "batch":
+            scan = batch_scan(request.pattern, hardware, available)
+            if scan is None:
+                return None
+            measured = np.array(
+                [
+                    self._measure(hardware, scan.subset(s))
+                    for s in range(scan.num_subsets)
+                ],
+                dtype=np.float64,
+            )
+            best = best_match_by_subset_score(scan, measured)
+        else:
             best = best_subset_then_mapping(
                 request.pattern,
                 hardware,
                 available,
                 subset_key=lambda sm: self._measure(hardware, sm.subset),
             )
-            if best is None:
-                return None
-            match = match_from_mapping(request.pattern, best.mapping)
-            return Allocation(
-                gpus=best.subset,
-                match=match,
-                scores={
-                    "measured_bw": self._measure(hardware, best.subset),
-                    "agg_bw": best.agg_bw,
-                },
-            )
-        # Insensitive branch identical to Preserve (Eq. 3 is exact anyway).
-        free = set(available)
-        k = request.num_gpus
-        best_subset: Optional[Tuple[int, ...]] = None
-        best_score = float("-inf")
-        for subset in combinations(sorted(free), k):
-            score = remaining_bandwidth(hardware, free - set(subset))
-            if score > best_score:
-                best_score = score
-                best_subset = subset
-        if best_subset is None:
+        if best is None:
             return None
-        best = best_subset_then_mapping(
-            request.pattern,
-            hardware,
-            frozenset(best_subset),
-            subset_key=lambda sm: self._measure(hardware, sm.subset),
+        match = match_from_mapping(request.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset,
+            match=match,
+            scores={
+                "measured_bw": self._measure(hardware, best.subset),
+                "agg_bw": best.agg_bw,
+            },
         )
-        assert best is not None
+
+    def _allocate_insensitive(
+        self,
+        request: AllocationRequest,
+        hardware: HardwareGraph,
+        available: FrozenSet[int],
+    ) -> Optional[Allocation]:
+        """Insensitive branch identical to Preserve (Eq. 3 is exact anyway)."""
+        if self.engine == "batch":
+            scan = batch_scan(request.pattern, hardware, available)
+            if scan is None:
+                return None
+            best, best_score = best_match_by_preserved(scan)
+        else:
+            free = set(available)
+            k = request.num_gpus
+            best_subset: Optional[Tuple[int, ...]] = None
+            best_score = float("-inf")
+            for subset in combinations(sorted(free), k):
+                score = remaining_bandwidth(hardware, free - set(subset))
+                if score > best_score:
+                    best_score = score
+                    best_subset = subset
+            if best_subset is None:
+                return None
+            best = best_subset_then_mapping(
+                request.pattern,
+                hardware,
+                frozenset(best_subset),
+                subset_key=lambda sm: self._measure(hardware, sm.subset),
+            )
+            assert best is not None
         match = match_from_mapping(request.pattern, best.mapping)
         return Allocation(
             gpus=best.subset,

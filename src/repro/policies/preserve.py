@@ -20,7 +20,12 @@ from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
 from ..scoring.preserved import remaining_bandwidth
 from ..topology.hardware import HardwareGraph
 from .base import Allocation, AllocationPolicy, AllocationRequest
-from .scan import best_subset_then_mapping
+from .scan import (
+    batch_scan,
+    best_match_by_preserved,
+    best_match_by_subset_score,
+    best_subset_then_mapping,
+)
 
 
 class PreservePolicy(AllocationPolicy):
@@ -33,15 +38,26 @@ class PreservePolicy(AllocationPolicy):
         sensitive jobs.  Defaults to the paper's published coefficients;
         simulations typically pass a model refit against the simulated
         microbenchmark (see :func:`repro.scoring.regression.fit_for_hardware`).
+    engine:
+        ``"batch"`` (default) scores candidate subsets and matches as
+        dense arrays via the vectorized engine; ``"scalar"`` is the
+        original per-match walk, kept as the bit-identical reference
+        oracle.  Both engines share the per-census prediction cache.
     """
 
     name = "preserve"
 
-    def __init__(self, model: EffectiveBandwidthModel = PAPER_MODEL) -> None:
+    def __init__(
+        self, model: EffectiveBandwidthModel = PAPER_MODEL, engine: str = "batch"
+    ) -> None:
+        if engine not in ("batch", "scalar"):
+            raise ValueError(f"unknown scan engine {engine!r}")
         self.model = model
+        self.engine = engine
         self._predict_cache: Dict[Tuple[int, int, int], float] = {}
 
     def _predict(self, census: LinkCensus) -> float:
+        """Memoised Eq. 2 prediction for one (x, y, z) census."""
         key = census.as_tuple()
         cached = self._predict_cache.get(key)
         if cached is None:
@@ -55,6 +71,7 @@ class PreservePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
+        """Propose the Algorithm-1 match for ``request``, or ``None``."""
         if not self._feasible(request, available):
             return None
         if request.bandwidth_sensitive:
@@ -68,12 +85,21 @@ class PreservePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
-        best = best_subset_then_mapping(
-            request.pattern,
-            hardware,
-            available,
-            subset_key=lambda sm: self._predict(sm.census),
-        )
+        """Maximise the predicted EffBW of the induced census (Eq. 2)."""
+        if self.engine == "batch":
+            scan = batch_scan(request.pattern, hardware, available)
+            if scan is None:
+                return None
+            best = best_match_by_subset_score(
+                scan, scan.subset_effective_bw(self._predict)
+            )
+        else:
+            best = best_subset_then_mapping(
+                request.pattern,
+                hardware,
+                available,
+                subset_key=lambda sm: self._predict(sm.census),
+            )
         if best is None:
             return None
         match = match_from_mapping(request.pattern, best.mapping)
@@ -92,29 +118,36 @@ class PreservePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
-        # Preserved bandwidth depends only on the chosen vertex set, so the
-        # subset scan skips mapping enumeration entirely.
-        free = set(available)
-        k = request.num_gpus
-        best_subset: Optional[Tuple[int, ...]] = None
-        best_score = float("-inf")
-        for subset in combinations(sorted(free), k):
-            score = remaining_bandwidth(hardware, free - set(subset))
-            if score > best_score:
-                best_score = score
-                best_subset = subset
-        if best_subset is None:
-            return None
-        # Any mapping on the chosen subset preserves the same bandwidth;
-        # break the tie in the job's favour by aligning its pattern edges
-        # with the fastest links it got.
-        best = best_subset_then_mapping(
-            request.pattern,
-            hardware,
-            frozenset(best_subset),
-            subset_key=lambda sm: self._predict(sm.census),
-        )
-        assert best is not None
+        """Maximise the bandwidth preserved for future jobs (Eq. 3)."""
+        if self.engine == "batch":
+            scan = batch_scan(request.pattern, hardware, available)
+            if scan is None:
+                return None
+            best, best_score = best_match_by_preserved(scan)
+        else:
+            # Preserved bandwidth depends only on the chosen vertex set,
+            # so the subset scan skips mapping enumeration entirely.
+            free = set(available)
+            k = request.num_gpus
+            best_subset: Optional[Tuple[int, ...]] = None
+            best_score = float("-inf")
+            for subset in combinations(sorted(free), k):
+                score = remaining_bandwidth(hardware, free - set(subset))
+                if score > best_score:
+                    best_score = score
+                    best_subset = subset
+            if best_subset is None:
+                return None
+            # Any mapping on the chosen subset preserves the same
+            # bandwidth; break the tie in the job's favour by aligning
+            # its pattern edges with the fastest links it got.
+            best = best_subset_then_mapping(
+                request.pattern,
+                hardware,
+                frozenset(best_subset),
+                subset_key=lambda sm: self._predict(sm.census),
+            )
+            assert best is not None
         match = match_from_mapping(request.pattern, best.mapping)
         return Allocation(
             gpus=best.subset,

@@ -16,12 +16,25 @@ POLICY_NAMES: List[str] = ["baseline", "topo-aware", "greedy", "preserve"]
 
 
 def make_policy(
-    name: str, model: Optional[EffectiveBandwidthModel] = None
+    name: str,
+    model: Optional[EffectiveBandwidthModel] = None,
+    engine: str = "batch",
 ) -> AllocationPolicy:
     """Instantiate a policy by name.
 
-    ``model`` configures the Preserve policy's Eq. 2 predictor and is
-    ignored by the others.
+    Parameters
+    ----------
+    name:
+        One of :data:`POLICY_NAMES` or ``"oracle"`` (case-insensitive;
+        a few spelling aliases are accepted).
+    model:
+        Configures the Preserve policy's Eq. 2 predictor; ignored by
+        the others.
+    engine:
+        Match-scan engine for the scanning policies (Greedy, Preserve,
+        Oracle): ``"batch"`` (vectorized, the default) or ``"scalar"``
+        (the bit-identical reference path).  Ignored by Baseline and
+        Topo-aware, which never scan.
     """
     key = name.lower()
     if key == "baseline":
@@ -29,19 +42,24 @@ def make_policy(
     if key in ("topo-aware", "topo_aware", "topoaware"):
         return TopoAwarePolicy()
     if key == "greedy":
-        return GreedyPolicy()
+        return GreedyPolicy(engine=engine)
     if key in ("preserve", "preservation"):
-        return PreservePolicy(model) if model is not None else PreservePolicy()
+        if model is not None:
+            return PreservePolicy(model, engine=engine)
+        return PreservePolicy(engine=engine)
     if key == "oracle":
         from .oracle import OraclePolicy
 
-        return OraclePolicy()
+        return OraclePolicy(engine=engine)
     known = ", ".join(POLICY_NAMES + ["oracle"])
     raise KeyError(f"unknown policy {name!r}; known: {known}")
 
 
 def all_policies(
     model: Optional[EffectiveBandwidthModel] = None,
+    engine: str = "batch",
 ) -> Dict[str, AllocationPolicy]:
     """All four evaluation policies keyed by name."""
-    return {name: make_policy(name, model) for name in POLICY_NAMES}
+    return {
+        name: make_policy(name, model, engine=engine) for name in POLICY_NAMES
+    }

@@ -10,25 +10,42 @@ things only:
   also what the NCCL microbenchmark that trains the model exercises);
 * the **mapped pattern edges** ``E(P) ∩ E(M)`` — what AggBW (Eq. 1) sums.
 
-We therefore scan subset-by-subset against the topology's precomputed
-:class:`~repro.topology.linktable.LinkTable`: the link class and
-bandwidth of every GPU pair are resolved once per *topology* (not per
-subset per allocation), remapped once per scan onto the available
-vertices, and each subset then reduces to pure integer indexing — the
-induced census falls out of the pair codes directly, and each orbit
-permutation of the pattern is scored against the same flat arrays for
-AggBW.  A worst-case DGX-V allocation (5-GPU ring, 8 free GPUs) costs a
-few thousand lightweight iterations with no link resolution at all.
+Two engines implement the scan against the topology's precomputed
+:class:`~repro.topology.linktable.LinkTable`:
+
+* the **scalar engine** (:func:`scan_scored_matches` plus
+  :func:`best_scored_match` / :func:`best_subset_then_mapping`) walks
+  subsets and orbit permutations one at a time with pure integer
+  indexing — the original implementation, kept as the reference oracle
+  the property tests compare against;
+* the **batch engine** (:class:`BatchScan` and the ``best_*`` batch
+  selectors) builds the subset × orbit candidate space as dense numpy
+  index matrices and scores *every* match of the pattern at once
+  through :mod:`repro.scoring.batch` — censuses via one gather, AggBW
+  via one sum, Eq. 2 via unique-census lookup.  Scores and the selected
+  match are bit-identical to the scalar engine (see
+  :mod:`repro.scoring.batch` for why), just several times faster,
+  which is what the policies run in production.
+
+Candidate order is shared by both engines: subsets ascend
+lexicographically over the sorted free GPUs, orbit permutations keep
+their :func:`~repro.matching.candidates.orbit_permutations` order
+within each subset, and every selector breaks score ties towards the
+*earliest* candidate — so "first argmax" in the batch engine reproduces
+the scalar tuple-comparison tie-breaks exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..appgraph.application import ApplicationGraph
 from ..matching.candidates import orbit_permutations
+from ..scoring import batch as batch_scoring
 from ..scoring.census import LinkCensus
 from ..topology.hardware import HardwareGraph
 
@@ -150,6 +167,224 @@ def best_scored_match(
     return best
 
 
+# ---------------------------------------------------------------------- #
+# the batch engine
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BatchScan:
+    """The whole candidate space of one scan, scored as dense arrays.
+
+    One :class:`BatchScan` covers every distinct match of a pattern on
+    the free GPUs: ``num_subsets`` candidate GPU subsets × ``num_orbits``
+    orbit permutations of the pattern.  Match ``(s, o)`` corresponds to
+    the scalar engine's ``s * num_orbits + o``-th yielded
+    :class:`ScoredMatch`, and every array below is bit-identical to the
+    scalar per-match values.
+
+    Attributes
+    ----------
+    pattern:
+        The application pattern being matched.
+    verts:
+        The free GPUs, sorted ascending (the subset universe).
+    orbits:
+        Orbit permutations of the pattern, in enumeration order.
+    subsets_local:
+        ``(S, k)`` int array of candidate subsets as indices into
+        ``verts`` (rows ascend lexicographically).
+    induced_census:
+        ``(S, 3)`` int array — the induced (x, y, z) census of each
+        subset, shared by all of its mappings (the Eq. 2 input).
+    match_census:
+        ``(S, O, 3)`` int array — the census of the links each match's
+        pattern edges occupy (``E(P) ∩ E(M)``).
+    agg_bw:
+        ``(S, O)`` float array — Eq. 1 AggBW per match.
+    subset_pair_bw:
+        ``(S, P)`` float array of per-subset pairwise bandwidths
+        (``P = k·(k-1)/2``), kept for the Eq. 3 inclusion–exclusion.
+    free_bandwidth:
+        ``(m, m)`` bandwidth matrix over ``verts`` (zero diagonal).
+    """
+
+    pattern: ApplicationGraph
+    verts: Tuple[int, ...]
+    orbits: Tuple[Tuple[int, ...], ...]
+    subsets_local: np.ndarray
+    induced_census: np.ndarray
+    match_census: np.ndarray
+    agg_bw: np.ndarray
+    subset_pair_bw: np.ndarray
+    free_bandwidth: np.ndarray
+
+    @property
+    def num_subsets(self) -> int:
+        """Number of candidate GPU subsets (``C(m, k)``)."""
+        return self.subsets_local.shape[0]
+
+    @property
+    def num_orbits(self) -> int:
+        """Distinct orbit permutations of the pattern."""
+        return len(self.orbits)
+
+    @property
+    def num_matches(self) -> int:
+        """Total candidates scored: subsets × orbit permutations."""
+        return self.num_subsets * self.num_orbits
+
+    # ------------------------------------------------------------------ #
+    def subset(self, s: int) -> Tuple[int, ...]:
+        """GPU ids of candidate subset ``s`` (ascending)."""
+        return tuple(self.verts[i] for i in self.subsets_local[s])
+
+    def scored_match(self, s: int, o: int) -> ScoredMatch:
+        """Materialise match ``(subset s, orbit o)`` as a :class:`ScoredMatch`.
+
+        Only ever called for selected winners — the hot path stays in
+        array land.
+        """
+        subset = self.subset(s)
+        perm = self.orbits[o]
+        ix, iy, iz = (int(v) for v in self.induced_census[s])
+        mx, my, mz = (int(v) for v in self.match_census[s, o])
+        return ScoredMatch(
+            subset=subset,
+            mapping=tuple(subset[perm[i]] for i in range(len(perm))),
+            census=LinkCensus(ix, iy, iz),
+            match_census=LinkCensus(mx, my, mz),
+            agg_bw=float(self.agg_bw[s, o]),
+        )
+
+    # ------------------------------------------------------------------ #
+    def subset_effective_bw(
+        self, predict: Callable[[LinkCensus], float]
+    ) -> np.ndarray:
+        """Eq. 2 score of every subset's induced census, via ``predict``.
+
+        ``predict`` is called once per *unique* census (so a policy's
+        memo cache keeps working across events) and the results are
+        broadcast back over the subsets via
+        :func:`repro.scoring.batch.map_unique_censuses` — batch values
+        are therefore bit-identical to scalar calls.
+        """
+        return batch_scoring.map_unique_censuses(
+            self.induced_census,
+            lambda x, y, z: predict(LinkCensus(x, y, z)),
+        )
+
+    def subset_preserved_bw(self) -> np.ndarray:
+        """Eq. 3 score of every subset against the current free set."""
+        return batch_scoring.batch_preserved_bw(
+            self.free_bandwidth, self.subsets_local, self.subset_pair_bw
+        )
+
+
+def batch_scan(
+    pattern: ApplicationGraph,
+    hardware: HardwareGraph,
+    available: FrozenSet[int] | Sequence[int],
+) -> Optional[BatchScan]:
+    """Score every match of ``pattern`` on the free GPUs in one shot.
+
+    Builds the subset × orbit candidate space as index matrices over
+    the remapped link table and reduces them through
+    :mod:`repro.scoring.batch`.  Returns ``None`` when the pattern
+    cannot fit the available GPUs.
+    """
+    verts = tuple(sorted(set(available)))
+    k = pattern.num_gpus
+    m = len(verts)
+    if k > m:
+        return None
+    table = hardware.link_table
+    rows = table.rows_of(verts)
+    grid = np.ix_(rows, rows)
+    vcodes = table.codes_matrix[grid]
+    vbw = table.bandwidth_matrix[grid]
+    np.fill_diagonal(vbw, 0.0)
+    subsets = np.array(
+        list(combinations(range(m), k)), dtype=np.intp
+    ).reshape(-1, k)
+    a_idx, b_idx = batch_scoring.pair_slots(k)
+    sub_a = subsets[:, a_idx]
+    sub_b = subsets[:, b_idx]
+    scodes = vcodes[sub_a, sub_b]  # (S, P)
+    sbw = vbw[sub_a, sub_b]
+    orbits = orbit_permutations(pattern)
+    pos = batch_scoring.pair_slot_positions(k)
+    orbit_edges = np.array(
+        [[pos[a, b] for a, b in pairs] for pairs in _orbit_index_pairs(pattern)],
+        dtype=np.intp,
+    ).reshape(len(orbits), -1)
+    mcodes = scodes[:, orbit_edges]  # (S, O, E)
+    mbw = sbw[:, orbit_edges]
+    return BatchScan(
+        pattern=pattern,
+        verts=verts,
+        orbits=orbits,
+        subsets_local=subsets,
+        induced_census=batch_scoring.batch_census(scodes),
+        match_census=batch_scoring.batch_census(mcodes),
+        agg_bw=batch_scoring.batch_agg_bw(mbw),
+        subset_pair_bw=sbw,
+        free_bandwidth=vbw,
+    )
+
+
+def best_match_by_agg(scan: BatchScan) -> ScoredMatch:
+    """The match maximising AggBW (Greedy's objective), batch engine.
+
+    ``np.argmax`` returns the *first* maximum in subset-major,
+    orbit-minor order — exactly the scalar engine's tie-break towards
+    the lexicographically smallest (subset, mapping).
+    """
+    flat = int(np.argmax(scan.agg_bw))
+    s, o = divmod(flat, scan.num_orbits)
+    return scan.scored_match(s, o)
+
+
+def best_match_by_subset_score(
+    scan: BatchScan, subset_scores: np.ndarray
+) -> ScoredMatch:
+    """Maximise a subset-level score, then AggBW, batch engine.
+
+    The batch counterpart of :func:`best_subset_then_mapping`: among
+    the subsets attaining the maximal ``subset_scores`` value, pick the
+    match with the highest AggBW, ties towards the earliest candidate.
+    Bit-identical scores make the grouping agree with the scalar
+    engine's tuple comparisons.
+    """
+    cand = np.flatnonzero(subset_scores == subset_scores.max())
+    sub_agg = scan.agg_bw[cand]  # (C, O)
+    flat = int(np.argmax(sub_agg))
+    ci, o = divmod(flat, scan.num_orbits)
+    return scan.scored_match(int(cand[ci]), o)
+
+
+def best_match_by_preserved(scan: BatchScan) -> Tuple[ScoredMatch, float]:
+    """The Eq. 3 selection of the insensitive branch, batch engine.
+
+    Deliberately *not* :func:`best_match_by_subset_score`: the scalar
+    insensitive branch picks the **first** subset attaining the maximal
+    PreservedBW and only then tie-breaks mappings by AggBW *within that
+    subset* — AggBW never arbitrates between equally-preserving
+    subsets.  Both Preserve and Oracle share this selector so the
+    subtle tie-break lives in exactly one place.
+
+    Returns
+    -------
+    tuple
+        The selected :class:`ScoredMatch` and its PreservedBW score.
+    """
+    preserved = scan.subset_preserved_bw()
+    s = int(np.argmax(preserved))
+    o = int(np.argmax(scan.agg_bw[s]))
+    return scan.scored_match(s, o), float(preserved[s])
+
+
+# ---------------------------------------------------------------------- #
+# scalar subset-level selector (reference oracle, like best_scored_match)
+# ---------------------------------------------------------------------- #
 def best_subset_then_mapping(
     pattern: ApplicationGraph,
     hardware: HardwareGraph,

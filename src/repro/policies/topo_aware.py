@@ -31,6 +31,7 @@ class TopoAwarePolicy(AllocationPolicy):
         self._trees: Dict[HardwareGraph, PartitionNode] = {}
 
     def _tree_for(self, hardware: HardwareGraph) -> PartitionNode:
+        """Memoised partition tree of one hardware graph."""
         tree = self._trees.get(hardware)
         if tree is None:
             tree = build_partition_tree(hardware)
@@ -43,6 +44,7 @@ class TopoAwarePolicy(AllocationPolicy):
         hardware: HardwareGraph,
         available: FrozenSet[int],
     ) -> Optional[Allocation]:
+        """Allocate from the smallest subtree with enough free GPUs."""
         if not self._feasible(request, available):
             return None
         tree = self._tree_for(hardware)

@@ -1,0 +1,312 @@
+"""Vectorized batch scoring: Eq. 1–3 for a whole candidate set at once.
+
+Every policy decision in MAPA funnels through the same hot path:
+enumerate the pattern's matches on the free GPUs, census the links each
+match occupies, and score the candidates (AggBW — Eq. 1, predicted
+EffBW — Eq. 2, PreservedBW — Eq. 3).  The scalar implementations in
+:mod:`repro.scoring.census`, :mod:`repro.scoring.effective` and
+:mod:`repro.scoring.preserved` resolve one match per call; this module
+scores **all matches of a pattern in one shot** from dense numpy
+arrays, using the topology's precomputed
+:class:`~repro.topology.linktable.LinkTable` as the lookup backend.
+
+The batch results are *bit-identical* to the scalar path, which is what
+lets the policies switch engines without perturbing a single benchmark
+table:
+
+* link bandwidths (paper Table 1) are integer-valued floats, so sums of
+  pairwise bandwidths are exact in IEEE-754 double precision no matter
+  the association order — AggBW and PreservedBW cannot drift;
+* the Eq. 2 polynomial has irrational coefficients, so instead of
+  re-deriving it with different float arithmetic, predictions are
+  computed by the *scalar* :meth:`~repro.scoring.effective.
+  EffectiveBandwidthModel.predict` once per **unique** census and
+  broadcast back over the batch with :func:`np.take` (matches of a
+  pattern share a handful of distinct censuses, so this is also the
+  fast way around the per-row polynomial).
+
+The conventions match :mod:`repro.policies.scan`: a *pair matrix* is an
+``(M, E)`` integer array whose row *i* lists the flat link-table
+indices (``row(u) * n + row(v)``) of the hardware links that candidate
+*i*'s pattern edges occupy.  :func:`score_pair_matrix` turns one such
+matrix into censuses and aggregated bandwidths; the helpers below it
+cover the subset-level quantities (induced census, preserved
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..topology.linktable import LinkTable, X, Y, Z
+from .census import LinkCensus
+from .effective import EffectiveBandwidthModel
+
+#: The three Eq. 2 census axes, in (x, y, z) order.
+CLASS_CODES: Tuple[int, int, int] = (X, Y, Z)
+
+
+def pair_slots(k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper-triangular pair indices of a ``k``-slot pattern.
+
+    Parameters
+    ----------
+    k:
+        Number of pattern slots (GPUs requested).
+
+    Returns
+    -------
+    tuple of numpy.ndarray
+        Arrays ``(a, b)`` of length ``k·(k-1)/2`` with ``a[i] < b[i]``,
+        enumerating slot pairs in the same ``a``-major order as the
+        scalar scan's nested ``for a: for b in range(a+1, k)`` loops.
+    """
+    return np.triu_indices(k, 1)
+
+
+def pair_slot_positions(k: int) -> np.ndarray:
+    """Map an ordered slot pair ``(a, b)`` to its :func:`pair_slots` column.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(k, k)`` int array where entry ``[a, b]`` (``a < b``) is the
+        position of that pair in the flattened upper-triangular order;
+        entries on or below the diagonal are ``-1``.
+    """
+    a_idx, b_idx = pair_slots(k)
+    lookup = np.full((k, k), -1, dtype=np.intp)
+    lookup[a_idx, b_idx] = np.arange(a_idx.size, dtype=np.intp)
+    return lookup
+
+
+def gather_codes(table: LinkTable, pair_matrix: np.ndarray) -> np.ndarray:
+    """Link-class codes for a matrix of flat link-table pair indices.
+
+    Parameters
+    ----------
+    table:
+        The topology's precomputed link table.
+    pair_matrix:
+        Integer array (any shape) of flat ``row(u) * n + row(v)``
+        indices.
+
+    Returns
+    -------
+    numpy.ndarray
+        Same-shaped array of Eq. 2 link-class codes (``X``/``Y``/``Z``).
+    """
+    return np.take(table.codes_flat, pair_matrix)
+
+
+def gather_bandwidths(table: LinkTable, pair_matrix: np.ndarray) -> np.ndarray:
+    """Peak bandwidths (GB/s) for a matrix of flat pair indices.
+
+    See :func:`gather_codes` for the index convention.
+    """
+    return np.take(table.bandwidths_flat, pair_matrix)
+
+
+def batch_census(codes: np.ndarray) -> np.ndarray:
+    """Count link classes along the last axis of a code array.
+
+    Parameters
+    ----------
+    codes:
+        Integer array of link-class codes, shape ``(..., E)``.  ``E``
+        may be zero (edgeless patterns census to all-zero rows).
+
+    Returns
+    -------
+    numpy.ndarray
+        Int64 array of shape ``(..., 3)`` holding the ``(x, y, z)``
+        counts of each row — the Eq. 2 feature input.
+    """
+    return np.stack(
+        [(codes == c).sum(axis=-1) for c in CLASS_CODES], axis=-1
+    ).astype(np.int64)
+
+
+def batch_agg_bw(bandwidths: np.ndarray) -> np.ndarray:
+    """Eq. 1 (AggBW) along the last axis of a bandwidth array.
+
+    Link bandwidths are integer-valued (Table 1), so the sum is exact
+    in float64 regardless of summation order — the result is
+    bit-identical to the scalar per-edge accumulation.
+    """
+    return bandwidths.sum(axis=-1, dtype=np.float64)
+
+
+def map_unique_censuses(census: np.ndarray, predict) -> np.ndarray:
+    """Evaluate a scalar scorer once per unique census row and broadcast.
+
+    The one place the unique-then-``np.take`` pattern lives: both
+    :func:`batch_effective_bw` and the scan's
+    :meth:`~repro.policies.scan.BatchScan.subset_effective_bw` route
+    through it, so the bit-identicality-critical broadcast (including
+    the numpy-2.x ``return_inverse`` shape normalisation) is maintained
+    in exactly one spot.
+
+    Parameters
+    ----------
+    census:
+        Int array of shape ``(M, 3)`` — ``(x, y, z)`` rows.
+    predict:
+        Callable ``(x: int, y: int, z: int) -> float`` — the *scalar*
+        scorer, called once per distinct row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of ``M`` scores, ``predict``'s values fanned back
+        out over duplicate rows with :func:`np.take`.
+    """
+    census = np.asarray(census)
+    if census.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    uniq, inverse = np.unique(census, axis=0, return_inverse=True)
+    preds = np.array(
+        [predict(int(x), int(y), int(z)) for x, y, z in uniq],
+        dtype=np.float64,
+    )
+    return np.take(preds, inverse.reshape(census.shape[0]))
+
+
+def batch_effective_bw(
+    model: EffectiveBandwidthModel, census: np.ndarray
+) -> np.ndarray:
+    """Eq. 2 predictions for a batch of censuses, bit-equal to scalar.
+
+    Parameters
+    ----------
+    model:
+        The effective-bandwidth model (paper Table 2 or a refit).
+    census:
+        Int array of shape ``(M, 3)`` — ``(x, y, z)`` rows, e.g. from
+        :func:`batch_census`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of ``M`` predictions.  Each *unique* census row
+        is evaluated once through the scalar
+        :meth:`~repro.scoring.effective.EffectiveBandwidthModel.predict`
+        (so batch and scalar paths agree to the last bit) and the
+        results are fanned back out via :func:`map_unique_censuses`.
+    """
+    return map_unique_censuses(
+        census, lambda x, y, z: model.predict(float(x), float(y), float(z))
+    )
+
+
+def batch_preserved_bw(
+    free_bandwidth: np.ndarray,
+    subsets: np.ndarray,
+    subset_pair_bw: np.ndarray,
+) -> np.ndarray:
+    """Eq. 3 (PreservedBW) for every candidate subset of the free GPUs.
+
+    Computes, per subset ``S`` of the free set ``F``, the aggregate
+    pairwise bandwidth of ``F − S`` by inclusion–exclusion::
+
+        preserved(S) = pairs(F) − Σ_{s∈S} rowsum_F(s) + pairs(S)
+
+    which is exact (bit-identical to the scalar sum over the remaining
+    pairs) because link bandwidths are integer-valued.
+
+    Parameters
+    ----------
+    free_bandwidth:
+        ``(m, m)`` symmetric bandwidth matrix over the free GPUs, with
+        a zero diagonal (the link-table remap produced by the scan).
+    subsets:
+        ``(S, k)`` integer array of candidate subsets as *local* row
+        indices into ``free_bandwidth``.
+    subset_pair_bw:
+        ``(S, P)`` per-subset pairwise bandwidths (``P = k·(k-1)/2``),
+        i.e. ``pairs(S)`` before summing.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of ``S`` preserved-bandwidth scores.
+    """
+    m = free_bandwidth.shape[0]
+    iu = np.triu_indices(m, 1)
+    total = free_bandwidth[iu].sum(dtype=np.float64)
+    rowsum = free_bandwidth.sum(axis=1, dtype=np.float64)
+    lost = rowsum[subsets].sum(axis=1, dtype=np.float64)
+    within = subset_pair_bw.sum(axis=1, dtype=np.float64)
+    return total - lost + within
+
+
+@dataclass(frozen=True)
+class PairMatrixScores:
+    """Per-candidate scores derived from one ``(M, E)`` pair matrix.
+
+    Attributes
+    ----------
+    census:
+        ``(M, 3)`` int array — the ``(x, y, z)`` link census of each
+        candidate's matched edges (the Eq. 2 input).
+    agg_bw:
+        ``(M,)`` float array — Eq. 1 aggregated bandwidth per candidate.
+    """
+
+    census: np.ndarray
+    agg_bw: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of scored candidates (``M``)."""
+        return self.agg_bw.shape[0]
+
+    def census_of(self, i: int) -> LinkCensus:
+        """The ``i``-th candidate's census as a scalar :class:`LinkCensus`."""
+        x, y, z = (int(v) for v in self.census[i])
+        return LinkCensus(x, y, z)
+
+
+def score_pair_matrix(
+    table: LinkTable, pair_matrix: np.ndarray
+) -> PairMatrixScores:
+    """Census and AggBW for every row of an ``(M, E)`` pair matrix.
+
+    The generic array-level entry point: hand it the flat link-table
+    indices of the hardware links each candidate match occupies and it
+    resolves link classes and bandwidths with one :func:`np.take` each,
+    then reduces to the ``(x, y, z)`` census and the Eq. 1 sum for all
+    ``M`` candidates at once.  (The policy scan itself builds its
+    matrices from the remapped ``(m, m)`` views directly — see
+    :func:`repro.policies.scan.batch_scan` — so this wrapper serves
+    external callers scoring explicit candidate lists.)
+
+    Parameters
+    ----------
+    table:
+        The topology's precomputed link table.
+    pair_matrix:
+        ``(M, E)`` integer array of flat pair indices
+        (``row(u) * n + row(v)``); ``E`` may be zero.
+
+    Returns
+    -------
+    PairMatrixScores
+        The per-candidate censuses and aggregated bandwidths.
+    """
+    pair_matrix = np.asarray(pair_matrix)
+    codes = gather_codes(table, pair_matrix)
+    bws = gather_bandwidths(table, pair_matrix)
+    return PairMatrixScores(
+        census=batch_census(codes), agg_bw=batch_agg_bw(bws)
+    )
+
+
+def censuses_as_tuples(census: np.ndarray) -> Sequence[LinkCensus]:
+    """Materialise an ``(M, 3)`` census array as :class:`LinkCensus` rows.
+
+    Convenience for tests and reporting; hot paths keep the array form.
+    """
+    return [LinkCensus(int(x), int(y), int(z)) for x, y, z in census]

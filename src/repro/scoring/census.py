@@ -32,12 +32,15 @@ class LinkCensus:
 
     @property
     def total_links(self) -> int:
+        """Total counted links (x + y + z)."""
         return self.x + self.y + self.z
 
     def as_tuple(self) -> Tuple[int, int, int]:
+        """The census as a plain ``(x, y, z)`` tuple."""
         return (self.x, self.y, self.z)
 
     def __add__(self, other: "LinkCensus") -> "LinkCensus":
+        """Component-wise sum of two censuses."""
         return LinkCensus(self.x + other.x, self.y + other.y, self.z + other.z)
 
 

@@ -110,6 +110,7 @@ class EffectiveBandwidthModel:
     source: str = "paper"
 
     def __post_init__(self) -> None:
+        """Reject coefficient vectors of the wrong length."""
         if len(self.coefficients) != NUM_FEATURES:
             raise ValueError(
                 f"expected {NUM_FEATURES} coefficients, got {len(self.coefficients)}"
@@ -121,6 +122,7 @@ class EffectiveBandwidthModel:
         return max(raw, 0.0)
 
     def predict_census(self, census: LinkCensus) -> float:
+        """Predicted effective bandwidth of a :class:`LinkCensus`."""
         return self.predict(census.x, census.y, census.z)
 
     def predict_match(self, hardware: HardwareGraph, match: Match) -> float:
@@ -136,6 +138,7 @@ class EffectiveBandwidthModel:
     def predict_batch(
         self, censuses: Sequence[Tuple[float, float, float]]
     ) -> np.ndarray:
+        """Clamped predictions for a sequence of census tuples."""
         raw = feature_matrix(censuses) @ np.asarray(self.coefficients)
         return np.maximum(raw, 0.0)
 

@@ -65,14 +65,17 @@ class ClusterSimulator:
     # these directly; tests and notebooks still reach for them).
     @property
     def engine(self) -> EventEngine:
+        """The core's event queue."""
         return self.core.engine
 
     @property
     def queue(self) -> Deque[Job]:
+        """Jobs waiting to start."""
         return self.core.queue
 
     @property
     def log(self) -> SimulationLog:
+        """The completed-job log."""
         return self.core.log
 
 

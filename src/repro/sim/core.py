@@ -61,13 +61,19 @@ class Placement(Protocol):
     """Where a job landed: a server index plus the committed allocation."""
 
     @property
-    def server_index(self) -> int: ...
+    def server_index(self) -> int:
+        """Index of the hosting server (0 on a single server)."""
+        ...
 
     @property
-    def allocation(self) -> Allocation: ...
+    def allocation(self) -> Allocation:
+        """The committed allocation, with its full score annotation."""
+        ...
 
     @property
-    def gpus(self) -> Tuple[int, ...]: ...
+    def gpus(self) -> Tuple[int, ...]:
+        """The GPUs the job received."""
+        ...
 
 
 @runtime_checkable
@@ -81,15 +87,25 @@ class PlacementBackend(Protocol):
     discipline aborts a speculative placement (EASY reservations).
     """
 
-    def can_ever_fit(self, request: AllocationRequest) -> bool: ...
+    def can_ever_fit(self, request: AllocationRequest) -> bool:
+        """Whether some server could host ``request`` even when idle."""
+        ...
 
-    def try_place(self, request: AllocationRequest) -> Optional[Placement]: ...
+    def try_place(self, request: AllocationRequest) -> Optional[Placement]:
+        """Commit a placement for ``request``, or return ``None``."""
+        ...
 
-    def release(self, job_id: Hashable) -> object: ...
+    def release(self, job_id: Hashable) -> object:
+        """Return a finished (or aborted) job's GPUs to the pool."""
+        ...
 
-    def free_gpu_counts(self) -> Tuple[int, ...]: ...
+    def free_gpu_counts(self) -> Tuple[int, ...]:
+        """Free GPUs per server, indexed by server."""
+        ...
 
-    def hardware_for(self, server_index: int) -> HardwareGraph: ...
+    def hardware_for(self, server_index: int) -> HardwareGraph:
+        """The hardware graph of one server."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -101,6 +117,7 @@ class SimPlacement:
 
     @property
     def gpus(self) -> Tuple[int, ...]:
+        """The GPUs the job received."""
         return self.allocation.gpus
 
 
@@ -112,21 +129,26 @@ class SingleServerBackend:
         self.mapa = mapa
 
     def can_ever_fit(self, request: AllocationRequest) -> bool:
+        """Whether the request fits the (idle) server at all."""
         return self.mapa.can_ever_fit(request)
 
     def try_place(self, request: AllocationRequest) -> Optional[SimPlacement]:
+        """Run MAPA on the free GPUs; commit and wrap the allocation."""
         allocation = self.mapa.try_allocate(request)
         if allocation is None:
             return None
         return SimPlacement(server_index=0, allocation=allocation)
 
     def release(self, job_id: Hashable) -> Tuple[int, ...]:
+        """Free a finished job's GPUs; returns them."""
         return self.mapa.release(job_id)
 
     def free_gpu_counts(self) -> Tuple[int, ...]:
+        """One-element tuple: free GPUs on the single server."""
         return (self.mapa.state.num_free,)
 
     def hardware_for(self, server_index: int) -> HardwareGraph:
+        """The server's hardware graph (``server_index`` is always 0)."""
         return self.mapa.hardware
 
 
@@ -212,6 +234,7 @@ class SimulationCore:
         return self.log
 
     def _complete(self, job_id: Hashable) -> None:
+        """Handle one completion: free GPUs, move the record to the log."""
         self.backend.release(job_id)
         placement_record = self._running.pop(job_id)
         self.placements.append(placement_record)
@@ -222,6 +245,7 @@ class SimulationCore:
     # ------------------------------------------------------------------ #
     @property
     def now(self) -> float:
+        """Current simulated time (seconds since trace start)."""
         return self.engine.now
 
     def place(self, job: Job) -> Optional[PlacedJob]:

@@ -59,6 +59,7 @@ class QueueDiscipline(abc.ABC):
         """Start queued jobs on ``core`` according to this discipline."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Debug representation with the discipline name."""
         return f"{type(self).__name__}(name={self.name!r})"
 
 
@@ -68,6 +69,7 @@ class FifoDiscipline(QueueDiscipline):
     name = "fifo"
 
     def schedule(self, core: "SimulationCore") -> None:
+        """Start jobs from the head until one fails to place."""
         queue = core.queue
         while queue:
             if not core.try_start(queue[0]):
@@ -81,6 +83,7 @@ class BackfillDiscipline(QueueDiscipline):
     name = "backfill"
 
     def schedule(self, core: "SimulationCore") -> None:
+        """Try every queued job in arrival order, keep what will not fit."""
         still: Deque["Job"] = deque()
         while core.queue:
             job = core.queue.popleft()
@@ -104,6 +107,7 @@ class ShortestJobFirstDiscipline(QueueDiscipline):
     name = "sjf"
 
     def schedule(self, core: "SimulationCore") -> None:
+        """Try queued jobs shortest-estimate first, arrival order on ties."""
         order = sorted(
             enumerate(core.queue),
             key=lambda item: (core.runtime_estimate(item[1]), item[0]),
@@ -133,6 +137,7 @@ class EasyBackfillDiscipline(QueueDiscipline):
     name = "easy-backfill"
 
     def schedule(self, core: "SimulationCore") -> None:
+        """Start what fits, reserve for the head, backfill behind it."""
         queue = core.queue
         while queue:
             placed = core.place(queue[0])

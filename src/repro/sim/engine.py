@@ -15,6 +15,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 @dataclass(order=True)
 class _Entry:
+    """One scheduled event; orders by (time, insertion sequence)."""
+
     time: float
     seq: int
     kind: str = field(compare=False)
@@ -38,12 +40,14 @@ class EventEngine:
         heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
 
     def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:
+        """Enqueue an event ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("negative delay")
         self.schedule(self.now + delay, kind, payload)
 
     @property
     def pending(self) -> int:
+        """Events not yet popped."""
         return len(self._heap)
 
     def pop(self) -> Optional[Tuple[float, str, Any]]:
@@ -55,4 +59,5 @@ class EventEngine:
         return entry.time, entry.kind, entry.payload
 
     def peek_time(self) -> Optional[float]:
+        """Time of the next event without popping it (``None`` if empty)."""
         return self._heap[0].time if self._heap else None

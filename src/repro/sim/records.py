@@ -26,14 +26,17 @@ class JobRecord:
 
     @property
     def execution_time(self) -> float:
+        """Wall time the job ran (finish − start)."""
         return self.finish_time - self.start_time
 
     @property
     def wait_time(self) -> float:
+        """Time spent queued (start − submit)."""
         return self.start_time - self.submit_time
 
     @property
     def turnaround_time(self) -> float:
+        """Submit-to-finish latency."""
         return self.finish_time - self.submit_time
 
 
@@ -46,25 +49,32 @@ class SimulationLog:
         self.records: List[JobRecord] = []
 
     def append(self, record: JobRecord) -> None:
+        """Add one completed job (the simulator appends in completion order)."""
         self.records.append(record)
 
     def __len__(self) -> int:
+        """Number of completed jobs logged."""
         return len(self.records)
 
     def __iter__(self):
+        """Iterate over records in completion order."""
         return iter(self.records)
 
     # ------------------------------------------------------------------ #
     def by_workload(self, workload: str) -> List[JobRecord]:
+        """Records of one workload (e.g. ``"vgg16"``)."""
         return [r for r in self.records if r.workload == workload]
 
     def sensitive(self) -> List[JobRecord]:
+        """Records of bandwidth-sensitive jobs."""
         return [r for r in self.records if r.bandwidth_sensitive]
 
     def insensitive(self) -> List[JobRecord]:
+        """Records of bandwidth-insensitive jobs."""
         return [r for r in self.records if not r.bandwidth_sensitive]
 
     def multi_gpu(self) -> List[JobRecord]:
+        """Records of jobs that used more than one GPU."""
         return [r for r in self.records if r.num_gpus > 1]
 
     @property
@@ -79,6 +89,7 @@ class SimulationLog:
         return len(self.records) / span if span > 0 else 0.0
 
     def execution_times(self, records: Optional[Sequence[JobRecord]] = None) -> List[float]:
+        """Execution times of ``records`` (default: the whole log)."""
         recs = self.records if records is None else records
         return [r.execution_time for r in recs]
 
@@ -108,6 +119,7 @@ class SimulationLog:
 
     # ------------------------------------------------------------------ #
     def to_csv(self) -> str:
+        """The log as CSV, one row per record (tuples space-joined)."""
         cols = [f.name for f in fields(JobRecord)]
         buf = io.StringIO()
         buf.write(",".join(cols) + "\n")

@@ -24,6 +24,7 @@ Edge = Tuple[int, int]
 
 
 def _key(u: int, v: int) -> FrozenSet[int]:
+    """Unordered pair key for the NVLink edge map (rejects self-links)."""
     if u == v:
         raise ValueError(f"self-link on accelerator {u}")
     return frozenset((u, v))
@@ -49,6 +50,7 @@ class HardwareLink:
 
     @property
     def endpoints(self) -> FrozenSet[int]:
+        """The unordered GPU pair this link joins."""
         return frozenset((self.u, self.v))
 
 
@@ -126,6 +128,7 @@ class HardwareGraph:
 
     @property
     def num_gpus(self) -> int:
+        """Number of accelerators on the server."""
         return len(self._gpus)
 
     @property
@@ -138,6 +141,7 @@ class HardwareGraph:
         return self._socket_of[gpu]
 
     def __contains__(self, gpu: int) -> bool:
+        """Whether ``gpu`` is an accelerator of this server."""
         return gpu in self._socket_of
 
     def link(self, u: int, v: int) -> LinkType:
@@ -269,6 +273,7 @@ class HardwareGraph:
         )
 
     def __eq__(self, other: object) -> bool:
+        """Equal iff same GPUs, NVLink edges and socket partition."""
         if not isinstance(other, HardwareGraph):
             return NotImplemented
         return (

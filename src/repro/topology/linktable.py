@@ -16,11 +16,20 @@ grab the flat tuples plus the GPU→row index and do pure integer
 arithmetic; casual callers can use the by-id accessors.  The table is
 cached on the graph via :attr:`HardwareGraph.link_table` (hardware
 graphs are immutable after construction, so the cache never staleness).
+
+For the vectorized batch-scoring engine (:mod:`repro.scoring.batch`)
+the same answers are also exposed as dense, read-only numpy arrays —
+:attr:`LinkTable.codes_matrix`, :attr:`LinkTable.bandwidth_matrix` and
+their flat ``n²`` counterparts — so an ``(M, E)`` matrix of pair
+indices resolves to link classes and bandwidths with a single
+``np.take`` per attribute.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
 
 from .links import (
     LinkType,
@@ -62,6 +71,8 @@ class LinkTable:
         "channels",
         "per_channel",
         "nvlink",
+        "_codes_np",
+        "_bandwidths_np",
     )
 
     def __init__(self, hardware: "HardwareGraph") -> None:
@@ -94,6 +105,54 @@ class LinkTable:
         self.channels: Tuple[int, ...] = tuple(chans)
         self.per_channel: Tuple[float, ...] = tuple(per_chan)
         self.nvlink: Tuple[bool, ...] = tuple(nvl)
+        self._codes_np: Optional[np.ndarray] = None
+        self._bandwidths_np: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # dense numpy views (the batch-scoring engine's inputs)
+    # ------------------------------------------------------------------ #
+    @property
+    def codes_flat(self) -> np.ndarray:
+        """Flat ``(n²,)`` int64 array of Eq. 2 link-class codes.
+
+        Entry ``row(u) * n + row(v)`` is the :data:`X`/:data:`Y`/:data:`Z`
+        code of the ``u``–``v`` link.  Built lazily on first access,
+        then cached; the array is marked read-only so shared views can
+        never be mutated behind the cache.
+        """
+        if self._codes_np is None:
+            arr = np.array(self.codes, dtype=np.int64)
+            arr.flags.writeable = False
+            self._codes_np = arr
+        return self._codes_np
+
+    @property
+    def bandwidths_flat(self) -> np.ndarray:
+        """Flat ``(n²,)`` float64 array of pairwise peak bandwidths (GB/s).
+
+        Indexed like :attr:`codes_flat`.  Lazily built, cached and
+        read-only.
+        """
+        if self._bandwidths_np is None:
+            arr = np.array(self.bandwidths, dtype=np.float64)
+            arr.flags.writeable = False
+            self._bandwidths_np = arr
+        return self._bandwidths_np
+
+    @property
+    def codes_matrix(self) -> np.ndarray:
+        """Read-only ``(n, n)`` view of :attr:`codes_flat`."""
+        return self.codes_flat.reshape(self.n, self.n)
+
+    @property
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Read-only ``(n, n)`` view of :attr:`bandwidths_flat`."""
+        return self.bandwidths_flat.reshape(self.n, self.n)
+
+    def rows_of(self, gpus) -> np.ndarray:
+        """Table-row indices of an iterable of GPU ids, as an int array."""
+        index = self.index
+        return np.array([index[g] for g in gpus], dtype=np.intp)
 
     # ------------------------------------------------------------------ #
     # by-GPU-id accessors (convenience; hot loops index the flat tuples)
@@ -115,12 +174,15 @@ class LinkTable:
         return self.bandwidths[self.flat(u, v)]
 
     def num_channels(self, u: int, v: int) -> int:
+        """NVLink channel (brick) count of the ``u``–``v`` link."""
         return self.channels[self.flat(u, v)]
 
     def channel_bandwidth(self, u: int, v: int) -> float:
+        """Per-channel bandwidth of the ``u``–``v`` link (GB/s)."""
         return self.per_channel[self.flat(u, v)]
 
     def has_nvlink(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share a direct NVLink."""
         return self.nvlink[self.flat(u, v)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

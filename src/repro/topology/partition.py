@@ -36,10 +36,12 @@ class PartitionNode:
 
     @property
     def is_leaf(self) -> bool:
+        """Whether this node has no children."""
         return self.left is None and self.right is None
 
     @property
     def size(self) -> int:
+        """GPUs under this subtree."""
         return len(self.gpus)
 
     def subtrees(self) -> List["PartitionNode"]:

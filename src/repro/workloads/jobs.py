@@ -32,6 +32,7 @@ class Job:
     submit_time: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate GPU count and submit time."""
         if self.num_gpus < 1:
             raise ValueError(f"job {self.job_id}: num_gpus must be ≥ 1")
         if self.submit_time < 0:
@@ -57,9 +58,11 @@ class Job:
         )
 
     def workload_spec(self) -> Workload:
+        """The catalogued workload profile this job runs."""
         return get_workload(self.workload)
 
     def to_csv_row(self) -> str:
+        """One CSV line in job-file column order."""
         return (
             f"{self.job_id},{self.workload},{self.num_gpus},"
             f"{self.pattern},{int(self.bandwidth_sensitive)},{self.submit_time}"
@@ -67,6 +70,7 @@ class Job:
 
     @classmethod
     def from_csv_row(cls, row: str) -> "Job":
+        """Parse one CSV line (submit time optional, defaults to 0)."""
         parts = [p.strip() for p in row.split(",")]
         if len(parts) not in (5, 6):
             raise ValueError(f"malformed job row: {row!r}")
@@ -91,19 +95,24 @@ class JobFile:
             raise ValueError("duplicate job ids in job file")
 
     def __len__(self) -> int:
+        """Number of jobs in the trace."""
         return len(self.jobs)
 
     def __iter__(self) -> Iterator[Job]:
+        """Iterate in submission order."""
         return iter(self.jobs)
 
     def __getitem__(self, idx: int) -> Job:
+        """The ``idx``-th job of the trace."""
         return self.jobs[idx]
 
     def max_gpus(self) -> int:
+        """Largest GPU request in the trace (0 when empty)."""
         return max((j.num_gpus for j in self.jobs), default=0)
 
     # ------------------------------------------------------------------ #
     def to_csv(self) -> str:
+        """The whole trace as CSV, header included."""
         buf = io.StringIO()
         buf.write(_HEADER + "\n")
         for job in self.jobs:
@@ -112,6 +121,7 @@ class JobFile:
 
     @classmethod
     def from_csv(cls, text: str) -> "JobFile":
+        """Parse a CSV trace (header line optional)."""
         lines = [ln for ln in text.strip().splitlines() if ln.strip()]
         if not lines:
             return cls([])
@@ -119,10 +129,12 @@ class JobFile:
         return cls(Job.from_csv_row(ln) for ln in lines[start:])
 
     def save(self, path: str) -> None:
+        """Write the trace to ``path`` as CSV."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_csv())
 
     @classmethod
     def load(cls, path: str) -> "JobFile":
+        """Read a CSV trace from ``path``."""
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_csv(fh.read())

@@ -1,0 +1,199 @@
+"""The incremental free-GPU indexes must never drift from ground truth.
+
+Hypothesis-driven churn over :class:`AllocationState` (exclusive
+allocations) and :class:`SharedAllocationState` (fractional MIG-style
+placements) cross-checks every cached view — sorted tuple, frozenset,
+idle set, counters — against a from-scratch recomputation after every
+operation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocator.sharing import (
+    SharedAllocationState,
+    SharedJobSpec,
+    allocate_shared,
+)
+from repro.allocator.state import AllocationError, AllocationState
+from repro.appgraph import patterns
+from repro.topology.builders import dgx1_v100, summit_node
+
+
+# ---------------------------------------------------------------------- #
+# AllocationState
+# ---------------------------------------------------------------------- #
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(st.integers(min_value=0, max_value=10**6), max_size=60))
+def test_free_index_tracks_churn(ops):
+    hardware = dgx1_v100()
+    state = AllocationState(hardware)
+    live = []
+    for step, op in enumerate(ops):
+        if live and op % 3 == 0:
+            job = live.pop(op % len(live))
+            state.release(job)
+        else:
+            free = state.free_sorted
+            if not free:
+                continue
+            k = 1 + op % min(4, len(free))
+            gpus = [free[(op // 7 + i) % len(free)] for i in range(k)]
+            gpus = sorted(set(gpus))
+            job = ("j", step)
+            state.allocate(job, gpus)
+            live.append(job)
+        # Every cached view must equal a from-scratch recomputation.
+        truth = frozenset(
+            g for g in hardware.gpus if state.owner_of(g) is None
+        )
+        assert state.free_gpus == truth
+        assert state.free_sorted == tuple(sorted(truth))
+        assert state.num_free == len(truth)
+        state.check_invariants()
+
+
+def test_version_bumps_on_every_mutation():
+    state = AllocationState(dgx1_v100())
+    v0 = state.version
+    state.allocate("a", [1, 2])
+    assert state.version == v0 + 1
+    state.release("a")
+    assert state.version == v0 + 2
+    state.reset()
+    assert state.version == v0 + 3
+
+
+def test_cached_views_are_reused_between_mutations():
+    state = AllocationState(dgx1_v100())
+    first = state.free_gpus
+    assert state.free_gpus is first  # cache hit, no rebuild
+    tup = state.free_sorted
+    assert state.free_sorted is tup
+    state.allocate("a", [3])
+    assert state.free_gpus is not first
+    assert 3 not in state.free_gpus
+
+
+def test_release_unknown_job_keeps_index_intact():
+    state = AllocationState(summit_node())
+    with pytest.raises(AllocationError):
+        state.release("ghost")
+    assert state.free_sorted == summit_node().gpus
+    state.check_invariants()
+
+
+def test_failed_allocate_leaves_index_untouched():
+    state = AllocationState(dgx1_v100())
+    state.allocate("a", [1, 2])
+    before = state.free_sorted
+    with pytest.raises(AllocationError):
+        state.allocate("b", [2, 3])  # GPU 2 busy
+    assert state.free_sorted == before
+    state.check_invariants()
+
+
+# ---------------------------------------------------------------------- #
+# SharedAllocationState
+# ---------------------------------------------------------------------- #
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(st.integers(min_value=0, max_value=10**6), max_size=40))
+def test_idle_index_tracks_shared_churn(ops):
+    hardware = summit_node()
+    state = SharedAllocationState(hardware)
+    live = []
+    for step, op in enumerate(ops):
+        if live and op % 3 == 0:
+            state.release(live.pop(op % len(live)))
+        else:
+            gpus = sorted(hardware.gpus)
+            chosen = [gpus[(op + i) % len(gpus)] for i in range(1 + op % 3)]
+            placements = [(g, {"slices": 1.0, "memory_gb": 5.0}) for g in chosen]
+            try:
+                state.commit(("j", step), placements)
+            except ValueError:
+                continue  # over capacity — state must be unchanged
+            live.append(("j", step))
+        # idle index == GPUs untouched by any live placement
+        touched = {
+            gpu
+            for job in live
+            for gpu, _ in state._jobs[job]
+        }
+        assert state.idle_gpus == frozenset(hardware.gpus) - touched
+        assert state.num_idle() == len(hardware.gpus) - len(touched)
+        state.check_invariants()
+
+
+def test_idle_index_with_allocate_shared():
+    hardware = dgx1_v100()
+    state = SharedAllocationState(hardware)
+    assert state.idle_gpus == frozenset(hardware.gpus)
+    spec = SharedJobSpec.uniform(patterns.ring(3), slices=2.0, job_id="r3")
+    placements = allocate_shared(spec, state)
+    assert placements is not None
+    touched = {gpu for gpu, _ in placements}
+    assert state.idle_gpus == frozenset(hardware.gpus) - touched
+    state.release("r3")
+    assert state.idle_gpus == frozenset(hardware.gpus)
+    state.check_invariants()
+
+
+def test_idle_index_exact_after_float_heavy_churn():
+    """Counts, not float comparisons: residue like 0.1+0.2-0.1-0.2 ≠ 0
+    must not strand a GPU outside the idle index."""
+    hardware = summit_node()
+    state = SharedAllocationState(hardware)
+    g = hardware.gpus[0]
+    state.commit("a", [(g, {"slices": 0.1, "memory_gb": 0.1})])
+    state.commit("b", [(g, {"slices": 0.2, "memory_gb": 0.2})])
+    state.release("a")
+    state.release("b")
+    assert g in state.idle_gpus
+    state.check_invariants()
+
+
+def test_commit_rejects_cumulative_overcommit_on_one_gpu():
+    """Two slots on one GPU must fit *together*, not just one at a time."""
+    hardware = summit_node()
+    state = SharedAllocationState(hardware)
+    g = hardware.gpus[0]
+    with pytest.raises(ValueError):
+        state.commit(
+            "greedy-job",
+            [
+                (g, {"slices": 4.0, "memory_gb": 10.0}),
+                (g, {"slices": 4.0, "memory_gb": 10.0}),  # 8 > 7 slices
+            ],
+        )
+    # the failed commit must leave no trace
+    assert g in state.idle_gpus
+    state.check_invariants()
+    # and a genuinely fitting multi-slot co-location still works
+    state.commit(
+        "ok-job",
+        [
+            (g, {"slices": 3.0, "memory_gb": 10.0}),
+            (g, {"slices": 3.0, "memory_gb": 10.0}),
+        ],
+    )
+    state.check_invariants()
+
+
+def test_idle_frozen_cache_invalidation():
+    state = SharedAllocationState(summit_node())
+    first = state.idle_gpus
+    assert state.idle_gpus is first
+    g = state.hardware.gpus[0]
+    state.commit("a", [(g, {"slices": 1.0, "memory_gb": 1.0})])
+    assert state.idle_gpus is not first
+    assert g not in state.idle_gpus

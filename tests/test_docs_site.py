@@ -1,0 +1,135 @@
+"""Structural checks on the docs site, runnable without mkdocs.
+
+CI builds the site with ``mkdocs build --strict`` and gates docstring
+coverage with interrogate; these tests keep the same promises visible
+locally — every nav entry exists, every public module is in the API
+reference, the README stub points at the moved architecture map, and
+docstring coverage stays above the gate's floor.
+"""
+
+import ast
+import glob
+import os
+import re
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+DOCS = os.path.join(REPO, "docs")
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_mkdocs_nav_files_exist():
+    nav_paths = re.findall(r":\s*([\w/.-]+\.md)\s*$",
+                           _read(os.path.join(REPO, "mkdocs.yml")),
+                           flags=re.MULTILINE)
+    assert len(nav_paths) >= 25, "nav looks truncated"
+    for rel in nav_paths:
+        assert os.path.exists(os.path.join(DOCS, rel)), f"nav entry missing: {rel}"
+
+
+def _public_modules():
+    for path in glob.glob(os.path.join(SRC, "**", "*.py"), recursive=True):
+        rel = os.path.relpath(path, os.path.join(REPO, "src"))
+        parts = rel[:-3].split(os.sep)
+        if parts[-1] in ("__init__", "__main__"):
+            continue
+        yield ".".join(parts)
+
+
+def test_every_public_module_in_api_reference():
+    directives = set()
+    for page in glob.glob(os.path.join(DOCS, "api", "*.md")):
+        directives.update(
+            re.findall(r"^::: ([\w.]+)\s*$", _read(page), flags=re.MULTILINE)
+        )
+    missing = [m for m in _public_modules() if m not in directives]
+    assert not missing, f"modules absent from docs/api/: {missing}"
+
+
+def test_api_directives_point_at_real_modules():
+    modules = set(_public_modules())
+    for page in glob.glob(os.path.join(DOCS, "api", "*.md")):
+        for directive in re.findall(
+            r"^::: ([\w.]+)\s*$", _read(page), flags=re.MULTILINE
+        ):
+            assert directive in modules, (
+                f"{os.path.basename(page)} documents unknown module "
+                f"{directive!r}"
+            )
+
+
+def test_readme_stub_points_at_docs():
+    readme = _read(os.path.join(REPO, "README.md"))
+    assert "docs/architecture.md" in readme
+    assert "docs/figures.md" in readme
+    assert "docs/sweeps.md" in readme
+    # the old inline architecture diagram moved out
+    assert "topology/    hardware graphs" not in readme
+
+
+def test_figures_page_covers_every_figure_benchmark():
+    figures = _read(os.path.join(DOCS, "figures.md"))
+    benches = glob.glob(os.path.join(REPO, "benchmarks", "bench_*.py"))
+    for bench in benches:
+        assert os.path.basename(bench) in figures, (
+            f"{os.path.basename(bench)} missing from docs/figures.md"
+        )
+
+
+def test_sweeps_page_documents_cache_layout():
+    sweeps = _read(os.path.join(DOCS, "sweeps.md"))
+    for needle in (
+        ".mapa_sweep_cache",
+        "MAPA_SWEEP_CACHE",
+        "mapa-sweep-v1",
+        "between machines",
+    ):
+        assert needle in sweeps
+
+
+# ---------------------------------------------------------------------- #
+# docstring coverage — ast mirror of CI's interrogate gate
+# ---------------------------------------------------------------------- #
+COVERAGE_FLOOR = 0.75
+
+
+def _coverage():
+    total = have = 0
+    missing = []
+    for path in glob.glob(os.path.join(SRC, "**", "*.py"), recursive=True):
+        if path.endswith("__main__.py"):
+            continue
+        tree = ast.parse(_read(path))
+        total += 1
+        if ast.get_docstring(tree):
+            have += 1
+        else:
+            missing.append(f"{path}:module")
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == "__init__"
+                ):
+                    continue  # mirrors interrogate's ignore-init-method
+                total += 1
+                if ast.get_docstring(node):
+                    have += 1
+                else:
+                    missing.append(f"{path}:{node.lineno}:{node.name}")
+    return have, total, missing
+
+
+def test_docstring_coverage_above_floor():
+    have, total, missing = _coverage()
+    coverage = have / total
+    assert coverage >= COVERAGE_FLOOR, (
+        f"docstring coverage {coverage:.1%} under the {COVERAGE_FLOOR:.0%} "
+        f"gate; {len(missing)} undocumented, e.g. {missing[:10]}"
+    )

@@ -1,0 +1,127 @@
+"""Batch-engine policies must make *identical* decisions to scalar ones.
+
+End-to-end churn: random allocate/release sequences driven through two
+copies of each scanning policy — one per engine — asserting every
+proposed allocation (GPUs, mapping, full score dict) is equal, exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.allocator.mapa import Mapa
+from repro.appgraph import patterns
+from repro.policies.base import AllocationRequest
+from repro.policies.greedy import GreedyPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.preserve import PreservePolicy
+from repro.policies.registry import make_policy
+from repro.scoring.regression import fit_for_hardware
+from repro.topology.builders import dgx1_v100, summit_node
+
+_PATTERNS = ("ring", "chain", "tree", "star", "alltoall")
+
+
+def _make_pattern(name, k):
+    return {
+        "ring": patterns.ring,
+        "chain": patterns.chain,
+        "tree": patterns.tree,
+        "star": patterns.star,
+        "alltoall": patterns.all_to_all,
+    }[name](k)
+
+
+def _assert_allocations_equal(a, b, context):
+    if a is None or b is None:
+        assert a is None and b is None, context
+        return
+    assert a.gpus == b.gpus, context
+    assert a.match == b.match, context
+    assert dict(a.scores) == dict(b.scores), context
+
+
+def _churn(policy_batch, policy_scalar, hardware, seed, events=60):
+    """Drive both engines through the same random allocate/release churn."""
+    rng = random.Random(seed)
+    batch_mapa = Mapa(hardware, policy_batch)
+    scalar_mapa = Mapa(hardware, policy_scalar)
+    live = []
+    for step in range(events):
+        if live and (rng.random() < 0.4 or batch_mapa.state.num_free == 0):
+            job = live.pop(rng.randrange(len(live)))
+            assert batch_mapa.release(job) == scalar_mapa.release(job)
+            continue
+        k = rng.randint(1, min(5, hardware.num_gpus))
+        name = rng.choice(_PATTERNS)
+        sensitive = rng.random() < 0.7
+        request = AllocationRequest(
+            pattern=_make_pattern(name, k),
+            bandwidth_sensitive=sensitive,
+            job_id=("job", step),
+        )
+        a = batch_mapa.try_allocate(request)
+        b = scalar_mapa.try_allocate(request)
+        _assert_allocations_equal(
+            a, b, f"step {step}: {name}({k}) sensitive={sensitive}"
+        )
+        if a is not None:
+            live.append(("job", step))
+        batch_mapa.state.check_invariants()
+        scalar_mapa.state.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_greedy_engines_identical_under_churn(seed):
+    _churn(GreedyPolicy(engine="batch"), GreedyPolicy(engine="scalar"),
+           dgx1_v100(), seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_preserve_engines_identical_under_churn(seed):
+    model, _, _ = fit_for_hardware(dgx1_v100())
+    _churn(
+        PreservePolicy(model, engine="batch"),
+        PreservePolicy(model, engine="scalar"),
+        dgx1_v100(),
+        seed,
+    )
+
+
+def test_preserve_engines_identical_on_summit():
+    _churn(
+        PreservePolicy(engine="batch"),
+        PreservePolicy(engine="scalar"),
+        summit_node(),
+        seed=7,
+    )
+
+
+def test_oracle_engines_identical_under_churn():
+    _churn(
+        OraclePolicy(engine="batch"),
+        OraclePolicy(engine="scalar"),
+        dgx1_v100(),
+        seed=3,
+        events=25,  # the microbenchmark makes oracle scans expensive
+    )
+
+
+def test_registry_passes_engine_through():
+    assert make_policy("greedy", engine="scalar").engine == "scalar"
+    assert make_policy("preserve").engine == "batch"
+    assert make_policy("oracle", engine="batch").engine == "batch"
+    # non-scanning policies ignore the engine argument
+    make_policy("baseline", engine="scalar")
+    make_policy("topo-aware", engine="scalar")
+
+
+@pytest.mark.parametrize(
+    "cls", [GreedyPolicy, PreservePolicy, OraclePolicy]
+)
+def test_unknown_engine_rejected(cls):
+    with pytest.raises(ValueError):
+        if cls is PreservePolicy:
+            cls(engine="simd")
+        else:
+            cls(engine="simd")
