@@ -1,0 +1,116 @@
+"""Fleet-scale replay benchmark: 64 heterogeneous servers, 10k jobs.
+
+The scenario subsystem supplies the trace (bursty MMPP arrivals over
+the paper's workload mix, one fixed seed) and the fleet (40 DGX-1V +
+16 DGX-1P + 8 NVSwitch DGX-2 — three different fabrics behind one
+queue); the multi-server scheduler replays it with the incremental
+candidate-server index keeping per-event server selection off the
+O(fleet) scan path.
+
+Two gates, both CI-enforced:
+
+* **wall time** — the full replay must finish under ``TIME_GATE_S``
+  seconds (override with ``MAPA_FLEET_GATE_S``), keeping the fleet
+  fast path honest as the fleet grows;
+* **determinism** — a second replay of the same fixed-seed scenario
+  must produce a byte-identical :class:`~repro.sim.records.SimulationLog`
+  (compared via the canonical JSON serialisation the sweep cache
+  persists), pinning the end-to-end no-global-RNG contract.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_fleet_scale.py
+"""
+
+import json
+import os
+import time
+from typing import Tuple
+
+from repro.analysis.tables import format_table
+from repro.cluster import run_cluster
+from repro.scenarios import MMPPArrivals, ScenarioSpec, mixed_fleet, paper_mix
+
+try:
+    from conftest import emit
+except ImportError:  # standalone run, outside pytest's benchmarks rootdir
+    def emit(experiment: str, text: str) -> None:
+        print(f"\n===== {experiment} =====\n{text}")
+
+#: Fleet size (servers) and trace length (jobs) — the issue's floors.
+NUM_SERVERS = 64
+NUM_JOBS = 10_000
+
+#: Wall-time gate in seconds for ONE replay (CI machines are slow;
+#: override locally with MAPA_FLEET_GATE_S).
+TIME_GATE_S = float(os.environ.get("MAPA_FLEET_GATE_S", "120"))
+
+SCENARIO = ScenarioSpec(
+    num_jobs=NUM_JOBS,
+    seed=2021,
+    arrival=MMPPArrivals(
+        quiet_rate=1.0, burst_rate=20.0, quiet_dwell=300.0, burst_dwell=60.0
+    ),
+    mix=paper_mix(),
+    name="fleet-scale",
+)
+
+
+def _replay() -> Tuple[str, float, float]:
+    """One full replay; returns (log JSON, wall seconds, makespan)."""
+    fleet = mixed_fleet(NUM_SERVERS)
+    spec = SCENARIO.resolve(fleet.min_gpus_per_server())
+    job_file = spec.build()
+    servers = fleet.build()
+    t0 = time.perf_counter()
+    sim = run_cluster(servers, job_file, gpu_policy="preserve")
+    wall = time.perf_counter() - t0
+    sim.scheduler.check_index()  # the delta-maintained index stayed exact
+    payload = json.dumps(sim.log.to_dict(), sort_keys=True)
+    return payload, wall, sim.log.makespan
+
+
+def build_table() -> Tuple[str, float, bool]:
+    """Replay twice; returns (table, best wall time, byte-identical?)."""
+    first, wall1, makespan = _replay()
+    second, wall2, _ = _replay()
+    identical = first == second
+    fleet = mixed_fleet(NUM_SERVERS)
+    wall = min(wall1, wall2)
+    rows = [
+        ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
+        ["jobs replayed", f"{NUM_JOBS}"],
+        [
+            "arrivals",
+            (
+                f"MMPP ({SCENARIO.arrival.quiet_rate:g}/s quiet, "
+                f"{SCENARIO.arrival.burst_rate:g}/s bursts)"
+            ),
+        ],
+        ["simulated makespan (s)", f"{makespan:.0f}"],
+        ["replay wall time (s)", f"{wall:.1f}"],
+        ["replay throughput (jobs/s)", f"{NUM_JOBS / wall:.0f}"],
+        ["byte-identical re-run", "yes" if identical else "NO"],
+    ]
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title="Fleet-scale replay — heterogeneous fleet, generated scenario",
+    )
+    return text, wall, identical
+
+
+def test_fleet_scale(benchmark):
+    text, wall, identical = benchmark.pedantic(
+        build_table, rounds=1, iterations=1
+    )
+    emit("fleet_scale", text)
+    assert identical, "fixed-seed scenario replay is not byte-identical"
+    assert wall <= TIME_GATE_S, (
+        f"fleet replay took {wall:.1f}s (gate {TIME_GATE_S:.0f}s)"
+    )
+
+
+if __name__ == "__main__":
+    text, wall, identical = build_table()
+    emit("fleet_scale", text)
+    assert identical, "fixed-seed scenario replay is not byte-identical"
+    assert wall <= TIME_GATE_S, f"{wall:.1f}s over the {TIME_GATE_S:.0f}s gate"

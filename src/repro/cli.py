@@ -16,6 +16,12 @@ Subcommands
     Expand a declarative topology×policy×discipline grid, simulate the
     cells in parallel worker processes with content-hash result caching,
     and print a per-cell summary (table, JSON or CSV).
+``scenario``
+    Generate a seeded stochastic scenario (Poisson / diurnal / MMPP
+    arrivals × a workload/GPU-size mix), then describe it, export it as
+    a CSV trace, replay it on a heterogeneous multi-server fleet, or
+    sweep it through the cached experiment grid exactly like a paper
+    trace.
 """
 
 from __future__ import annotations
@@ -156,8 +162,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    """``mapa sweep``: run a cached, parallel experiment grid."""
+def _run_sweep(args: argparse.Namespace, trace, trace_label: str) -> int:
+    """Shared sweep driver: grid × ``trace`` with caching and export.
+
+    Both ``mapa sweep`` (paper-style :class:`TraceSpec`) and
+    ``mapa scenario --grid`` (generated :class:`ScenarioSpec`) land
+    here — generated scenarios sweep, cache and export through exactly
+    the machinery paper traces use.
+    """
     import json
 
     from .analysis.export import sweep_to_csv
@@ -165,26 +177,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SUMMARY_COLUMNS,
         ResultStore,
         SweepRunner,
-        TraceSpec,
         default_cache_dir,
         parse_grid,
     )
 
     try:
-        spec = parse_grid(
-            args.grid,
-            trace=TraceSpec(
-                num_jobs=args.trace_jobs, seed=args.seed, max_gpus=args.max_gpus
-            ),
-            model=args.model,
-        )
+        spec = parse_grid(args.grid, trace=trace, model=args.model)
         runner = SweepRunner(
             store=(
                 None
                 if args.no_cache
                 else ResultStore(args.cache_dir or default_cache_dir())
             ),
-            jobs=args.jobs,
+            jobs=args.workers,
         )
     except ValueError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
@@ -216,7 +221,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     f"Sweep: {len(spec.topologies)} topologies × "
                     f"{len(spec.policies)} policies × "
                     f"{len(spec.disciplines)} disciplines, "
-                    f"{args.trace_jobs}-job trace (seed {args.seed})"
+                    f"{trace_label}"
                 ),
                 float_fmt="{:.1f}",
             )
@@ -224,9 +229,179 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"sweep: {outcome.num_cells} cells, {outcome.num_cached} cached, "
         f"{outcome.num_simulated} simulated "
-        f"({args.jobs} worker{'s' if args.jobs != 1 else ''}, "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
         f"{outcome.elapsed:.1f}s)",
         file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``mapa sweep``: run a cached, parallel experiment grid."""
+    from .experiments import TraceSpec
+
+    args.workers = args.jobs
+    try:
+        trace = TraceSpec(
+            num_jobs=args.trace_jobs, seed=args.seed, max_gpus=args.max_gpus
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    return _run_sweep(
+        args, trace, f"{args.trace_jobs}-job trace (seed {args.seed})"
+    )
+
+
+def _build_arrival(args: argparse.Namespace):
+    """The arrival process selected by the ``scenario`` flags."""
+    from .scenarios import (
+        BatchArrivals,
+        DiurnalArrivals,
+        MMPPArrivals,
+        PoissonArrivals,
+    )
+
+    if args.arrival == "batch":
+        return BatchArrivals()
+    if args.arrival == "poisson":
+        return PoissonArrivals(rate=args.rate)
+    if args.arrival == "diurnal":
+        return DiurnalArrivals(
+            base_rate=args.rate, peak_rate=args.peak_rate, period=args.period
+        )
+    return MMPPArrivals(
+        quiet_rate=args.quiet_rate,
+        burst_rate=args.burst_rate,
+        quiet_dwell=args.quiet_dwell,
+        burst_dwell=args.burst_dwell,
+    )
+
+
+def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
+    """Replay a scenario on a heterogeneous fleet; print the summary."""
+    import numpy as np
+
+    from .cluster import run_cluster
+    from .scenarios import FleetSpec
+
+    fleet = FleetSpec.parse(args.fleet)
+    resolved = spec.resolve(fleet.min_gpus_per_server())
+    job_file = resolved.build()
+    if args.output:
+        # Export exactly the (size-resolved) trace the replay consumes.
+        job_file.save(args.output)
+        print(f"trace written to {args.output}")
+    sim = run_cluster(
+        fleet.build(),
+        job_file,
+        gpu_policy=args.policy,
+        node_policy=args.node_policy,
+        scheduling=args.scheduling,
+    )
+    log = sim.log
+    waits = [r.wait_time for r in log.records]
+    sens = [r.measured_effective_bw for r in log.sensitive() if r.num_gpus > 1]
+    per_server = sim.jobs_per_server()
+    rows = [
+        ["servers", f"{fleet.num_servers} ({fleet.label()})"],
+        ["jobs", str(len(log))],
+        ["makespan (s)", f"{log.makespan:.1f}"],
+        ["mean wait (s)", f"{float(np.mean(waits)):.1f}" if waits else "0.0"],
+        ["jobs/h", f"{3600.0 * log.throughput:.1f}"],
+        ["mean sens. EffBW", f"{float(np.mean(sens)):.1f}" if sens else "0.0"],
+        ["busiest server", str(max(per_server.values()))],
+        ["idlest server", str(min(per_server.values()))],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Scenario fleet replay — {resolved.describe()}",
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``mapa scenario``: generate, export, replay or sweep a scenario."""
+    from collections import Counter
+
+    from .scenarios import ScenarioSpec, mix_by_name
+
+    try:
+        spec = ScenarioSpec(
+            num_jobs=args.num_jobs,
+            seed=args.seed,
+            arrival=_build_arrival(args),
+            mix=mix_by_name(args.mix),
+            name=f"{args.mix}/{args.arrival}",
+        )
+    except ValueError as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+    if args.grid is not None:
+        if args.output:
+            # The grid resolves the trace per topology, so there is no
+            # single trace to export — reject instead of silently
+            # ignoring the flag.
+            print(
+                "scenario: --output cannot be combined with --grid "
+                "(each grid topology resolves its own trace; use "
+                "--output without --grid to export)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fleet:
+            # Sweeps run single-server cells over the grid's topology
+            # axis; a fleet replay is a different mode entirely.
+            print(
+                "scenario: --fleet cannot be combined with --grid "
+                "(sweep topologies come from the grid's topology axis; "
+                "drop --grid for a fleet replay)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_sweep(
+            args,
+            spec,
+            f"{args.num_jobs}-job {spec.name} scenario (seed {args.seed})",
+        )
+    if args.fleet:
+        try:
+            return _scenario_fleet_replay(args, spec)
+        except ValueError as exc:
+            print(f"scenario: {exc}", file=sys.stderr)
+            return 2
+    job_file = spec.build()
+    if args.output:
+        job_file.save(args.output)
+        print(f"trace written to {args.output}")
+        return 0
+    submits = [j.submit_time for j in job_file]
+    span = submits[-1] - submits[0] if len(submits) > 1 else 0.0
+    counts = Counter(j.workload for j in job_file)
+    sizes = Counter(j.num_gpus for j in job_file)
+    rows = [
+        ["jobs", str(len(job_file))],
+        ["arrival span (s)", f"{span:.1f}"],
+        [
+            "observed rate (jobs/s)",
+            f"{(len(job_file) - 1) / span:.4f}" if span > 0 else "batch",
+        ],
+        [
+            "GPU sizes",
+            " ".join(f"{s}:{sizes[s]}" for s in sorted(sizes)),
+        ],
+        [
+            "top workloads",
+            " ".join(f"{w}:{c}" for w, c in counts.most_common(4)),
+        ],
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows, title=f"Scenario — {spec.describe()}"
+        )
     )
     return 0
 
@@ -375,6 +550,147 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format for the per-cell summary",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_scen = sub.add_parser(
+        "scenario",
+        help=(
+            "generate a stochastic scenario; describe, export, "
+            "fleet-replay or sweep it"
+        ),
+        description=(
+            "Generate a seeded stochastic scenario trace (arrival process "
+            "× job mix).  By default a summary is printed; --output saves "
+            "the trace as a replayable CSV, --fleet replays it on a "
+            "heterogeneous multi-server fleet, and --grid sweeps it "
+            "through the cached experiment grid exactly like a paper "
+            "trace."
+        ),
+    )
+    from .cluster import NODE_POLICIES
+    from .scenarios import ARRIVAL_KINDS, MIX_PRESETS
+
+    p_scen.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=tuple(ARRIVAL_KINDS),  # live view of the registry
+        help="arrival process shaping the submit times",
+    )
+    p_scen.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        help="arrival rate in jobs/s (poisson), or the diurnal trough rate",
+    )
+    p_scen.add_argument(
+        "--peak-rate",
+        type=float,
+        default=4.0,
+        help="diurnal peak rate (jobs/s)",
+    )
+    p_scen.add_argument(
+        "--period",
+        type=float,
+        default=86400.0,
+        help="diurnal period in seconds (default: one day)",
+    )
+    p_scen.add_argument(
+        "--quiet-rate", type=float, default=0.2, help="MMPP quiet-state rate (jobs/s)"
+    )
+    p_scen.add_argument(
+        "--burst-rate", type=float, default=5.0, help="MMPP burst-state rate (jobs/s)"
+    )
+    p_scen.add_argument(
+        "--quiet-dwell",
+        type=float,
+        default=600.0,
+        help="MMPP mean quiet-state dwell time (s)",
+    )
+    p_scen.add_argument(
+        "--burst-dwell",
+        type=float,
+        default=60.0,
+        help="MMPP mean burst-state dwell time (s)",
+    )
+    p_scen.add_argument(
+        "--mix",
+        default="paper",
+        choices=tuple(MIX_PRESETS),  # live view of the registry
+        help="workload × GPU-size mix preset",
+    )
+    p_scen.add_argument(
+        "--num-jobs", type=int, default=300, help="jobs in the generated scenario"
+    )
+    p_scen.add_argument(
+        "--seed", type=int, default=2021, help="scenario RNG seed"
+    )
+    p_scen.add_argument(
+        "--output",
+        help=(
+            "write the generated trace to this CSV file (with --fleet, "
+            "the resolved trace the replay consumes; not valid with "
+            "--grid)"
+        ),
+    )
+    p_scen.add_argument(
+        "--fleet",
+        help=(
+            "replay on a heterogeneous fleet given as topo[:count] groups, "
+            "e.g. dgx1-v100:40,dgx1-p100:16,dgx2:8"
+        ),
+    )
+    p_scen.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="GPU-selection policy inside each node (fleet replay)",
+    )
+    p_scen.add_argument(
+        "--node-policy",
+        default="first-fit",
+        choices=NODE_POLICIES,
+        help="server-selection policy (fleet replay)",
+    )
+    p_scen.add_argument(
+        "--scheduling",
+        default="fifo",
+        choices=tuple(DISCIPLINES),  # live view: includes registered plugins
+        help="queue discipline (fleet replay)",
+    )
+    p_scen.add_argument(
+        "--grid",
+        nargs="*",
+        default=None,
+        metavar="AXIS=V1,V2",
+        help=(
+            "sweep this scenario through a topology/policy/discipline "
+            "grid (same syntax as `mapa sweep --grid`; pass with no "
+            "items for the default grid)"
+        ),
+    )
+    p_scen.add_argument(
+        "--workers", type=int, default=1, help="sweep worker processes"
+    )
+    p_scen.add_argument(
+        "--model",
+        default="refit",
+        choices=("refit", "paper"),
+        help="Eq. 2 scoring model for sweeps",
+    )
+    p_scen.add_argument(
+        "--no-cache", action="store_true", help="disable the sweep result cache"
+    )
+    p_scen.add_argument(
+        "--cache-dir",
+        help="sweep result-cache directory (default: $MAPA_SWEEP_CACHE or "
+        ".mapa_sweep_cache)",
+    )
+    p_scen.add_argument(
+        "--format",
+        default="table",
+        choices=("table", "json", "csv"),
+        help="sweep output format",
+    )
+    p_scen.set_defaults(func=_cmd_scenario)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
     p_fit.add_argument(

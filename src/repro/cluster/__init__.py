@@ -2,6 +2,7 @@
 
 from .scheduler import (
     NODE_POLICIES,
+    CandidateServerIndex,
     ClusterPlacement,
     MultiServerScheduler,
 )
@@ -14,6 +15,7 @@ from .simulator import (
 
 __all__ = [
     "NODE_POLICIES",
+    "CandidateServerIndex",
     "ClusterPlacement",
     "MultiServerScheduler",
     "ClusterJobRecord",

@@ -19,8 +19,11 @@ Node-selection policies:
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, insort
+from itertools import chain
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..allocator.mapa import Mapa
 from ..policies.base import Allocation, AllocationPolicy, AllocationRequest
@@ -29,6 +32,132 @@ from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
 from ..topology.hardware import HardwareGraph
 
 NODE_POLICIES = ("first-fit", "pack", "spread", "best-score")
+
+
+class CandidateServerIndex:
+    """Incremental index of servers by free-GPU count.
+
+    At fleet scale the scheduler used to test every server's free count
+    on every event (an O(fleet) scan per arrival, completion and
+    backfill probe).  This index buckets server indices by their current
+    free-GPU count — bucket ``f`` holds, in ascending index order, the
+    servers with exactly ``f`` GPUs free — and is maintained from
+    placement/release *deltas*: a server moves between two buckets when
+    its free count changes, everything else stays untouched.
+
+    A request for ``k`` GPUs is feasible on exactly the servers in
+    buckets ``k .. max_capacity`` (a server's free count never exceeds
+    its capacity, so no separate capacity check is needed), and every
+    node policy's preference order falls out of how the buckets are
+    walked:
+
+    * ascending index (``first-fit`` / ``best-score``): a lazy merge of
+      the sorted buckets;
+    * ``pack`` — ``(free, index)``: buckets walked smallest-count first;
+    * ``spread`` — ``(-free, index)``: buckets walked largest-count
+      first.
+
+    Per-event cost is O(buckets + candidates actually consumed) instead
+    of O(fleet); the caller usually stops at the first feasible server.
+    """
+
+    def __init__(self, free_counts: Sequence[int]) -> None:
+        self._free: List[int] = list(free_counts)
+        cap = max(self._free, default=0)
+        self._buckets: List[List[int]] = [[] for _ in range(cap + 1)]
+        for server, free in enumerate(self._free):
+            self._buckets[free].append(server)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        """Servers tracked by the index."""
+        return len(self._free)
+
+    def free_count(self, server: int) -> int:
+        """The index's view of one server's free-GPU count."""
+        return self._free[server]
+
+    def set_free(self, server: int, free: int) -> None:
+        """Move ``server`` to bucket ``free`` (no-op if unchanged).
+
+        This is the delta update: O(log bucket + bucket shift) for the
+        two touched buckets, nothing else moves.
+        """
+        old = self._free[server]
+        if free == old:
+            return
+        if free < 0:
+            raise ValueError(f"negative free count {free} for server {server}")
+        bucket = self._buckets[old]
+        del bucket[bisect_left(bucket, server)]
+        if free >= len(self._buckets):  # defensive: capacity grew?
+            self._buckets.extend(
+                [] for _ in range(free - len(self._buckets) + 1)
+            )
+        insort(self._buckets[free], server)
+        self._free[server] = free
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, num_gpus: int, order: str = "index") -> Iterator[int]:
+        """Servers with ≥ ``num_gpus`` GPUs free, in preference order.
+
+        ``order`` is ``"index"`` (ascending server index), ``"pack"``
+        (fewest free GPUs first) or ``"spread"`` (most free GPUs first);
+        ties always break by ascending index.  The iterator is lazy —
+        consuming only the first candidate costs only that candidate —
+        but the caller must not mutate the index while advancing it
+        further (committing a placement and *then* abandoning the
+        iterator, as ``try_place`` does, is fine).
+        """
+        if num_gpus > len(self._buckets) - 1:
+            return iter(())
+        feasible = self._buckets[max(num_gpus, 0):]
+        if order == "index":
+            nonempty = [b for b in feasible if b]
+            if len(nonempty) == 1:
+                return iter(nonempty[0])
+            return heapq.merge(*nonempty)
+        if order == "pack":
+            return chain.from_iterable(feasible)
+        if order == "spread":
+            return chain.from_iterable(reversed(feasible))
+        raise ValueError(f"unknown candidate order {order!r}")
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Tuple[int, ...]:
+        """The per-server free counts the index currently believes."""
+        return tuple(self._free)
+
+    def check(self, expected_free: Iterable[int]) -> None:
+        """Assert the index equals one recomputed from scratch.
+
+        Property tests drive random place/release sequences through the
+        scheduler and call this after every step: the per-server counts
+        must match ``expected_free`` exactly, and every bucket must hold
+        exactly the servers with that free count, sorted ascending.
+        """
+        expected = list(expected_free)
+        if self._free != expected:
+            raise AssertionError(
+                f"index free counts {self._free} != actual {expected}"
+            )
+        seen: List[int] = []
+        for free, bucket in enumerate(self._buckets):
+            if bucket != sorted(bucket):
+                raise AssertionError(f"bucket {free} not sorted: {bucket}")
+            for server in bucket:
+                if self._free[server] != free:
+                    raise AssertionError(
+                        f"server {server} in bucket {free} but has "
+                        f"{self._free[server]} free"
+                    )
+            seen.extend(bucket)
+        if sorted(seen) != list(range(len(self._free))):
+            raise AssertionError(
+                f"buckets cover {sorted(seen)}, expected every server "
+                f"0..{len(self._free) - 1} exactly once"
+            )
 
 
 @dataclass(frozen=True)
@@ -66,6 +195,14 @@ class MultiServerScheduler:
             Mapa(hw, make_policy(gpu_policy, model), model) for hw in servers
         ]
         self._job_server: Dict[Hashable, int] = {}
+        # Candidate-server index, maintained incrementally from the
+        # placement/release deltas this scheduler applies.  State must be
+        # mutated *through* the scheduler (try_place/release/reset) for
+        # the index to stay exact; resync_index() recovers from
+        # out-of-band engine mutation (e.g. tests poking at engines).
+        self._index = CandidateServerIndex(
+            [e.state.num_free for e in self.engines]
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,49 +239,79 @@ class MultiServerScheduler:
         return self.engines[server_index].hardware
 
     # ------------------------------------------------------------------ #
-    def _candidate_order(self, request: AllocationRequest) -> List[int]:
+    # the incremental candidate-server index
+    # ------------------------------------------------------------------ #
+    @property
+    def candidate_index(self) -> CandidateServerIndex:
+        """The fleet's free-GPU-count index (read-only for callers)."""
+        return self._index
+
+    def _sync_index(self, server_index: int) -> None:
+        """Re-bucket one server after its free count changed."""
+        self._index.set_free(
+            server_index, self.engines[server_index].state.num_free
+        )
+
+    def resync_index(self) -> None:
+        """Rebuild the index from the engines' actual free counts.
+
+        Only needed after engine state was mutated *around* the
+        scheduler (direct ``engines[i]`` pokes); normal operation keeps
+        the index exact from deltas.
+        """
+        self._index = CandidateServerIndex(
+            [e.state.num_free for e in self.engines]
+        )
+
+    def check_index(self) -> None:
+        """Assert the delta-maintained index matches a from-scratch scan."""
+        self._index.check(e.state.num_free for e in self.engines)
+
+    def _candidates(self, request: AllocationRequest) -> Iterator[int]:
         """Feasible servers in the node policy's preference order.
 
-        Pruning reads each engine's O(1) ``num_free`` counter — no sets
-        are built or copied per event.
+        Served by the incremental index: servers whose free-GPU count
+        cannot fit the request are never visited, so cost scales with
+        the candidates consumed rather than the fleet size.  (A server's
+        free count never exceeds its capacity, so the old per-server
+        capacity check is subsumed by the bucket lower bound.)
         """
-        feasible = [
-            i
-            for i, e in enumerate(self.engines)
-            if e.state.num_free >= request.num_gpus
-            and request.num_gpus <= e.hardware.num_gpus
-        ]
-        if self.node_policy == "pack":
-            feasible.sort(key=lambda i: (self.engines[i].state.num_free, i))
-        elif self.node_policy == "spread":
-            feasible.sort(key=lambda i: (-self.engines[i].state.num_free, i))
-        # first-fit / best-score keep index order.
-        return feasible
+        order = {
+            "first-fit": "index",
+            "best-score": "index",
+            "pack": "pack",
+            "spread": "spread",
+        }[self.node_policy]
+        return self._index.candidates(request.num_gpus, order)
+
+    def _candidate_order(self, request: AllocationRequest) -> List[int]:
+        """Materialised :meth:`_candidates` (kept for introspection)."""
+        return list(self._candidates(request))
 
     def try_place(self, request: AllocationRequest) -> Optional[ClusterPlacement]:
         """Place a job on some server, committing the allocation."""
         if request.job_id is None:
             raise ValueError("cluster placement requires a job_id")
-        order = self._candidate_order(request)
-        if not order:
-            return None
         if self.node_policy == "best-score":
-            return self._place_best_score(request, order)
-        for idx in order:
+            return self._place_best_score(request)
+        for idx in self._candidates(request):
             allocation = self.engines[idx].try_allocate(request)
             if allocation is not None:
+                # The candidate iterator is abandoned here, so mutating
+                # the index mid-iteration is safe.
+                self._sync_index(idx)
                 self._job_server[request.job_id] = idx
                 return ClusterPlacement(server_index=idx, allocation=allocation)
         return None
 
     def _place_best_score(
-        self, request: AllocationRequest, order: List[int]
+        self, request: AllocationRequest
     ) -> Optional[ClusterPlacement]:
         """Speculatively run MAPA on every feasible server, keep the best."""
         best_idx: Optional[int] = None
         best_alloc: Optional[Allocation] = None
         best_score = float("-inf")
-        for idx in order:
+        for idx in self._candidates(request):
             engine = self.engines[idx]
             free = engine.state.free_sorted  # cached by the free-GPU index
             proposal = engine.policy.allocate(request, engine.hardware, free)
@@ -159,6 +326,7 @@ class MultiServerScheduler:
         if best_idx is None or best_alloc is None:
             return None
         self.engines[best_idx].state.allocate(request.job_id, best_alloc.gpus)
+        self._sync_index(best_idx)
         self._job_server[request.job_id] = best_idx
         return ClusterPlacement(server_index=best_idx, allocation=best_alloc)
 
@@ -168,10 +336,13 @@ class MultiServerScheduler:
             idx = self._job_server.pop(job_id)
         except KeyError:
             raise KeyError(f"job {job_id!r} is not placed") from None
-        return idx, self.engines[idx].release(job_id)
+        freed = self.engines[idx].release(job_id)
+        self._sync_index(idx)
+        return idx, freed
 
     def reset(self) -> None:
         """Release every job on every server."""
         for e in self.engines:
             e.reset()
         self._job_server.clear()
+        self.resync_index()

@@ -46,6 +46,7 @@ from .runner import (
 )
 from .spec import (
     CACHE_SCHEMA,
+    AnyTraceSpec,
     CellConfig,
     ExperimentSpec,
     SWEEPABLE_POLICIES,
@@ -55,6 +56,7 @@ from .spec import (
 from .store import CellResult, ResultStore, default_cache_dir
 
 __all__ = [
+    "AnyTraceSpec",
     "CACHE_SCHEMA",
     "CLUSTER_NUM_JOBS",
     "CellConfig",

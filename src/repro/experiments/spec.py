@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..policies.registry import POLICY_NAMES
 from ..sim.disciplines import DISCIPLINES
@@ -27,9 +27,23 @@ from ..workloads.catalog import get_workload
 from ..workloads.generator import generate_job_file
 from ..workloads.jobs import JobFile
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..scenarios.spec import ScenarioSpec
+
 #: Bump when the cached result layout (or the meaning of a cell's
 #: parameters) changes; every old cache entry then misses cleanly.
 CACHE_SCHEMA = "mapa-sweep-v1"
+
+#: The trace axis of a grid: the paper's declarative trace shape or a
+#: generated :class:`~repro.scenarios.spec.ScenarioSpec` — both expose
+#: ``resolve(num_gpus)`` / ``build()`` / ``to_dict()``, which is all the
+#: grid machinery (and the cell hash) ever touches.  Scenario dicts
+#: carry a ``"kind": "scenario"`` discriminator, so the two can never
+#: collide in the cache.  (Typed as a forward union to keep
+#: ``repro.experiments`` import-free of ``repro.scenarios`` at runtime —
+#: scenario mixes anchor to :mod:`repro.experiments.presets`, and a
+#: module-level import here would close that cycle.)
+AnyTraceSpec = Union["TraceSpec", "ScenarioSpec"]
 
 #: Policies a spec may name: the paper's four plus the oracle bound.
 SWEEPABLE_POLICIES: Tuple[str, ...] = tuple(POLICY_NAMES) + ("oracle",)
@@ -110,7 +124,7 @@ class CellConfig:
     topology: str
     policy: str
     discipline: str
-    trace: TraceSpec
+    trace: AnyTraceSpec
     model: str = "refit"
     fit_sizes: Tuple[int, ...] = (2, 3, 4, 5)
 
@@ -155,12 +169,18 @@ class ExperimentSpec:
     topologies: Tuple[str, ...] = ("dgx1-v100",)
     policies: Tuple[str, ...] = tuple(POLICY_NAMES)
     disciplines: Tuple[str, ...] = ("fifo",)
-    trace: TraceSpec = field(default_factory=TraceSpec)
+    trace: AnyTraceSpec = field(default_factory=TraceSpec)
     model: str = "refit"
     fit_sizes: Tuple[int, ...] = (2, 3, 4, 5)
 
     def __post_init__(self) -> None:
         """Dedup the axes and validate every name against its registry."""
+        for attr in ("resolve", "build", "to_dict"):
+            if not callable(getattr(self.trace, attr, None)):
+                raise ValueError(
+                    "trace must be a TraceSpec or ScenarioSpec "
+                    f"(got {type(self.trace).__name__})"
+                )
         # Order-preserving dedup: a repeated axis value would otherwise
         # produce duplicate cells (double-simulated, ambiguous slices).
         object.__setattr__(self, "topologies", _unique(self.topologies))
@@ -231,7 +251,7 @@ _GRID_AXIS_ALIASES = {
 
 def parse_grid(
     items: Sequence[str],
-    trace: Optional[TraceSpec] = None,
+    trace: Optional[AnyTraceSpec] = None,
     name: str = "cli-sweep",
     model: str = "refit",
 ) -> ExperimentSpec:

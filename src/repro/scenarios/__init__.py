@@ -1,0 +1,65 @@
+"""Stochastic scenario generation: arrivals × job mixes × fleets.
+
+The paper's evaluation replays a handful of fixed, batch-arrival DGX
+traces.  This package is the scenario-supply subsystem that grows that
+into "as many scenarios as you can imagine": declarative, seeded
+scenario specs that compose
+
+* an **arrival process** (:mod:`repro.scenarios.arrivals`): batch,
+  Poisson, diurnal (non-homogeneous Poisson) or bursty MMPP;
+* a **job mix** (:mod:`repro.scenarios.mixes`): workload and GPU-size
+  distributions, with presets fit to the paper's trace statistics in
+  :mod:`repro.experiments.presets`;
+* a **fleet** (:mod:`repro.scenarios.fleet`): heterogeneous
+  multi-server clusters that share one
+  :class:`~repro.topology.linktable.LinkTable` per distinct topology.
+
+Every random draw flows through one explicit
+:class:`numpy.random.Generator` seeded from the spec — no module-level
+RNG state anywhere — so a :class:`~repro.scenarios.spec.ScenarioSpec`
+is a pure value: same spec, same trace, byte-identical simulation logs,
+across processes and machines.  That purity is what lets scenarios
+plug into :class:`~repro.experiments.spec.ExperimentSpec` grids and the
+content-addressed sweep cache exactly like the paper's traces.
+"""
+
+from .arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BatchArrivals,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+from .fleet import FleetSpec, mixed_fleet, topology_hash
+from .mixes import (
+    MIX_PRESETS,
+    JobMix,
+    heavy_mix,
+    ml_mix,
+    mix_by_name,
+    paper_mix,
+)
+from .spec import ScenarioSpec, generate_scenario
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BatchArrivals",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "MMPPArrivals",
+    "arrival_from_dict",
+    "FleetSpec",
+    "mixed_fleet",
+    "topology_hash",
+    "MIX_PRESETS",
+    "JobMix",
+    "paper_mix",
+    "ml_mix",
+    "heavy_mix",
+    "mix_by_name",
+    "ScenarioSpec",
+    "generate_scenario",
+]

@@ -1,0 +1,265 @@
+"""Seeded arrival processes for generated scenarios.
+
+Each process is a frozen, declarative value object with one job:
+``sample(num_jobs, rng)`` returns the submit times of ``num_jobs`` jobs
+as a non-decreasing float array, drawing *only* from the
+:class:`numpy.random.Generator` it is handed.  Processes carry no
+mutable state and never touch numpy's global RNG, so the same
+``(process, seed)`` pair reproduces the same submit times in any
+process on any machine — the property the sweep cache and the golden
+tests rely on.
+
+The built-in processes cover the fleet-traffic shapes the roadmap asks
+for:
+
+``batch``
+    Everything at t = 0 — the paper's drain-the-queue setup.
+``poisson``
+    Memoryless arrivals at a constant rate (the classic open-system
+    model; Philly-style cluster traces are near-Poisson at short
+    timescales).
+``diurnal``
+    Non-homogeneous Poisson whose rate swings sinusoidally between a
+    trough and a peak once per period — the day/night pattern of
+    production fleets.  Sampled by Lewis–Shedler thinning.
+``mmpp``
+    Two-state Markov-modulated Poisson process: a quiet state and a
+    bursty state with exponentially distributed dwell times.  MMPPs are
+    the standard model for the over-dispersed, bursty submission
+    behaviour real schedulers see.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple, Type
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Base class: a declarative, seeded submit-time distribution.
+
+    Subclasses implement :meth:`sample` (pure function of ``rng``) and
+    :meth:`to_dict` (the process's contribution to a scenario's cache
+    hash).  They must be frozen dataclasses so scenario specs stay
+    hashable values.
+    """
+
+    #: Registry key; subclasses override (``"poisson"``, ``"mmpp"``, …).
+    kind: str = "abstract"
+
+    def sample(self, num_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """Submit times for ``num_jobs`` jobs, non-decreasing, seconds."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (includes ``kind`` for round-tripping)."""
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Long-run arrival rate in jobs/second (``inf`` for batch)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BatchArrivals(ArrivalProcess):
+    """All jobs submitted at t = 0 (the paper's batch trace)."""
+
+    kind = "batch"
+
+    def sample(self, num_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """A zero vector: every job is present before the first event."""
+        return np.zeros(num_jobs)
+
+    def mean_rate(self) -> float:
+        """Batch submission has no finite rate."""
+        return float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` jobs/second."""
+
+    rate: float = 1.0
+    kind = "poisson"
+
+    def __post_init__(self) -> None:
+        """Validate the rate."""
+        if not self.rate > 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def sample(self, num_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """Cumulative sums of exponential inter-arrival gaps."""
+        gaps = rng.exponential(1.0 / self.rate, size=num_jobs)
+        return np.cumsum(gaps)
+
+    def mean_rate(self) -> float:
+        """The constant rate."""
+        return self.rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {"kind": self.kind, "rate": self.rate}
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day/night arrivals (non-homogeneous Poisson).
+
+    The instantaneous rate swings between ``base_rate`` (the trough, at
+    t = 0) and ``peak_rate`` (half a period later) once per ``period``
+    seconds:
+
+    .. math::
+
+        \\lambda(t) = base + (peak - base)
+                      \\cdot \\tfrac{1 - \\cos(2\\pi (t + phase)/period)}{2}
+
+    Sampling uses Lewis–Shedler thinning against the constant majorant
+    ``peak_rate``: candidate arrivals are drawn homogeneously at the
+    peak rate and accepted with probability ``λ(t)/peak_rate``, which is
+    exact and needs nothing but the one shared generator.
+    """
+
+    base_rate: float = 0.2
+    peak_rate: float = 2.0
+    period: float = 86400.0
+    phase: float = 0.0
+
+    kind = "diurnal"
+
+    def __post_init__(self) -> None:
+        """Validate rates and period."""
+        if not self.base_rate > 0:
+            raise ValueError(f"base_rate must be > 0, got {self.base_rate}")
+        if self.peak_rate < self.base_rate:
+            raise ValueError("peak_rate must be ≥ base_rate")
+        if not self.period > 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate λ(t)."""
+        swing = (self.peak_rate - self.base_rate) / 2.0
+        return self.base_rate + swing * (
+            1.0 - math.cos(2.0 * math.pi * (t + self.phase) / self.period)
+        )
+
+    def sample(self, num_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """Thinning: homogeneous candidates at the peak rate, accepted
+        with probability λ(t)/peak."""
+        times = np.empty(num_jobs)
+        t = 0.0
+        accepted = 0
+        inv_peak = 1.0 / self.peak_rate
+        while accepted < num_jobs:
+            t += rng.exponential(inv_peak)
+            if rng.random() * self.peak_rate <= self.rate_at(t):
+                times[accepted] = t
+                accepted += 1
+        return times
+
+    def mean_rate(self) -> float:
+        """Period-averaged rate: midway between trough and peak."""
+        return (self.base_rate + self.peak_rate) / 2.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "kind": self.kind,
+            "base_rate": self.base_rate,
+            "peak_rate": self.peak_rate,
+            "period": self.period,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """Bursty two-state Markov-modulated Poisson arrivals.
+
+    The process alternates between a quiet state (``quiet_rate``) and a
+    burst state (``burst_rate``); dwell times in each state are
+    exponential with means ``quiet_dwell`` / ``burst_dwell`` seconds.
+    Within a state arrivals are Poisson at that state's rate.  Sampling
+    simulates the competing exponentials exactly — at every step the
+    sooner of (next arrival, next state flip) wins — so the draw order
+    from the shared generator is deterministic.
+    """
+
+    quiet_rate: float = 0.2
+    burst_rate: float = 5.0
+    quiet_dwell: float = 600.0
+    burst_dwell: float = 60.0
+
+    kind = "mmpp"
+
+    def __post_init__(self) -> None:
+        """Validate rates and dwell times."""
+        for field_name in ("quiet_rate", "burst_rate", "quiet_dwell", "burst_dwell"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ValueError(f"{field_name} must be > 0, got {value}")
+
+    def sample(self, num_jobs: int, rng: np.random.Generator) -> np.ndarray:
+        """Exact competing-exponentials simulation of the 2-state MMPP."""
+        rates = (self.quiet_rate, self.burst_rate)
+        dwells = (self.quiet_dwell, self.burst_dwell)
+        times = np.empty(num_jobs)
+        t = 0.0
+        state = 0
+        accepted = 0
+        next_flip = t + rng.exponential(dwells[state])
+        while accepted < num_jobs:
+            next_arrival = t + rng.exponential(1.0 / rates[state])
+            if next_arrival <= next_flip:
+                t = next_arrival
+                times[accepted] = t
+                accepted += 1
+            else:
+                t = next_flip
+                state = 1 - state
+                next_flip = t + rng.exponential(dwells[state])
+        return times
+
+    def mean_rate(self) -> float:
+        """Dwell-weighted long-run arrival rate."""
+        total = self.quiet_dwell + self.burst_dwell
+        return (
+            self.quiet_rate * self.quiet_dwell
+            + self.burst_rate * self.burst_dwell
+        ) / total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "kind": self.kind,
+            "quiet_rate": self.quiet_rate,
+            "burst_rate": self.burst_rate,
+            "quiet_dwell": self.quiet_dwell,
+            "burst_dwell": self.burst_dwell,
+        }
+
+
+#: Registry of arrival-process kinds (CLI choices, dict round-trips).
+ARRIVAL_KINDS: Dict[str, Type[ArrivalProcess]] = {
+    cls.kind: cls
+    for cls in (BatchArrivals, PoissonArrivals, DiurnalArrivals, MMPPArrivals)
+}
+
+
+def arrival_from_dict(payload: Mapping[str, Any]) -> ArrivalProcess:
+    """Rebuild an arrival process from its :meth:`~ArrivalProcess.to_dict`."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    try:
+        cls = ARRIVAL_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(ARRIVAL_KINDS))
+        raise ValueError(f"unknown arrival kind {kind!r}; known: {known}") from None
+    return cls(**data)

@@ -1,0 +1,189 @@
+"""Heterogeneous fleet specifications.
+
+The multi-server scheduler takes a plain list of
+:class:`~repro.topology.hardware.HardwareGraph` servers; a
+:class:`FleetSpec` is the declarative, hashable description of that
+list — ordered ``(topology, count)`` groups, e.g. 40 DGX-1V + 16
+DGX-1P + 8 NVSwitch DGX-2 behind one queue.
+
+Building a thousand-server fleet must not build a thousand link tables:
+:meth:`FleetSpec.build` instantiates **one** graph per distinct
+topology name and reuses that instance for every server of the group
+(hardware graphs are immutable, and per-server mutable state lives in
+each server's own :class:`~repro.allocator.state.AllocationState`, so
+sharing is safe).  Across *differently named* builders with identical
+wiring (big-basin and p3dn are DGX-1V clones) the precomputed
+:class:`~repro.topology.linktable.LinkTable` is additionally shared,
+keyed by :func:`topology_hash` — a stable content hash of the wiring,
+not the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..topology.builders import TOPOLOGY_BUILDERS, by_name
+from ..topology.hardware import HardwareGraph
+
+
+def topology_hash(hardware: HardwareGraph) -> str:
+    """Stable content hash of a server's wiring (name-independent).
+
+    Covers the GPU ids, every explicit NVLink edge with its link type,
+    the PCIe fallback link (it determines every non-NVLink pair's
+    bandwidth in the link table), and the socket partition — canonically
+    JSON-encoded and SHA-256 hashed.  Two builders that produce
+    identical wiring under different names hash identically, which is
+    what lets fleets share one link table between them.
+    """
+    edges = sorted(
+        (link.u, link.v, link.link_type.name)
+        for link in hardware.nvlink_links()
+    )
+    payload = {
+        "gpus": list(hardware.gpus),
+        "edges": [list(e) for e in edges],
+        "sockets": [list(s) for s in hardware.sockets],
+        "pcie": hardware.pcie_link.name,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Ordered groups of identical servers: ``((topology, count), ...)``.
+
+    Order matters — server indices (and therefore first-fit placement
+    and per-server logs) follow group order — so two specs with the
+    same groups in different orders are different fleets.
+    """
+
+    groups: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        """Normalise to tuples and validate names and counts."""
+        groups = tuple((str(name), int(count)) for name, count in self.groups)
+        object.__setattr__(self, "groups", groups)
+        if not groups:
+            raise ValueError("fleet needs at least one server group")
+        for name, count in groups:
+            if name not in TOPOLOGY_BUILDERS:
+                known = ", ".join(sorted(TOPOLOGY_BUILDERS))
+                raise ValueError(f"unknown topology {name!r}; known: {known}")
+            if count < 1:
+                raise ValueError(f"group {name!r}: count must be ≥ 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        """Total servers across all groups."""
+        return sum(count for _, count in self.groups)
+
+    @property
+    def topologies(self) -> Tuple[str, ...]:
+        """Per-server topology names, in server-index order."""
+        return tuple(
+            name for name, count in self.groups for _ in range(count)
+        )
+
+    def min_gpus_per_server(self) -> int:
+        """Smallest server size in the fleet (bounds portable requests)."""
+        return min(by_name(name).num_gpus for name, _ in self.groups)
+
+    def max_gpus_per_server(self) -> int:
+        """Largest server size in the fleet."""
+        return max(by_name(name).num_gpus for name, _ in self.groups)
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> List[HardwareGraph]:
+        """The concrete server list, with maximal structure sharing.
+
+        One :class:`HardwareGraph` instance per distinct topology name
+        (shared by every server of that group), and one
+        :class:`~repro.topology.linktable.LinkTable` per distinct
+        :func:`topology_hash` (shared even across names): a
+        1000-server DGX-V fleet builds the 64-entry table exactly once.
+        """
+        by_topology: Dict[str, HardwareGraph] = {}
+        table_by_hash: Dict[str, HardwareGraph] = {}
+        servers: List[HardwareGraph] = []
+        for name, count in self.groups:
+            hardware = by_topology.get(name)
+            if hardware is None:
+                hardware = by_name(name)
+                wiring = topology_hash(hardware)
+                canonical = table_by_hash.get(wiring)
+                if canonical is None:
+                    table_by_hash[wiring] = hardware
+                else:
+                    hardware.adopt_link_table(canonical.link_table)
+                by_topology[name] = hardware
+            servers.extend([hardware] * count)
+        return servers
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (cache-hash contribution of fleet scenarios)."""
+        return {"groups": [[name, count] for name, count in self.groups]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FleetSpec":
+        """Rebuild a spec from its :meth:`to_dict` form."""
+        return cls(
+            groups=tuple((g[0], g[1]) for g in payload["groups"])
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FleetSpec":
+        """Parse the CLI form ``"topo:count,topo:count,…"``.
+
+        A bare ``"topo"`` means one server; e.g.
+        ``"dgx1-v100:40,dgx1-p100:16,dgx2:8"`` is a 64-server fleet.
+        """
+        groups: List[Tuple[str, int]] = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, sep, raw = item.partition(":")
+            if sep and not raw:
+                raise ValueError(f"bad fleet group {item!r}")
+            try:
+                count = int(raw) if sep else 1
+            except ValueError:
+                raise ValueError(
+                    f"bad fleet group {item!r}; expected topo[:count]"
+                ) from None
+            groups.append((name.strip(), count))
+        if not groups:
+            raise ValueError(f"empty fleet spec {text!r}")
+        return cls(groups=tuple(groups))
+
+    def label(self) -> str:
+        """Compact human-readable form (``40×dgx1-v100 + 8×dgx2``)."""
+        return " + ".join(f"{count}×{name}" for name, count in self.groups)
+
+
+def mixed_fleet(num_servers: int = 64) -> FleetSpec:
+    """A representative heterogeneous fleet of ``num_servers`` servers.
+
+    Roughly 5/8 DGX-1V (hybrid mesh), 1/4 DGX-1P (NVLink-v1) and the
+    rest NVSwitch DGX-2 — three very different fabrics behind one
+    queue, the shape the fleet-scale benchmark replays.
+    """
+    if num_servers < 3:
+        raise ValueError("mixed fleet needs at least 3 servers")
+    num_p100 = max(1, num_servers // 4)
+    num_dgx2 = max(1, num_servers // 8)
+    num_v100 = num_servers - num_p100 - num_dgx2
+    return FleetSpec(
+        groups=(
+            ("dgx1-v100", num_v100),
+            ("dgx1-p100", num_p100),
+            ("dgx2", num_dgx2),
+        )
+    )

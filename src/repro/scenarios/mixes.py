@@ -1,0 +1,244 @@
+"""Job mixes: workload and GPU-size distributions for scenarios.
+
+A :class:`JobMix` is the scenario-side generalisation of the paper's
+"jobs configuration" (section 4): which workloads a trace draws from
+(with weights) and how many GPUs each job requests (with weights).
+Because every workload in :mod:`repro.workloads.catalog` carries
+calibrated per-iteration compute/communication costs and iteration
+counts, the workload weights *are* the duration mix — weighting toward
+VGG-16/ResNet-50 produces long, bandwidth-hungry jobs, weighting toward
+Cusimann/GMM produces short insensitive fillers.
+
+The presets anchor to the paper's trace statistics centralised in
+:mod:`repro.experiments.presets`: :func:`paper_mix` is exactly the
+evaluation trace's distribution (uniform over the nine workloads,
+uniform 1–5 GPUs), so a scenario with batch arrivals and the paper mix
+is statistically the paper's own trace.
+
+All sampling flows through the explicit
+:class:`numpy.random.Generator` a caller passes in — mixes own no RNG
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.presets import PAPER_MAX_GPUS, PAPER_MIN_GPUS
+from ..workloads.catalog import ML_NETWORKS, WORKLOADS, get_workload
+
+
+def _normalised(weights: Sequence[float], count: int, what: str) -> Tuple[float, ...]:
+    """Validate ``weights`` (length, non-negativity, mass) and normalise."""
+    if len(weights) != count:
+        raise ValueError(f"{what}: {len(weights)} weights for {count} entries")
+    if any(w < 0 for w in weights):
+        raise ValueError(f"{what}: negative weight")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError(f"{what}: weights sum to zero")
+    return tuple(w / total for w in weights)
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """Declarative workload × GPU-size distribution.
+
+    Parameters
+    ----------
+    workloads:
+        Workload names to draw from (validated against the catalog).
+    workload_weights:
+        Relative draw weights, one per workload; ``None`` means uniform.
+        Weights are normalised, so ``(2, 1, 1)`` and ``(0.5, 0.25,
+        0.25)`` are the same mix (and hash identically).
+    gpu_sizes:
+        The GPU request sizes jobs may ask for.
+    gpu_weights:
+        Relative weights per size; ``None`` means uniform (the paper's
+        Philly-motivated choice).
+    """
+
+    workloads: Tuple[str, ...]
+    workload_weights: Optional[Tuple[float, ...]] = None
+    gpu_sizes: Tuple[int, ...] = tuple(
+        range(PAPER_MIN_GPUS, PAPER_MAX_GPUS + 1)
+    )
+    gpu_weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        """Normalise tuples, validate names, sizes and weights."""
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "gpu_sizes", tuple(self.gpu_sizes))
+        if not self.workloads:
+            raise ValueError("job mix needs at least one workload")
+        for name in self.workloads:
+            get_workload(name)  # validate early
+        if len(set(self.workloads)) != len(self.workloads):
+            raise ValueError("duplicate workload in mix")
+        if not self.gpu_sizes:
+            raise ValueError("job mix needs at least one GPU size")
+        if any(s < 1 for s in self.gpu_sizes):
+            raise ValueError("GPU sizes must be ≥ 1")
+        if len(set(self.gpu_sizes)) != len(self.gpu_sizes):
+            raise ValueError("duplicate GPU size in mix")
+        if self.workload_weights is not None:
+            object.__setattr__(
+                self,
+                "workload_weights",
+                _normalised(
+                    self.workload_weights, len(self.workloads), "workload_weights"
+                ),
+            )
+        if self.gpu_weights is not None:
+            object.__setattr__(
+                self,
+                "gpu_weights",
+                _normalised(self.gpu_weights, len(self.gpu_sizes), "gpu_weights"),
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_gpus(self) -> int:
+        """Largest GPU request this mix can produce."""
+        return max(self.gpu_sizes)
+
+    def resolve(self, num_gpus: int) -> "JobMix":
+        """Clamp the size distribution to a server's GPU count.
+
+        Sizes above ``num_gpus`` are dropped and the remaining weights
+        renormalised — the scenario analogue of
+        :meth:`repro.experiments.spec.TraceSpec.resolve`.
+        """
+        if self.max_gpus <= num_gpus:
+            return self
+        keep = [i for i, s in enumerate(self.gpu_sizes) if s <= num_gpus]
+        weights = (
+            None
+            if self.gpu_weights is None
+            else tuple(self.gpu_weights[i] for i in keep)
+        )
+        # No surviving size — or only zero-weight survivors, which the
+        # mix would never actually draw — both mean the mix cannot
+        # produce a job that fits this server.
+        if not keep or (weights is not None and sum(weights) <= 0):
+            raise ValueError(
+                f"no GPU size in {self.gpu_sizes} (with nonzero weight) "
+                f"fits a {num_gpus}-GPU server"
+            )
+        sizes = tuple(self.gpu_sizes[i] for i in keep)
+        return replace(self, gpu_sizes=sizes, gpu_weights=weights)
+
+    def sample(
+        self, num_jobs: int, rng: np.random.Generator
+    ) -> Tuple[Tuple[str, ...], np.ndarray]:
+        """Draw ``num_jobs`` (workload name, GPU count) pairs.
+
+        Workloads are drawn first, sizes second — a fixed draw order, so
+        a given generator state always yields the same trace.
+        """
+        w_idx = rng.choice(
+            len(self.workloads), size=num_jobs, p=self.workload_weights
+        )
+        sizes = np.asarray(self.gpu_sizes)[
+            rng.choice(len(self.gpu_sizes), size=num_jobs, p=self.gpu_weights)
+        ]
+        names = tuple(self.workloads[int(i)] for i in w_idx)
+        return names, sizes
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, the mix's contribution to the cell hash."""
+        return {
+            "workloads": list(self.workloads),
+            "workload_weights": (
+                None
+                if self.workload_weights is None
+                else list(self.workload_weights)
+            ),
+            "gpu_sizes": list(self.gpu_sizes),
+            "gpu_weights": (
+                None if self.gpu_weights is None else list(self.gpu_weights)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobMix":
+        """Rebuild a mix from its :meth:`to_dict` form."""
+        return cls(
+            workloads=tuple(payload["workloads"]),
+            workload_weights=(
+                None
+                if payload.get("workload_weights") is None
+                else tuple(payload["workload_weights"])
+            ),
+            gpu_sizes=tuple(payload["gpu_sizes"]),
+            gpu_weights=(
+                None
+                if payload.get("gpu_weights") is None
+                else tuple(payload["gpu_weights"])
+            ),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# presets, anchored to the paper's trace statistics
+# ---------------------------------------------------------------------- #
+def paper_mix() -> JobMix:
+    """The evaluation trace's distribution: uniform over the nine
+    workloads, uniform 1–5 GPU requests (paper section 4)."""
+    return JobMix(workloads=tuple(sorted(WORKLOADS)))
+
+
+def ml_mix() -> JobMix:
+    """Only the six Caffe networks of Fig. 5 (uniform)."""
+    return JobMix(workloads=tuple(ML_NETWORKS))
+
+
+def heavy_mix() -> JobMix:
+    """A stress mix: bandwidth-sensitive trainers weighted 3:1 over
+    insensitive fillers, and request sizes weighted ``1 + size`` (a
+    5-GPU request is 3x as likely as a 1-GPU one).
+
+    Useful for fragmentation pressure — most jobs want many GPUs and
+    care about which links they get.
+    """
+    sensitive = tuple(
+        name for name in sorted(WORKLOADS) if WORKLOADS[name].bandwidth_sensitive
+    )
+    insensitive = tuple(
+        name
+        for name in sorted(WORKLOADS)
+        if not WORKLOADS[name].bandwidth_sensitive
+    )
+    workloads = sensitive + insensitive
+    weights = tuple([3.0] * len(sensitive) + [1.0] * len(insensitive))
+    sizes = tuple(range(PAPER_MIN_GPUS, PAPER_MAX_GPUS + 1))
+    size_weights = tuple(1.0 + float(s) for s in sizes)
+    return JobMix(
+        workloads=workloads,
+        workload_weights=weights,
+        gpu_sizes=sizes,
+        gpu_weights=size_weights,
+    )
+
+
+#: Named mix presets (CLI choices).
+MIX_PRESETS = {
+    "paper": paper_mix,
+    "ml": ml_mix,
+    "heavy": heavy_mix,
+}
+
+
+def mix_by_name(name: str) -> JobMix:
+    """Instantiate a preset mix by registry name."""
+    try:
+        builder = MIX_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(MIX_PRESETS))
+        raise ValueError(f"unknown mix {name!r}; known: {known}") from None
+    return builder()

@@ -1,0 +1,165 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is to generated scenarios what
+:class:`~repro.experiments.spec.TraceSpec` is to the paper's traces: a
+frozen value object that *describes* a trace (arrival process × job mix
+× length × seed) and can deterministically :meth:`~ScenarioSpec.build`
+it.  The two are deliberately interchangeable — both expose
+``resolve(num_gpus)`` / ``build()`` / ``to_dict()`` — so a scenario
+drops into :class:`~repro.experiments.spec.ExperimentSpec` grids, the
+parallel sweep runner and the content-addressed result cache without
+either layer knowing which kind of trace it is sweeping.
+
+Determinism contract: :meth:`ScenarioSpec.build` seeds one fresh
+:class:`numpy.random.Generator` from the spec's seed and threads it
+through the mix and the arrival process in a fixed draw order.  Nothing
+reads or writes numpy's global RNG, so the same spec builds the same
+trace in any process — the cross-process property the hypothesis suite
+pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..workloads.catalog import get_workload
+from ..workloads.jobs import Job, JobFile
+from .arrivals import ArrivalProcess, BatchArrivals, arrival_from_dict
+from .mixes import JobMix, paper_mix
+
+
+def generate_scenario(
+    num_jobs: int,
+    mix: JobMix,
+    arrival: ArrivalProcess,
+    rng: np.random.Generator,
+) -> JobFile:
+    """Generate a scenario trace from an explicit generator.
+
+    The stochastic core of the subsystem: draw the job mix, then the
+    submit times, from the one generator, in that fixed order.  Job ids
+    are 1-based submission-order indices, matching the paper's traces.
+    """
+    names, sizes = mix.sample(num_jobs, rng)
+    submits = arrival.sample(num_jobs, rng)
+    jobs = []
+    for i in range(num_jobs):
+        workload = get_workload(names[i])
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                workload=workload.name,
+                num_gpus=int(sizes[i]),
+                pattern=workload.pattern,
+                bandwidth_sensitive=workload.bandwidth_sensitive,
+                submit_time=float(submits[i]),
+            )
+        )
+    return JobFile(jobs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of a generated scenario trace.
+
+    Parameters
+    ----------
+    num_jobs:
+        Trace length.
+    seed:
+        Seed of the single :class:`numpy.random.Generator` every draw
+        flows through.
+    arrival:
+        Arrival process (default: the paper's batch submission).
+    mix:
+        Workload × GPU-size mix (default: the paper's evaluation mix).
+    name:
+        Cosmetic label for CLI output; deliberately excluded from
+        :meth:`to_dict` so renaming a scenario never invalidates cached
+        sweep cells.
+    """
+
+    num_jobs: int = 300
+    seed: int = 2021
+    arrival: ArrivalProcess = field(default_factory=BatchArrivals)
+    mix: JobMix = field(default_factory=paper_mix)
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        """Validate the trace length."""
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be ≥ 1")
+
+    # ------------------------------------------------------------------ #
+    # the TraceSpec-compatible surface (grids, sweeps, cache)
+    # ------------------------------------------------------------------ #
+    def resolve(self, num_gpus: int) -> "ScenarioSpec":
+        """Clamp the GPU-size mix to a server's GPU count."""
+        resolved = self.mix.resolve(num_gpus)
+        if resolved is self.mix:
+            return self
+        return replace(self, mix=resolved)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator seeded for this scenario."""
+        return np.random.default_rng(self.seed)
+
+    def build(self, rng: Optional[np.random.Generator] = None) -> JobFile:
+        """Generate the concrete trace this spec describes.
+
+        An explicit ``rng`` (e.g. one shared across a family of
+        scenarios) overrides the spec's own seed.
+        """
+        return generate_scenario(
+            self.num_jobs,
+            self.mix,
+            self.arrival,
+            self.rng() if rng is None else rng,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, the scenario's contribution to cell hashes.
+
+        Starts with ``"kind": "scenario"`` so a scenario can never
+        hash-collide with a :class:`~repro.experiments.spec.TraceSpec`
+        describing superficially similar parameters.
+        """
+        return {
+            "kind": "scenario",
+            "num_jobs": self.num_jobs,
+            "seed": self.seed,
+            "arrival": self.arrival.to_dict(),
+            "mix": self.mix.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`to_dict` form."""
+        if payload.get("kind") != "scenario":
+            raise ValueError(f"not a scenario payload: {payload.get('kind')!r}")
+        return cls(
+            num_jobs=payload["num_jobs"],
+            seed=payload["seed"],
+            arrival=arrival_from_dict(payload["arrival"]),
+            mix=JobMix.from_dict(payload["mix"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_gpus(self) -> int:
+        """Largest GPU request this scenario can produce."""
+        return self.mix.max_gpus
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        rate = self.arrival.mean_rate()
+        rate_text = "batch (t=0)" if rate == float("inf") else f"~{rate:.3g} jobs/s"
+        return (
+            f"{self.name}: {self.num_jobs} jobs, seed {self.seed}, "
+            f"{self.arrival.kind} arrivals ({rate_text}), "
+            f"{len(self.mix.workloads)} workloads, "
+            f"sizes {min(self.mix.gpu_sizes)}–{max(self.mix.gpu_sizes)}"
+        )

@@ -23,6 +23,17 @@ class _Entry:
     payload: Any = field(compare=False)
 
 
+#: Relative width of the past-time tolerance band around ``now``.  An
+#: absolute epsilon (the engine used ``1e-12`` for years) stops working
+#: once ``now`` grows past ~1e4 seconds: at fleet scale a trace's clock
+#: reaches 1e7–1e9 and one ulp of float round-off in ``now + delay``
+#: arithmetic is already far larger than any absolute constant.  The
+#: band is deliberately tight — ~4.5e4 ulps, i.e. 10 ms at a 1e9-second
+#: clock — so accumulated round-off is absorbed but a discipline bug
+#: that schedules from a genuinely stale ``now`` still raises loudly.
+_REL_EPS = 1e-11
+
+
 class EventEngine:
     """Time-ordered event queue with deterministic tie-breaking."""
 
@@ -31,12 +42,30 @@ class EventEngine:
         self._counter = itertools.count()
         self.now = 0.0
 
+    def tolerance(self, time: float) -> float:
+        """Past/future tolerance band at ``time``: symmetric and relative.
+
+        The band scales with the larger magnitude of ``time`` and
+        ``now`` (with an absolute floor of ``_REL_EPS`` near zero), so
+        float accumulation at large clocks is absorbed instead of
+        raising.
+        """
+        return _REL_EPS * max(1.0, abs(time), abs(self.now))
+
     def schedule(self, time: float, kind: str, payload: Any = None) -> None:
-        """Enqueue an event at absolute ``time`` (must not be in the past)."""
-        if time < self.now - 1e-12:
-            raise ValueError(
-                f"cannot schedule event at {time} before current time {self.now}"
-            )
+        """Enqueue an event at absolute ``time`` (must not be in the past).
+
+        Times within the symmetric tolerance band *before* ``now`` —
+        round-off, not logic errors — are clamped to ``now`` so the
+        clock stays monotone; anything earlier raises.
+        """
+        if time < self.now:
+            if time < self.now - self.tolerance(time):
+                raise ValueError(
+                    f"cannot schedule event at {time} before current time "
+                    f"{self.now}"
+                )
+            time = self.now
         heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
 
     def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:

@@ -136,6 +136,11 @@ class HardwareGraph:
         """CPU-socket partition of the GPUs (one tuple per socket)."""
         return self._sockets
 
+    @property
+    def pcie_link(self) -> LinkType:
+        """The host-routed fallback link type for non-NVLink pairs."""
+        return self._pcie_link
+
     def socket_of(self, gpu: int) -> int:
         """Index of the CPU socket hosting ``gpu``."""
         return self._socket_of[gpu]
@@ -164,6 +169,23 @@ class HardwareGraph:
 
             self._link_table = LinkTable(self)
         return self._link_table
+
+    def adopt_link_table(self, table: "LinkTable") -> None:
+        """Install a link table precomputed for an identically wired graph.
+
+        Fleet builders deduplicate the O(n²) table across servers that
+        share a topology (same GPUs, same links), including across
+        *differently named* builders with identical wiring (big-basin
+        and p3dn are DGX-1V clones).  The caller vouches for topological
+        identity — :func:`repro.scenarios.fleet.topology_hash` is the
+        supported key; mismatched GPU sets are rejected here as a cheap
+        backstop.
+        """
+        if table.gpus != self._gpus:
+            raise ValueError(
+                f"link table covers GPUs {table.gpus}, graph has {self._gpus}"
+            )
+        self._link_table = table
 
     def bandwidth(self, u: int, v: int) -> float:
         """Peak bandwidth in GB/s between ``u`` and ``v``."""

@@ -27,6 +27,7 @@ def generate_job_file(
     max_gpus: int = 5,
     seed: int = 2021,
     arrival_rate: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> JobFile:
     """Generate a random job file.
 
@@ -41,18 +42,28 @@ def generate_job_file(
         Uniform GPU-request range (paper: 1–5).
     seed:
         RNG seed; identical seeds give identical traces, so every policy
-        is evaluated on exactly the same job sequence.
+        is evaluated on exactly the same job sequence.  Ignored when an
+        explicit ``rng`` is passed.
     arrival_rate:
         If given, submit times follow a Poisson process with this rate
         (jobs/second); otherwise everything arrives at t = 0 like the
         paper's batch trace.
+    rng:
+        Explicit :class:`numpy.random.Generator` to draw from instead of
+        seeding a fresh one.  All randomness flows through this single
+        generator — the module never touches numpy's global RNG state,
+        so traces stay reproducible even when sweep workers in one
+        process pool generate them concurrently.  The generator is
+        advanced in place; callers sharing one generator across calls
+        get a deterministic *sequence* of traces.
     """
     if min_gpus < 1 or max_gpus < min_gpus:
         raise ValueError("need 1 ≤ min_gpus ≤ max_gpus")
     names = list(workload_names) if workload_names is not None else sorted(WORKLOADS)
     for n in names:
         get_workload(n)  # validate early
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     picks = rng.integers(0, len(names), size=num_jobs)
     gpu_counts = rng.integers(min_gpus, max_gpus + 1, size=num_jobs)
     if arrival_rate is not None:

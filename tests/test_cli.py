@@ -145,3 +145,93 @@ class TestSweep:
         rc = main(["sweep", "--jobs", "0", "--no-cache"])
         assert rc == 2
         assert "jobs must be" in capsys.readouterr().err
+
+
+class TestScenario:
+    def test_describe_default(self, capsys):
+        assert main(["scenario", "--arrival", "mmpp", "--num-jobs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "mmpp arrivals" in out
+        assert "GPU sizes" in out
+
+    def test_output_exports_replayable_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "scen.csv")
+        rc = main(
+            ["scenario", "--arrival", "poisson", "--rate", "2",
+             "--num-jobs", "12", "--output", path]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace", "--jobfile", path, "--jobs", "12"]) == 0
+        assert "Normalized speedup" in capsys.readouterr().out
+
+    def test_fleet_replay(self, capsys):
+        rc = main(
+            ["scenario", "--num-jobs", "20",
+             "--fleet", "dgx1-v100:1,summit:1", "--node-policy", "pack"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet replay" in out
+        assert "makespan" in out
+
+    def test_fleet_replay_also_exports_resolved_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "fleet.csv")
+        rc = main(
+            ["scenario", "--num-jobs", "15", "--output", path,
+             "--fleet", "summit:2"]
+        )
+        assert rc == 0
+        assert "trace written" in capsys.readouterr().out
+        from repro.workloads.jobs import JobFile
+
+        trace = JobFile.load(path)
+        assert len(trace) == 15
+        assert trace.max_gpus() <= 6  # fits the fleet's 6-GPU servers
+
+    def test_grid_sweeps_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["scenario", "--num-jobs", "10", "--grid",
+                "policy=baseline,preserve", "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "0 cached, 2 simulated" in first.err
+        assert main(args) == 0
+        assert "2 cached, 0 simulated" in capsys.readouterr().err
+
+    def test_output_with_grid_is_an_error(self, tmp_path, capsys):
+        rc = main(
+            ["scenario", "--num-jobs", "10", "--grid", "policy=baseline",
+             "--output", str(tmp_path / "t.csv")]
+        )
+        assert rc == 2
+        assert "--output cannot be combined with --grid" in capsys.readouterr().err
+        assert not (tmp_path / "t.csv").exists()
+
+    def test_bad_fleet_is_an_error(self, capsys):
+        rc = main(["scenario", "--num-jobs", "5", "--fleet", "dgx-9000:2"])
+        assert rc == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_fleet_with_grid_is_an_error(self, capsys):
+        rc = main(
+            ["scenario", "--num-jobs", "5", "--grid", "policy=baseline",
+             "--fleet", "dgx2:4"]
+        )
+        assert rc == 2
+        assert "--fleet cannot be combined with --grid" in capsys.readouterr().err
+
+    def test_choices_track_registries(self):
+        """CLI choices are live views of the arrival/mix/node registries."""
+        from repro.cluster import NODE_POLICIES
+        from repro.scenarios import ARRIVAL_KINDS, MIX_PRESETS
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        ).choices["scenario"]
+        by_dest = {a.dest: a for a in sub._actions}
+        assert tuple(by_dest["arrival"].choices) == tuple(ARRIVAL_KINDS)
+        assert tuple(by_dest["mix"].choices) == tuple(MIX_PRESETS)
+        assert tuple(by_dest["node_policy"].choices) == tuple(NODE_POLICIES)

@@ -1,0 +1,165 @@
+"""Property tests: scenario determinism and scheduler-index churn.
+
+Two of the subsystem's core contracts live here:
+
+* **cross-process determinism** — a fixed-seed scenario builds the same
+  trace and simulates to a byte-identical
+  :class:`~repro.sim.records.SimulationLog` in a *different process*
+  (fresh interpreter, fresh numpy), the property the sweep cache and
+  the fleet-scale benchmark gate rely on;
+* **index == recomputed-from-scratch** — after any sequence of
+  placements and releases, the scheduler's delta-maintained
+  candidate-server index must agree exactly with one rebuilt from the
+  engines' actual free counts, and must enumerate candidates in
+  exactly the order the old O(fleet) scan produced.
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MultiServerScheduler, run_cluster
+from repro.scenarios import FleetSpec, MMPPArrivals, ScenarioSpec, heavy_mix
+
+#: One small but non-trivial fleet scenario used by the determinism
+#: tests (heterogeneous fleet, bursty arrivals, weighted mix).
+_SNIPPET = """
+import hashlib, json
+from repro.cluster import run_cluster
+from repro.scenarios import FleetSpec, MMPPArrivals, ScenarioSpec, heavy_mix
+
+spec = ScenarioSpec(
+    num_jobs=60, seed=97, arrival=MMPPArrivals(), mix=heavy_mix()
+)
+fleet = FleetSpec.parse("dgx1-v100:2,summit:1")
+job_file = spec.resolve(fleet.min_gpus_per_server()).build()
+sim = run_cluster(fleet.build(), job_file)
+payload = json.dumps(sim.log.to_dict(), sort_keys=True)
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def _simulate_here() -> str:
+    """Run the snippet's scenario in this process; return the log hash."""
+    spec = ScenarioSpec(
+        num_jobs=60, seed=97, arrival=MMPPArrivals(), mix=heavy_mix()
+    )
+    fleet = FleetSpec.parse("dgx1-v100:2,summit:1")
+    job_file = spec.resolve(fleet.min_gpus_per_server()).build()
+    sim = run_cluster(fleet.build(), job_file)
+    payload = json.dumps(sim.log.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestCrossProcessDeterminism:
+    def test_same_seed_same_log_across_process_boundary(self):
+        local = _simulate_here()
+        result = subprocess.run(
+            [sys.executable, "-c", _SNIPPET],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.strip() == local
+
+    def test_same_seed_same_log_within_process(self):
+        assert _simulate_here() == _simulate_here()
+
+
+# ---------------------------------------------------------------------- #
+# scheduler-index churn
+# ---------------------------------------------------------------------- #
+def _reference_order(scheduler: MultiServerScheduler, num_gpus: int):
+    """The pre-index O(fleet) candidate scan, kept as the oracle."""
+    feasible = [
+        i
+        for i, e in enumerate(scheduler.engines)
+        if e.state.num_free >= num_gpus
+    ]
+    if scheduler.node_policy == "pack":
+        feasible.sort(key=lambda i: (scheduler.engines[i].state.num_free, i))
+    elif scheduler.node_policy == "spread":
+        feasible.sort(key=lambda i: (-scheduler.engines[i].state.num_free, i))
+    return feasible
+
+
+@st.composite
+def _churn_script(draw):
+    """A random sequence of place/release steps plus a node policy."""
+    policy = draw(st.sampled_from(["first-fit", "pack", "spread", "best-score"]))
+    steps = draw(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(1, 5)), min_size=1, max_size=40
+        )
+    )
+    return policy, steps
+
+
+class TestIndexChurnInvariants:
+    @given(script=_churn_script())
+    @settings(max_examples=40, deadline=None)
+    def test_index_matches_recomputed_after_random_churn(self, script):
+        from repro.policies.base import AllocationRequest
+        from repro.appgraph import patterns
+        from repro.topology.builders import by_name
+
+        policy, steps = script
+        servers = [
+            by_name("dgx1-v100"),
+            by_name("summit"),
+            by_name("dgx1-v100"),
+        ]
+        scheduler = MultiServerScheduler(servers, node_policy=policy)
+        placed = []
+        next_id = 0
+        for is_place, size in steps:
+            if is_place:
+                request = AllocationRequest(
+                    pattern=patterns.ring(size) if size > 1 else patterns.single(1),
+                    bandwidth_sensitive=True,
+                    job_id=next_id,
+                )
+                placement = scheduler.try_place(request)
+                if placement is not None:
+                    placed.append(next_id)
+                    next_id += 1
+            elif placed:
+                scheduler.release(placed.pop(0))
+            # The delta-maintained index must equal a from-scratch scan…
+            scheduler.check_index()
+            # …and enumerate candidates exactly like the old full scan.
+            for k in (1, 3, 5):
+                request = AllocationRequest(
+                    pattern=patterns.ring(k) if k > 1 else patterns.single(1),
+                    bandwidth_sensitive=True,
+                    job_id="probe",
+                )
+                assert scheduler._candidate_order(request) == _reference_order(
+                    scheduler, k
+                )
+        scheduler.reset()
+        scheduler.check_index()
+        assert scheduler.total_free == scheduler.total_gpus
+
+    def test_resync_recovers_from_out_of_band_mutation(self):
+        from repro.policies.base import AllocationRequest
+        from repro.appgraph import patterns
+        from repro.topology.builders import by_name
+
+        scheduler = MultiServerScheduler([by_name("dgx1-v100")] * 2)
+        # Mutate an engine around the scheduler: the index goes stale…
+        scheduler.engines[0].try_allocate(
+            AllocationRequest(
+                pattern=patterns.ring(3), bandwidth_sensitive=True, job_id="x"
+            )
+        )
+        with pytest.raises(AssertionError):
+            scheduler.check_index()
+        # …and resync_index() rebuilds it from the engines' truth.
+        scheduler.resync_index()
+        scheduler.check_index()

@@ -1,0 +1,111 @@
+"""FleetSpec: parsing, structure sharing, and topology hashing."""
+
+import pytest
+
+from repro.cluster import MultiServerScheduler
+from repro.scenarios import FleetSpec, mixed_fleet, topology_hash
+from repro.topology.builders import big_basin, by_name, dgx1_v100, dgx2
+
+
+class TestParse:
+    def test_parse_groups(self):
+        fleet = FleetSpec.parse("dgx1-v100:3, dgx2:2")
+        assert fleet.groups == (("dgx1-v100", 3), ("dgx2", 2))
+        assert fleet.num_servers == 5
+        assert fleet.topologies == ("dgx1-v100",) * 3 + ("dgx2",) * 2
+
+    def test_bare_name_means_one_server(self):
+        assert FleetSpec.parse("summit").groups == (("summit", 1),)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec.parse("dgx1-v100:zero")
+        with pytest.raises(ValueError):
+            FleetSpec.parse("")
+        with pytest.raises(ValueError, match="unknown topology"):
+            FleetSpec.parse("dgx-9000:2")
+        with pytest.raises(ValueError, match="count"):
+            FleetSpec(groups=(("dgx1-v100", 0),))
+
+    def test_round_trip_and_label(self):
+        fleet = FleetSpec.parse("dgx1-v100:2,dgx2:1")
+        assert FleetSpec.from_dict(fleet.to_dict()) == fleet
+        assert fleet.label() == "2×dgx1-v100 + 1×dgx2"
+
+    def test_gpu_bounds(self):
+        fleet = FleetSpec.parse("summit:1,dgx2:1")
+        assert fleet.min_gpus_per_server() == 6
+        assert fleet.max_gpus_per_server() == 16
+
+
+class TestStructureSharing:
+    def test_same_group_shares_one_graph_instance(self):
+        servers = FleetSpec.parse("dgx1-v100:5").build()
+        assert len(servers) == 5
+        assert all(s is servers[0] for s in servers)
+
+    def test_link_table_shared_across_identically_wired_names(self):
+        # big-basin is a DGX-1V clone under another name.
+        servers = FleetSpec.parse("dgx1-v100:2,big-basin:2").build()
+        assert servers[0] is not servers[2]
+        assert servers[0].name == "dgx1-v100" and servers[2].name == "big-basin"
+        assert servers[0].link_table is servers[2].link_table
+
+    def test_different_wiring_not_shared(self):
+        servers = FleetSpec.parse("dgx1-v100:1,dgx2:1").build()
+        assert servers[0].link_table is not servers[1].link_table
+
+    def test_shared_graphs_have_independent_state(self):
+        """Sharing HardwareGraph instances must not share allocations."""
+        servers = FleetSpec.parse("dgx1-v100:2").build()
+        scheduler = MultiServerScheduler(servers)
+        assert scheduler.engines[0].state is not scheduler.engines[1].state
+
+
+class TestTopologyHash:
+    def test_name_independent(self):
+        assert topology_hash(big_basin()) == topology_hash(dgx1_v100())
+
+    def test_wiring_dependent(self):
+        assert topology_hash(dgx1_v100()) != topology_hash(dgx2())
+
+    def test_stable_across_instances(self):
+        assert topology_hash(dgx1_v100()) == topology_hash(dgx1_v100())
+
+    def test_pcie_fallback_affects_hash(self):
+        """Same NVLink wiring but a different host backplane must not
+        share a link table — non-NVLink pair bandwidths differ."""
+        from repro.topology.hardware import HardwareGraph
+        from repro.topology.links import LinkType
+
+        base = dgx1_v100()
+        edges = {
+            tuple(sorted(l.endpoints)): l.link_type
+            for l in base.nvlink_links()
+        }
+        fast_host = HardwareGraph(
+            "dgx1-v100-fast-host",
+            base.gpus,
+            edges,
+            sockets=base.sockets,
+            pcie_link=LinkType.NVLINK1_SINGLE,
+        )
+        assert topology_hash(fast_host) != topology_hash(base)
+
+    def test_adopt_link_table_guards_gpu_set(self):
+        small = by_name("summit")
+        big = by_name("dgx2")
+        with pytest.raises(ValueError, match="link table covers"):
+            small.adopt_link_table(big.link_table)
+
+
+class TestMixedFleet:
+    def test_mixed_fleet_shape(self):
+        fleet = mixed_fleet(64)
+        assert fleet.num_servers == 64
+        names = dict(fleet.groups)
+        assert set(names) == {"dgx1-v100", "dgx1-p100", "dgx2"}
+
+    def test_small_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_fleet(2)

@@ -1,0 +1,119 @@
+"""Unit and property tests for scenario job mixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.presets import PAPER_MAX_GPUS, PAPER_MIN_GPUS
+from repro.scenarios import JobMix, heavy_mix, mix_by_name, ml_mix, paper_mix
+from repro.workloads.catalog import ML_NETWORKS, WORKLOADS
+
+
+class TestPresets:
+    def test_paper_mix_is_the_evaluation_distribution(self):
+        mix = paper_mix()
+        assert mix.workloads == tuple(sorted(WORKLOADS))
+        assert mix.workload_weights is None  # uniform
+        assert mix.gpu_sizes == tuple(range(PAPER_MIN_GPUS, PAPER_MAX_GPUS + 1))
+        assert mix.gpu_weights is None  # uniform (Philly)
+
+    def test_ml_mix_only_caffe_networks(self):
+        assert ml_mix().workloads == tuple(ML_NETWORKS)
+
+    def test_heavy_mix_prefers_sensitive_and_large(self):
+        mix = heavy_mix()
+        by_name = dict(zip(mix.workloads, mix.workload_weights))
+        sens = [w for w in mix.workloads if WORKLOADS[w].bandwidth_sensitive]
+        insens = [w for w in mix.workloads if not WORKLOADS[w].bandwidth_sensitive]
+        assert min(by_name[w] for w in sens) > max(by_name[w] for w in insens)
+        assert mix.gpu_weights[-1] > mix.gpu_weights[0]
+
+    def test_mix_by_name(self):
+        assert mix_by_name("paper") == paper_mix()
+        with pytest.raises(ValueError, match="unknown mix"):
+            mix_by_name("nope")
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            JobMix(workloads=("not-a-workload",))
+
+    def test_weights_normalised(self):
+        mix = JobMix(workloads=("vgg-16", "jacobi"), workload_weights=(3.0, 1.0))
+        assert mix.workload_weights == (0.75, 0.25)
+        same = JobMix(workloads=("vgg-16", "jacobi"), workload_weights=(0.75, 0.25))
+        assert mix == same  # scale-invariant, so they hash identically
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            JobMix(workloads=("vgg-16",), workload_weights=(1.0, 2.0))
+        with pytest.raises(ValueError, match="negative"):
+            JobMix(workloads=("vgg-16", "jacobi"), workload_weights=(-1.0, 2.0))
+        with pytest.raises(ValueError, match="zero"):
+            JobMix(workloads=("vgg-16", "jacobi"), workload_weights=(0.0, 0.0))
+
+    def test_sizes_validated(self):
+        with pytest.raises(ValueError, match="≥ 1"):
+            JobMix(workloads=("vgg-16",), gpu_sizes=(0, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            JobMix(workloads=("vgg-16",), gpu_sizes=(2, 2))
+
+
+class TestResolve:
+    def test_resolve_noop_when_fits(self):
+        mix = paper_mix()
+        assert mix.resolve(8) is mix
+
+    def test_resolve_drops_oversized_and_renormalises(self):
+        mix = JobMix(
+            workloads=("vgg-16",),
+            gpu_sizes=(1, 2, 8, 16),
+            gpu_weights=(1.0, 1.0, 1.0, 1.0),
+        )
+        small = mix.resolve(6)
+        assert small.gpu_sizes == (1, 2)
+        assert small.gpu_weights == (0.5, 0.5)
+
+    def test_resolve_impossible_rejected(self):
+        mix = JobMix(workloads=("vgg-16",), gpu_sizes=(8, 16))
+        with pytest.raises(ValueError, match="fits"):
+            mix.resolve(4)
+
+    def test_resolve_zero_weight_survivors_rejected_as_no_fit(self):
+        """Only zero-weight sizes fitting the server is 'no fit', not a
+        confusing weight-normalisation error."""
+        mix = JobMix(
+            workloads=("vgg-16",), gpu_sizes=(1, 8), gpu_weights=(0.0, 1.0)
+        )
+        with pytest.raises(ValueError, match="fits"):
+            mix.resolve(4)
+
+
+class TestSampling:
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_respect_support(self, seed, n):
+        mix = heavy_mix()
+        names, sizes = mix.sample(n, np.random.default_rng(seed))
+        assert len(names) == n and len(sizes) == n
+        assert set(names) <= set(mix.workloads)
+        assert set(int(s) for s in sizes) <= set(mix.gpu_sizes)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_weight_entries_never_drawn(self, seed):
+        mix = JobMix(
+            workloads=("vgg-16", "jacobi", "gmm"),
+            workload_weights=(1.0, 0.0, 1.0),
+            gpu_sizes=(1, 2, 3),
+            gpu_weights=(1.0, 0.0, 1.0),
+        )
+        names, sizes = mix.sample(200, np.random.default_rng(seed))
+        assert "jacobi" not in names
+        assert 2 not in set(int(s) for s in sizes)
+
+    def test_dict_round_trip(self):
+        for mix in (paper_mix(), ml_mix(), heavy_mix()):
+            assert JobMix.from_dict(mix.to_dict()) == mix

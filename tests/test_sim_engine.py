@@ -59,3 +59,68 @@ class TestEventEngine:
         e.schedule(7.0, "x")
         assert e.pending == 1
         assert e.peek_time() == 7.0
+
+
+class TestPastTimeTolerance:
+    """Regression: the past-time epsilon must scale with the clock.
+
+    The engine used an absolute 1e-12 tolerance, which is smaller than
+    one ulp of ``now`` as soon as ``now`` exceeds ~1e4 seconds — at
+    fleet scale (clocks in the 1e7–1e9 range) legitimate float
+    round-off in ``now + delay`` arithmetic raised ValueError.  The
+    tolerance is now symmetric and relative (:meth:`EventEngine.tolerance`),
+    and in-band stragglers clamp to ``now`` so time stays monotone.
+    """
+
+    def test_one_ulp_behind_large_now_is_clamped(self):
+        import math
+
+        e = EventEngine()
+        big = 1e12
+        e.schedule(big, "sync")
+        e.pop()
+        assert e.now == big
+        # One ulp below now: far outside 1e-12, inside the relative band.
+        straggler = math.nextafter(big, 0.0)
+        assert straggler < big
+        e.schedule(straggler, "straggler")
+        t, kind, _ = e.pop()
+        assert kind == "straggler"
+        assert t == big  # clamped: the clock never runs backwards
+        assert e.now == big
+
+    def test_accumulated_roundoff_at_fleet_scale(self):
+        """now + many tiny deltas drifts below a later checkpoint sum."""
+        e = EventEngine()
+        base = 86400.0 * 365.0 * 10.0  # a decade of simulated seconds
+        e.schedule(base, "sync")
+        e.pop()
+        drifted = base * (1.0 - 1e-12)  # float accumulation artefact
+        e.schedule(drifted, "evt")  # must not raise
+        t, _, _ = e.pop()
+        assert t == e.now == base
+
+    def test_truly_past_events_still_rejected(self):
+        e = EventEngine()
+        e.schedule(1e9, "sync")
+        e.pop()
+        with pytest.raises(ValueError):
+            e.schedule(1e9 - 10.0, "too-old")
+        # The band stays tight at large clocks: a discipline bug half a
+        # second stale must still raise, not silently clamp.
+        with pytest.raises(ValueError):
+            e.schedule(1e9 - 0.5, "stale-now-bug")
+        # Near zero the band is the absolute floor, still strict.
+        small = EventEngine()
+        small.schedule(5.0, "x")
+        small.pop()
+        with pytest.raises(ValueError):
+            small.schedule(4.9999, "y")
+
+    def test_tolerance_is_symmetric_and_relative(self):
+        e = EventEngine()
+        assert e.tolerance(0.0) == pytest.approx(1e-11)
+        e.schedule(2e12, "sync")
+        e.pop()
+        assert e.tolerance(0.0) == pytest.approx(20.0)
+        assert e.tolerance(4e12) == pytest.approx(40.0)
