@@ -5,17 +5,28 @@ the paper's workload mix, one fixed seed) and the fleet (40 DGX-1V +
 16 DGX-1P + 8 NVSwitch DGX-2 — three different fabrics behind one
 queue); the multi-server scheduler replays it with the incremental
 candidate-server index keeping per-event server selection off the
-O(fleet) scan path.
+O(fleet) scan path and the content-addressed scan cache
+(:mod:`repro.scoring.memo`) serving recurring (wiring, pattern,
+free-set) scans from memory.
 
-Two gates, both CI-enforced:
+The replay runs three times — once on the reference **batch** engine,
+then twice on the **cached** engine sharing one
+:class:`~repro.scoring.memo.ScanCache` (a cold pass and a warm,
+*steady-state* pass) — and gates, all CI-enforced:
 
-* **wall time** — the full replay must finish under ``TIME_GATE_S``
-  seconds (override with ``MAPA_FLEET_GATE_S``), keeping the fleet
-  fast path honest as the fleet grows;
-* **determinism** — a second replay of the same fixed-seed scenario
-  must produce a byte-identical :class:`~repro.sim.records.SimulationLog`
-  (compared via the canonical JSON serialisation the sweep cache
-  persists), pinning the end-to-end no-global-RNG contract.
+* **exactness** — all three replays must produce byte-identical
+  :class:`~repro.sim.records.SimulationLog` serialisations: cached
+  results are exact replays of the batch engine, end to end;
+* **steady-state speedup** — the warm cached replay must beat the
+  batch replay by ``SPEEDUP_GATE`` (≥3x; override with
+  ``MAPA_FLEET_SPEEDUP_GATE``) with a ``HIT_RATE_GATE`` (≥90%)
+  per-run scan-cache hit rate;
+* **wall time** — the cold cached replay must finish under
+  ``TIME_GATE_S`` seconds (override with ``MAPA_FLEET_GATE_S``).
+
+Cache statistics for every pass are additionally written to
+``fleet_cache_stats.json`` next to the result tables, which CI uploads
+as a job artifact so hit-rate trends are inspectable per run.
 
 Run standalone:  PYTHONPATH=src python benchmarks/bench_fleet_scale.py
 """
@@ -23,15 +34,19 @@ Run standalone:  PYTHONPATH=src python benchmarks/bench_fleet_scale.py
 import json
 import os
 import time
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.tables import format_table
 from repro.cluster import run_cluster
+from repro.ioutils import atomic_write_text
 from repro.scenarios import MMPPArrivals, ScenarioSpec, mixed_fleet, paper_mix
+from repro.scoring.memo import ScanCache
 
 try:
-    from conftest import emit
+    from conftest import RESULTS_DIR, emit
 except ImportError:  # standalone run, outside pytest's benchmarks rootdir
+    RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
     def emit(experiment: str, text: str) -> None:
         print(f"\n===== {experiment} =====\n{text}")
 
@@ -39,9 +54,16 @@ except ImportError:  # standalone run, outside pytest's benchmarks rootdir
 NUM_SERVERS = 64
 NUM_JOBS = 10_000
 
-#: Wall-time gate in seconds for ONE replay (CI machines are slow;
-#: override locally with MAPA_FLEET_GATE_S).
+#: Wall-time gate in seconds for ONE cold cached replay (CI machines
+#: are slow; override locally with MAPA_FLEET_GATE_S).
 TIME_GATE_S = float(os.environ.get("MAPA_FLEET_GATE_S", "120"))
+
+#: Steady-state (warm-cache) speedup the cached engine must hold over
+#: the batch engine on the same replay.
+SPEEDUP_GATE = float(os.environ.get("MAPA_FLEET_SPEEDUP_GATE", "3.0"))
+
+#: Minimum per-run scan-cache hit rate of the steady-state replay.
+HIT_RATE_GATE = 0.90
 
 SCENARIO = ScenarioSpec(
     num_jobs=NUM_JOBS,
@@ -54,27 +76,46 @@ SCENARIO = ScenarioSpec(
 )
 
 
-def _replay() -> Tuple[str, float, float]:
-    """One full replay; returns (log JSON, wall seconds, makespan)."""
+def _replay(
+    engine: str, scan_cache: Optional[ScanCache] = None
+) -> Tuple[str, float, float, Dict[str, float]]:
+    """One full replay; returns (log JSON, wall s, makespan, cache stats)."""
     fleet = mixed_fleet(NUM_SERVERS)
     spec = SCENARIO.resolve(fleet.min_gpus_per_server())
     job_file = spec.build()
     servers = fleet.build()
     t0 = time.perf_counter()
-    sim = run_cluster(servers, job_file, gpu_policy="preserve")
+    sim = run_cluster(
+        servers,
+        job_file,
+        gpu_policy="preserve",
+        engine=engine,
+        scan_cache=scan_cache,
+    )
     wall = time.perf_counter() - t0
     sim.scheduler.check_index()  # the delta-maintained index stayed exact
     payload = json.dumps(sim.log.to_dict(), sort_keys=True)
-    return payload, wall, sim.log.makespan
+    return payload, wall, sim.log.makespan, sim.log.cache_stats or {}
 
 
-def build_table() -> Tuple[str, float, bool]:
-    """Replay twice; returns (table, best wall time, byte-identical?)."""
-    first, wall1, makespan = _replay()
-    second, wall2, _ = _replay()
-    identical = first == second
+def build_table() -> Tuple[str, float, float, float, bool]:
+    """Replay batch + cold cached + warm cached; returns the gate inputs.
+
+    Returns
+    -------
+    tuple
+        ``(table text, cold wall s, steady-state speedup, steady-state
+        hit rate, byte-identical?)``.
+    """
+    batch_payload, batch_wall, makespan, _ = _replay("batch")
+    cache = ScanCache()
+    cold_payload, cold_wall, _, cold_stats = _replay("cached", cache)
+    warm_payload, warm_wall, _, warm_stats = _replay("cached", cache)
+    identical = batch_payload == cold_payload == warm_payload
+    speedup = batch_wall / warm_wall if warm_wall > 0 else float("inf")
+    cold_speedup = batch_wall / cold_wall if cold_wall > 0 else float("inf")
+    hit_rate = float(warm_stats.get("scan_hit_rate", 0.0))
     fleet = mixed_fleet(NUM_SERVERS)
-    wall = min(wall1, wall2)
     rows = [
         ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
         ["jobs replayed", f"{NUM_JOBS}"],
@@ -86,31 +127,75 @@ def build_table() -> Tuple[str, float, bool]:
             ),
         ],
         ["simulated makespan (s)", f"{makespan:.0f}"],
-        ["replay wall time (s)", f"{wall:.1f}"],
-        ["replay throughput (jobs/s)", f"{NUM_JOBS / wall:.0f}"],
-        ["byte-identical re-run", "yes" if identical else "NO"],
+        ["batch replay wall (s)", f"{batch_wall:.1f}"],
+        ["cached replay wall, cold (s)", f"{cold_wall:.1f}"],
+        ["cached replay wall, warm (s)", f"{warm_wall:.1f}"],
+        ["cold speedup vs batch", f"{cold_speedup:.1f}x"],
+        ["steady-state speedup vs batch", f"{speedup:.1f}x"],
+        [
+            "cold scan-cache hit rate",
+            f"{100.0 * float(cold_stats.get('scan_hit_rate', 0.0)):.1f}%",
+        ],
+        ["steady-state scan-cache hit rate", f"{100.0 * hit_rate:.1f}%"],
+        [
+            "replay throughput, warm (jobs/s)",
+            f"{NUM_JOBS / warm_wall:.0f}",
+        ],
+        ["byte-identical batch/cold/warm", "yes" if identical else "NO"],
     ]
     text = format_table(
         ["metric", "value"],
         rows,
         title="Fleet-scale replay — heterogeneous fleet, generated scenario",
     )
-    return text, wall, identical
+    stats_payload = {
+        "fleet": fleet.label(),
+        "jobs": NUM_JOBS,
+        "batch_wall_s": batch_wall,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "cold_speedup": cold_speedup,
+        "steady_state_speedup": speedup,
+        "cold_cache_stats": cold_stats,
+        "warm_cache_stats": warm_stats,
+        "byte_identical": identical,
+    }
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, "fleet_cache_stats.json"),
+        json.dumps(stats_payload, indent=2, sort_keys=True) + "\n",
+    )
+    return text, cold_wall, speedup, hit_rate, identical
+
+
+def _assert_gates(
+    cold_wall: float, speedup: float, hit_rate: float, identical: bool
+) -> None:
+    """The three CI gates, shared by pytest and standalone runs."""
+    assert identical, (
+        "cached replay is not byte-identical to the batch engine"
+    )
+    assert cold_wall <= TIME_GATE_S, (
+        f"cold fleet replay took {cold_wall:.1f}s (gate {TIME_GATE_S:.0f}s)"
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"steady-state cached speedup {speedup:.2f}x under the "
+        f"{SPEEDUP_GATE:.1f}x gate"
+    )
+    assert hit_rate >= HIT_RATE_GATE, (
+        f"steady-state hit rate {100.0 * hit_rate:.1f}% under the "
+        f"{100.0 * HIT_RATE_GATE:.0f}% gate"
+    )
 
 
 def test_fleet_scale(benchmark):
-    text, wall, identical = benchmark.pedantic(
+    text, cold_wall, speedup, hit_rate, identical = benchmark.pedantic(
         build_table, rounds=1, iterations=1
     )
     emit("fleet_scale", text)
-    assert identical, "fixed-seed scenario replay is not byte-identical"
-    assert wall <= TIME_GATE_S, (
-        f"fleet replay took {wall:.1f}s (gate {TIME_GATE_S:.0f}s)"
-    )
+    _assert_gates(cold_wall, speedup, hit_rate, identical)
 
 
 if __name__ == "__main__":
-    text, wall, identical = build_table()
+    text, cold_wall, speedup, hit_rate, identical = build_table()
     emit("fleet_scale", text)
-    assert identical, "fixed-seed scenario replay is not byte-identical"
-    assert wall <= TIME_GATE_S, f"{wall:.1f}s over the {TIME_GATE_S:.0f}s gate"
+    _assert_gates(cold_wall, speedup, hit_rate, identical)

@@ -14,6 +14,17 @@ The match scan asks for the free set on every simulated event — often
 several times per event on a multi-server fleet — so serving a cached
 tuple instead of rebuilding a set each time keeps candidate-server
 pruning off the hot path.
+
+Placement and release deltas are additionally published two ways for
+the caching layers above:
+
+* :attr:`AllocationState.free_bitmask` — one bit per GPU (bit *i* is
+  the *i*-th GPU of the sorted GPU tuple), XOR-updated from each
+  delta, so the content-addressed scan cache
+  (:mod:`repro.scoring.memo`) builds its key in O(1) per event;
+* :meth:`AllocationState.drain_dirty` — the accumulated *dirty set* of
+  GPUs touched since the last drain, consumed by the multi-server
+  scheduler to re-bucket only servers whose free set actually changed.
 """
 
 from __future__ import annotations
@@ -40,6 +51,15 @@ class AllocationState:
         self._version: int = 0
         self._owner: Dict[int, Hashable] = {}
         self._jobs: Dict[Hashable, Tuple[int, ...]] = {}
+        # Bit per GPU (position = index in the sorted GPU tuple),
+        # XOR-maintained from placement/release deltas; plus the dirty
+        # set of GPUs touched since the last drain_dirty().
+        self._bit: Dict[int, int] = {
+            g: 1 << i for i, g in enumerate(hardware.gpus)
+        }
+        self._full_mask: int = (1 << len(self._bit)) - 1
+        self._mask: int = self._full_mask
+        self._dirty: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     def _invalidate(self) -> None:
@@ -58,6 +78,31 @@ class AllocationState:
         pin its semantics so such caches can rely on it.
         """
         return self._version
+
+    @property
+    def free_bitmask(self) -> int:
+        """The free set as a bitmask, maintained incrementally (O(1)).
+
+        Bit *i* is set iff the *i*-th GPU of the sorted GPU tuple is
+        free — the convention :meth:`repro.scoring.memo.ScanCache.bit_masks`
+        mirrors, so this value keys the scan cache directly without
+        touching the free list.  Every allocate/release XORs exactly
+        the delta's bits in (the dirty-set publication).
+        """
+        return self._mask
+
+    def drain_dirty(self) -> FrozenSet[int]:
+        """GPUs whose free/busy state was touched since the last drain.
+
+        Consumers (the multi-server scheduler's candidate index) use a
+        non-empty result as the signal that this server's free set —
+        and therefore any per-server cached winner — is stale.  The
+        set is cleared by the call; it is bounded by the server's GPU
+        count, so an unconsumed state never grows without bound.
+        """
+        dirty = frozenset(self._dirty)
+        self._dirty.clear()
+        return dirty
 
     @property
     def free_gpus(self) -> FrozenSet[int]:
@@ -130,6 +175,8 @@ class AllocationState:
             self._free.discard(g)
             del self._free_list[bisect_left(self._free_list, g)]
             self._owner[g] = job_id
+            self._mask ^= self._bit[g]
+            self._dirty.add(g)
         self._jobs[job_id] = chosen
         self._invalidate()
 
@@ -143,13 +190,17 @@ class AllocationState:
             del self._owner[g]
             self._free.add(g)
             insort(self._free_list, g)
+            self._mask ^= self._bit[g]
+            self._dirty.add(g)
         self._invalidate()
         return gpus
 
     def reset(self) -> None:
         """Release everything (e.g. between simulation runs)."""
+        self._dirty.update(g for g in self.hardware.gpus if g not in self._free)
         self._free = set(self.hardware.gpus)
         self._free_list = sorted(self._free)
+        self._mask = self._full_mask
         self._owner.clear()
         self._jobs.clear()
         self._invalidate()
@@ -177,6 +228,11 @@ class AllocationState:
             self._free_list
         ):
             raise AssertionError("cached free tuple is stale")
+        expected_mask = 0
+        for g in self._free:
+            expected_mask |= self._bit[g]
+        if self._mask != expected_mask:
+            raise AssertionError("incremental free bitmask out of sync")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

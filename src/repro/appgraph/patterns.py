@@ -8,6 +8,7 @@ workloads, plus a ``by_name`` registry used by job files.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, List, Tuple
 
 from .application import ApplicationGraph
@@ -101,12 +102,27 @@ PATTERN_BUILDERS: Dict[str, Callable[[int], ApplicationGraph]] = {
 }
 
 
-def by_name(name: str, num_gpus: int) -> ApplicationGraph:
-    """Instantiate a registered pattern by name for ``num_gpus`` slots."""
-    key = name.lower()
+@lru_cache(maxsize=1024)
+def _build_by_name(key: str, num_gpus: int) -> ApplicationGraph:
+    """Memoized builder dispatch over the *normalized* pattern name."""
     try:
         builder = PATTERN_BUILDERS[key]
     except KeyError:
         known = ", ".join(sorted(PATTERN_BUILDERS))
-        raise KeyError(f"unknown pattern {name!r}; known: {known}") from None
+        raise KeyError(f"unknown pattern {key!r}; known: {known}") from None
     return builder(num_gpus)
+
+
+def by_name(name: str, num_gpus: int) -> ApplicationGraph:
+    """Instantiate a registered pattern by name for ``num_gpus`` slots.
+
+    Memoized: application graphs are immutable, and the simulators
+    resolve every job's pattern on each placement attempt — replays
+    request the same few (name, size) pairs tens of thousands of times,
+    so sharing one instance keeps pattern construction off the hot path
+    (and makes downstream per-pattern caches hit the same object).
+    The name is case-normalized *before* the memo key is formed, so
+    ``"Ring"`` and ``"ring"`` share one entry; lookups of unknown names
+    raise without poisoning the memo.
+    """
+    return _build_by_name(name.lower(), num_gpus)

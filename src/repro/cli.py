@@ -22,6 +22,11 @@ Subcommands
     a CSV trace, replay it on a heterogeneous multi-server fleet, or
     sweep it through the cached experiment grid exactly like a paper
     trace.
+``cache``
+    Inspect or clear the on-disk sweep result cache (entry counts,
+    bytes, orphaned debris).  The *in-memory* scan cache has no disk
+    footprint — its hit/miss statistics are embedded directly in the
+    output of the runs that use it (``trace``, ``scenario --fleet``).
 """
 
 from __future__ import annotations
@@ -89,6 +94,18 @@ def _cmd_alloc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scan_cache_line(stats) -> Optional[str]:
+    """One-line summary of a run's embedded scan-cache statistics."""
+    if not stats or "scan_lookups" not in stats or not stats["scan_lookups"]:
+        return None
+    return (
+        f"{100.0 * stats['scan_hit_rate']:.1f}% hits "
+        f"({stats['scan_hits']:.0f}/{stats['scan_lookups']:.0f} lookups, "
+        f"{stats['scan_misses']:.0f} misses, "
+        f"{stats['scan_evictions']:.0f} evictions)"
+    )
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``mapa trace``: simulate a trace under all four policies."""
     hw = by_name(args.topology)
@@ -113,6 +130,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             ),
         )
     )
+    for name, log in logs.items():
+        line = _scan_cache_line(log.cache_stats)
+        if line is not None:
+            print(f"scan cache [{name}]: {line}")
     return 0
 
 
@@ -313,6 +334,9 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
         ["busiest server", str(max(per_server.values()))],
         ["idlest server", str(min(per_server.values()))],
     ]
+    cache_line = _scan_cache_line(log.cache_stats)
+    if cache_line is not None:
+        rows.append(["scan cache", cache_line])
     print(
         format_table(
             ["metric", "value"],
@@ -403,6 +427,37 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             ["metric", "value"], rows, title=f"Scenario — {spec.describe()}"
         )
     )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``mapa cache``: inspect or clear the on-disk sweep result cache."""
+    from .experiments import ResultStore, default_cache_dir
+
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        stats = store.disk_stats()
+        rows = [
+            ["cache dir", store.root],
+            ["entries", str(stats.entries)],
+            ["entry bytes", f"{stats.total_bytes} ({stats.total_mib:.2f} MiB)"],
+            ["orphaned files", str(stats.orphans)],
+            ["orphaned bytes", str(stats.orphan_bytes)],
+        ]
+        print(
+            format_table(
+                ["metric", "value"], rows, title="Sweep result cache (on disk)"
+            )
+        )
+        print(
+            "note: the in-memory scan cache has no disk footprint; its "
+            "hit/miss counters are embedded in run output "
+            "(`mapa trace`, `mapa scenario --fleet`)."
+        )
+        return 0
+    removed, freed = store.clear(orphans_only=args.orphans)
+    what = "orphaned file(s)" if args.orphans else "file(s)"
+    print(f"removed {removed} {what} ({freed} bytes) from {store.root}")
     return 0
 
 
@@ -691,6 +746,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep output format",
     )
     p_scen.set_defaults(func=_cmd_scenario)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk sweep result cache",
+        description=(
+            "Maintain the content-addressed sweep result cache on disk: "
+            "`stats` reports entry counts, bytes and orphaned debris "
+            "(leftover temp files, misplaced entries); `clear` deletes "
+            "cached results (everything, or just the orphans with "
+            "--orphans).  Entries regenerate on the next sweep, so "
+            "clearing is always safe.  The in-memory scan cache that "
+            "accelerates match scoring has no disk footprint — its "
+            "statistics are embedded in the output of the runs that use "
+            "it."
+        ),
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="report disk usage, or delete cached files",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        help="result-cache directory (default: $MAPA_SWEEP_CACHE or "
+        ".mapa_sweep_cache)",
+    )
+    p_cache.add_argument(
+        "--orphans",
+        action="store_true",
+        help="with `clear`: delete only orphaned debris, keep valid entries",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
     p_fit.add_argument(

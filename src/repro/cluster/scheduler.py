@@ -29,6 +29,7 @@ from ..allocator.mapa import Mapa
 from ..policies.base import Allocation, AllocationPolicy, AllocationRequest
 from ..policies.registry import make_policy
 from ..scoring.effective import EffectiveBandwidthModel, PAPER_MODEL
+from ..scoring.memo import CacheStats, ScanCache
 from ..topology.hardware import HardwareGraph
 
 NODE_POLICIES = ("first-fit", "pack", "spread", "best-score")
@@ -61,9 +62,36 @@ class CandidateServerIndex:
     of O(fleet); the caller usually stops at the first feasible server.
     """
 
-    def __init__(self, free_counts: Sequence[int]) -> None:
+    def __init__(
+        self,
+        free_counts: Sequence[int],
+        capacities: Optional[Sequence[int]] = None,
+    ) -> None:
         self._free: List[int] = list(free_counts)
-        cap = max(self._free, default=0)
+        if capacities is None:
+            # Best guess without hardware knowledge: a server can hold
+            # at least what it currently has free.  Callers that may
+            # construct mid-run (resync after out-of-band mutation)
+            # pass the true per-server capacities explicitly.
+            self._capacity: List[int] = list(self._free)
+        else:
+            self._capacity = list(capacities)
+            if len(self._capacity) != len(self._free):
+                raise ValueError(
+                    f"{len(self._capacity)} capacities for "
+                    f"{len(self._free)} servers"
+                )
+        for server, free in enumerate(self._free):
+            if free < 0:
+                raise ValueError(
+                    f"negative free count {free} for server {server}"
+                )
+            if free > self._capacity[server]:
+                raise ValueError(
+                    f"free count {free} exceeds capacity "
+                    f"{self._capacity[server]} for server {server}"
+                )
+        cap = max(self._capacity, default=0)
         self._buckets: List[List[int]] = [[] for _ in range(cap + 1)]
         for server, free in enumerate(self._free):
             self._buckets[free].append(server)
@@ -78,20 +106,33 @@ class CandidateServerIndex:
         """The index's view of one server's free-GPU count."""
         return self._free[server]
 
+    def capacity(self, server: int) -> int:
+        """The index's view of one server's total GPU count."""
+        return self._capacity[server]
+
     def set_free(self, server: int, free: int) -> None:
         """Move ``server`` to bucket ``free`` (no-op if unchanged).
 
         This is the delta update: O(log bucket + bucket shift) for the
-        two touched buckets, nothing else moves.
+        two touched buckets, nothing else moves.  ``free`` must lie in
+        ``0 .. capacity(server)`` — a count above the server's capacity
+        is exactly as corrupt as a negative one (it would route
+        infeasible requests at the server forever) and raises the same
+        :class:`ValueError` shape.
         """
         old = self._free[server]
         if free == old:
             return
         if free < 0:
             raise ValueError(f"negative free count {free} for server {server}")
+        if free > self._capacity[server]:
+            raise ValueError(
+                f"free count {free} exceeds capacity "
+                f"{self._capacity[server]} for server {server}"
+            )
         bucket = self._buckets[old]
         del bucket[bisect_left(bucket, server)]
-        if free >= len(self._buckets):  # defensive: capacity grew?
+        if free >= len(self._buckets):  # pragma: no cover - unreachable
             self._buckets.extend(
                 [] for _ in range(free - len(self._buckets) + 1)
             )
@@ -182,6 +223,8 @@ class MultiServerScheduler:
         gpu_policy: str = "preserve",
         node_policy: str = "first-fit",
         model: EffectiveBandwidthModel = PAPER_MODEL,
+        engine: str = "cached",
+        scan_cache: Optional[ScanCache] = None,
     ) -> None:
         if not servers:
             raise ValueError("cluster needs at least one server")
@@ -191,17 +234,38 @@ class MultiServerScheduler:
             )
         self.node_policy = node_policy
         self.model = model
+        # One scan cache for the whole fleet: the content-addressed key
+        # partitions by wiring hash, so every server with identical
+        # wiring (the common case — fleets are built from a few server
+        # groups) shares scans and winners, extending the FleetSpec's
+        # link-table sharing to scores.  Callers that replay the same
+        # fleet repeatedly may pass their own cache to keep it warm
+        # across runs (the fleet-scale benchmark's steady-state gate).
+        self.scan_cache: Optional[ScanCache] = (
+            (scan_cache if scan_cache is not None else ScanCache())
+            if engine == "cached"
+            else None
+        )
         self.engines: List[Mapa] = [
-            Mapa(hw, make_policy(gpu_policy, model), model) for hw in servers
+            Mapa(
+                hw,
+                make_policy(
+                    gpu_policy, model, engine=engine, cache=self.scan_cache
+                ),
+                model,
+            )
+            for hw in servers
         ]
         self._job_server: Dict[Hashable, int] = {}
         # Candidate-server index, maintained incrementally from the
-        # placement/release deltas this scheduler applies.  State must be
-        # mutated *through* the scheduler (try_place/release/reset) for
-        # the index to stay exact; resync_index() recovers from
-        # out-of-band engine mutation (e.g. tests poking at engines).
+        # placement/release dirty sets the engine states publish.  State
+        # must be mutated *through* the scheduler (try_place/release/
+        # reset) for the index to stay exact; resync_index() recovers
+        # from out-of-band engine mutation (e.g. tests poking at
+        # engines).
         self._index = CandidateServerIndex(
-            [e.state.num_free for e in self.engines]
+            [e.state.num_free for e in self.engines],
+            capacities=[e.hardware.num_gpus for e in self.engines],
         )
 
     # ------------------------------------------------------------------ #
@@ -238,6 +302,15 @@ class MultiServerScheduler:
         """The hardware graph of one server."""
         return self.engines[server_index].hardware
 
+    def scan_cache_stats(self) -> Optional[CacheStats]:
+        """Counters of the fleet-shared scan cache (``None`` uncached).
+
+        The simulation core snapshots this into
+        :attr:`repro.sim.records.SimulationLog.cache_stats` at the end
+        of a run.
+        """
+        return self.scan_cache.stats if self.scan_cache is not None else None
+
     # ------------------------------------------------------------------ #
     # the incremental candidate-server index
     # ------------------------------------------------------------------ #
@@ -247,20 +320,29 @@ class MultiServerScheduler:
         return self._index
 
     def _sync_index(self, server_index: int) -> None:
-        """Re-bucket one server after its free count changed."""
-        self._index.set_free(
-            server_index, self.engines[server_index].state.num_free
-        )
+        """Re-bucket one server from its published placement/release delta.
+
+        Consumes the state's dirty set: an empty drain means the free
+        set did not actually change (nothing to re-bucket — and any
+        cached winner for the server's current free mask stays live).
+        """
+        state = self.engines[server_index].state
+        if state.drain_dirty():
+            self._index.set_free(server_index, state.num_free)
 
     def resync_index(self) -> None:
         """Rebuild the index from the engines' actual free counts.
 
         Only needed after engine state was mutated *around* the
         scheduler (direct ``engines[i]`` pokes); normal operation keeps
-        the index exact from deltas.
+        the index exact from deltas.  Drains every engine's dirty set
+        so stale deltas cannot double-apply later.
         """
+        for e in self.engines:
+            e.state.drain_dirty()
         self._index = CandidateServerIndex(
-            [e.state.num_free for e in self.engines]
+            [e.state.num_free for e in self.engines],
+            capacities=[e.hardware.num_gpus for e in self.engines],
         )
 
     def check_index(self) -> None:
@@ -314,7 +396,10 @@ class MultiServerScheduler:
         for idx in self._candidates(request):
             engine = self.engines[idx]
             free = engine.state.free_sorted  # cached by the free-GPU index
-            proposal = engine.policy.allocate(request, engine.hardware, free)
+            # propose() threads the state's free-set bitmask down to
+            # scan-memoizing policies, so speculative probes of an
+            # unchanged server are cache hits, not rescans.
+            proposal = engine.propose(request)
             if proposal is None:
                 continue
             annotated = engine._annotate(proposal, free, request.job_id)

@@ -46,9 +46,16 @@ class MultiServerSimulator:
         node_policy: str = "first-fit",
         model: EffectiveBandwidthModel = PAPER_MODEL,
         scheduling: str = "fifo",
+        engine: str = "cached",
+        scan_cache=None,
     ) -> None:
         self.scheduler = MultiServerScheduler(
-            servers, gpu_policy=gpu_policy, node_policy=node_policy, model=model
+            servers,
+            gpu_policy=gpu_policy,
+            node_policy=node_policy,
+            model=model,
+            engine=engine,
+            scan_cache=scan_cache,
         )
         self.scheduling = scheduling
         self.core = SimulationCore(
@@ -125,10 +132,28 @@ def run_cluster(
     node_policy: str = "first-fit",
     model: EffectiveBandwidthModel = PAPER_MODEL,
     scheduling: str = "fifo",
+    engine: str = "cached",
+    scan_cache=None,
 ) -> MultiServerSimulator:
-    """Simulate a trace on a cluster; returns the simulator (log inside)."""
+    """Simulate a trace on a cluster; returns the simulator (log inside).
+
+    ``engine`` selects the GPU policies' scan engine: ``"cached"``
+    (default, fleet-shared content-addressed scan memoization),
+    ``"batch"`` or ``"scalar"`` — all bit-identical, which is what the
+    fleet-scale benchmark's cached-vs-batch gate verifies end to end.
+    ``scan_cache`` optionally supplies the cached engine's backing
+    store, letting a caller keep it warm across repeated replays of
+    the same fleet (cache keys are content-addressed, so reuse can
+    only ever change speed, not results).
+    """
     sim = MultiServerSimulator(
-        servers, gpu_policy, node_policy, model, scheduling
+        servers,
+        gpu_policy,
+        node_policy,
+        model,
+        scheduling,
+        engine=engine,
+        scan_cache=scan_cache,
     )
     sim.run(job_file)
     return sim

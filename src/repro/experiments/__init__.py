@@ -53,7 +53,7 @@ from .spec import (
     TraceSpec,
     parse_grid,
 )
-from .store import CellResult, ResultStore, default_cache_dir
+from .store import CellResult, ResultStore, StoreStats, default_cache_dir
 
 __all__ = [
     "AnyTraceSpec",
@@ -73,6 +73,7 @@ __all__ = [
     "PAPER_SEED",
     "PAPER_TOPOLOGY",
     "ResultStore",
+    "StoreStats",
     "SUMMARY_COLUMNS",
     "SWEEPABLE_POLICIES",
     "SweepOutcome",

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..policies.registry import make_policy
 from ..scoring.effective import PAPER_MODEL
+from ..scoring.memo import ScanCache
 from ..scoring.regression import fit_for_hardware
 from ..sim.cluster import ClusterSimulator
 from ..sim.records import SimulationLog
@@ -45,6 +46,20 @@ def _refit_model(topology: str, fit_sizes: Tuple[int, ...]):
     return model
 
 
+@lru_cache(maxsize=1)
+def _worker_scan_cache() -> ScanCache:
+    """One scan cache per worker process, reused across sweep cells.
+
+    Cells of a sweep shard mostly differ along the policy axis while
+    replaying the same trace on the same topology, so their scans share
+    keys; the content-addressed key (wiring hash, pattern, free set)
+    and per-model winner tokens make the sharing sound, and cached
+    results are exact batch-engine replays, so cell outputs — and the
+    content-hash result cache built from them — are unchanged.
+    """
+    return ScanCache()
+
+
 def simulate_cell(cell: CellConfig) -> CellResult:
     """Simulate one grid cell from scratch (pure function of the config)."""
     hardware = by_name(cell.topology)
@@ -53,7 +68,7 @@ def simulate_cell(cell: CellConfig) -> CellResult:
     else:
         model = _refit_model(cell.topology, cell.fit_sizes)
     trace = cell.trace.build()
-    policy = make_policy(cell.policy, model)
+    policy = make_policy(cell.policy, model, cache=_worker_scan_cache())
     simulator = ClusterSimulator(
         hardware, policy, model, scheduling=cell.discipline
     )

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..ioutils import atomic_write_text
 from ..sim.records import SimulationLog
@@ -74,6 +74,27 @@ class CellResult:
         )
 
 
+@dataclass(frozen=True)
+class StoreStats:
+    """Disk-usage summary of one :class:`ResultStore` (``mapa cache stats``).
+
+    ``orphans`` counts files under the cache root that are not valid
+    entries — leftover temp files from interrupted pre-atomic-write
+    runs, misplaced hashes (entry not in its own two-character fan-out
+    directory), or stray non-JSON files.
+    """
+
+    entries: int
+    total_bytes: int
+    orphans: int
+    orphan_bytes: int
+
+    @property
+    def total_mib(self) -> float:
+        """Entry payload size in MiB."""
+        return self.total_bytes / (1024 * 1024)
+
+
 class ResultStore:
     """Filesystem-backed map from config hash to :class:`CellResult`."""
 
@@ -116,3 +137,82 @@ class ResultStore:
         """Atomically persist ``result``; returns the entry's path."""
         path = self._path(result.config_hash)
         return atomic_write_text(path, json.dumps(result.to_dict()))
+
+    # ------------------------------------------------------------------ #
+    # maintenance (the ``mapa cache`` subcommand)
+    # ------------------------------------------------------------------ #
+    def _walk(self) -> Iterator[Tuple[str, bool]]:
+        """Yield ``(path, is_entry)`` for every file under the root.
+
+        A file is a valid *entry* iff it sits in its own two-character
+        fan-out directory and is named ``<config_hash>.json`` with the
+        directory as the hash prefix; everything else (stray temp
+        files, misplaced hashes, non-JSON debris) is an orphan.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, _, filenames in os.walk(self.root):
+            rel = os.path.relpath(dirpath, self.root)
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                stem, ext = os.path.splitext(name)
+                is_entry = (
+                    ext == ".json"
+                    and rel != os.curdir
+                    and os.sep not in rel
+                    and len(rel) == 2
+                    and stem[:2] == rel
+                    and len(stem) > 2
+                )
+                yield path, is_entry
+
+    def entry_paths(self) -> List[str]:
+        """Paths of every valid entry currently on disk (sorted)."""
+        return sorted(path for path, is_entry in self._walk() if is_entry)
+
+    def disk_stats(self) -> StoreStats:
+        """Entry/orphan counts and byte totals for ``mapa cache stats``."""
+        entries = total = orphans = orphan_bytes = 0
+        for path, is_entry in self._walk():
+            try:
+                size = os.path.getsize(path)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            if is_entry:
+                entries += 1
+                total += size
+            else:
+                orphans += 1
+                orphan_bytes += size
+        return StoreStats(
+            entries=entries,
+            total_bytes=total,
+            orphans=orphans,
+            orphan_bytes=orphan_bytes,
+        )
+
+    def clear(self, orphans_only: bool = False) -> Tuple[int, int]:
+        """Delete cached files; returns ``(files_removed, bytes_removed)``.
+
+        ``orphans_only=True`` removes just the invalid debris (the
+        cheap, always-safe cleanup); otherwise every entry goes too.
+        Empty fan-out directories are pruned either way.  Results can
+        always be regenerated — the store is a cache, not a record.
+        """
+        removed = freed = 0
+        for path, is_entry in self._walk():
+            if orphans_only and is_entry:
+                continue
+            try:
+                size = os.path.getsize(path)
+                os.remove(path)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            removed += 1
+            freed += size
+        if os.path.isdir(self.root):
+            for name in sorted(os.listdir(self.root)):
+                sub = os.path.join(self.root, name)
+                if os.path.isdir(sub) and not os.listdir(sub):
+                    os.rmdir(sub)
+        return removed, freed

@@ -8,7 +8,10 @@ from .preserve import PreservePolicy
 from .topo_aware import TopoAwarePolicy
 from .registry import POLICY_NAMES, all_policies, make_policy
 from .scan import (
+    BatchScan,
+    CachedScan,
     ScoredMatch,
+    batch_scan,
     best_scored_match,
     best_subset_then_mapping,
     scan_scored_matches,
@@ -26,7 +29,10 @@ __all__ = [
     "POLICY_NAMES",
     "all_policies",
     "make_policy",
+    "BatchScan",
+    "CachedScan",
     "ScoredMatch",
+    "batch_scan",
     "best_scored_match",
     "best_subset_then_mapping",
     "scan_scored_matches",

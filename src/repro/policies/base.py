@@ -88,6 +88,14 @@ class AllocationPolicy(abc.ABC):
         :class:`~repro.allocator.mapa.Mapa` engine passes the
         allocation state's cached sorted tuple; policies normalise
         (sort / set-convert) as they need.
+
+        Policies that memoize scans may additionally accept a
+        ``free_mask`` keyword — the caller's incrementally maintained
+        free-set bitmask (see
+        :attr:`repro.allocator.state.AllocationState.free_bitmask`),
+        which must describe exactly ``available``.  The engine detects
+        support by signature inspection, so policies with the plain
+        three-argument form keep working unchanged.
         """
 
     def _feasible(self, request: AllocationRequest, available: FrozenSet[int]) -> bool:

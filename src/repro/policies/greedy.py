@@ -14,9 +14,19 @@ from __future__ import annotations
 from typing import FrozenSet, Optional
 
 from ..matching.candidates import match_from_mapping
+from ..scoring.memo import ScanCache
 from ..topology.hardware import HardwareGraph
 from .base import Allocation, AllocationPolicy, AllocationRequest
-from .scan import batch_scan, best_match_by_agg, best_scored_match
+from .scan import (
+    BatchScan,
+    CachedScan,
+    batch_scan,
+    best_match_by_agg,
+    best_scored_match,
+)
+
+#: The scan engines a scanning policy accepts.
+SCAN_ENGINES = ("cached", "batch", "scalar")
 
 
 class GreedyPolicy(AllocationPolicy):
@@ -25,28 +35,60 @@ class GreedyPolicy(AllocationPolicy):
     Parameters
     ----------
     engine:
-        ``"batch"`` (default) scores every candidate match at once
-        through the vectorized engine; ``"scalar"`` walks matches one
-        at a time — kept as the bit-identical reference oracle the
-        property tests compare against.
+        ``"cached"`` (default) serves repeated (wiring, pattern,
+        free-set) scans — and their AggBW winners — from a
+        content-addressed :class:`~repro.scoring.memo.ScanCache`;
+        ``"batch"`` scores every candidate match at once through the
+        vectorized engine on each call; ``"scalar"`` walks matches one
+        at a time — the bit-identical reference oracle the property
+        tests compare against.  All three select identical allocations.
+    cache:
+        Backing :class:`~repro.scoring.memo.ScanCache` for the cached
+        engine (shared across a fleet's policies by the multi-server
+        scheduler); a private cache is created when omitted.  Ignored
+        by the other engines.
     """
 
     name = "greedy"
 
-    def __init__(self, engine: str = "batch") -> None:
-        if engine not in ("batch", "scalar"):
+    def __init__(
+        self, engine: str = "cached", cache: Optional[ScanCache] = None
+    ) -> None:
+        if engine not in SCAN_ENGINES:
             raise ValueError(f"unknown scan engine {engine!r}")
         self.engine = engine
+        self.scan_cache: Optional[ScanCache] = None
+        self._cached: Optional[CachedScan] = None
+        if engine == "cached":
+            self._cached = CachedScan(cache)
+            self.scan_cache = self._cached.cache
+
+    @staticmethod
+    def _proposal(scan: BatchScan) -> Allocation:
+        """The AggBW-winning proposal of one scan (memoized per entry)."""
+        best = best_match_by_agg(scan)
+        match = match_from_mapping(scan.pattern, best.mapping)
+        return Allocation(
+            gpus=best.subset, match=match, scores={"agg_bw": best.agg_bw}
+        )
 
     def allocate(
         self,
         request: AllocationRequest,
         hardware: HardwareGraph,
         available: FrozenSet[int],
+        free_mask: Optional[int] = None,
     ) -> Optional[Allocation]:
         """Propose the AggBW-maximal match on the free GPUs, or ``None``."""
         if not self._feasible(request, available):
             return None
+        if self.engine == "cached":
+            entry = self._cached.entry(
+                request.pattern, hardware, available, free_mask
+            )
+            if entry is None:
+                return None
+            return entry.winner(("agg",), self._proposal)
         if self.engine == "batch":
             scan = batch_scan(request.pattern, hardware, available)
             best = None if scan is None else best_match_by_agg(scan)

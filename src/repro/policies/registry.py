@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..scoring.effective import EffectiveBandwidthModel
+from ..scoring.memo import ScanCache
 from .base import AllocationPolicy
 from .baseline import BaselinePolicy
 from .greedy import GreedyPolicy
@@ -18,7 +19,8 @@ POLICY_NAMES: List[str] = ["baseline", "topo-aware", "greedy", "preserve"]
 def make_policy(
     name: str,
     model: Optional[EffectiveBandwidthModel] = None,
-    engine: str = "batch",
+    engine: str = "cached",
+    cache: Optional[ScanCache] = None,
 ) -> AllocationPolicy:
     """Instantiate a policy by name.
 
@@ -32,9 +34,17 @@ def make_policy(
         the others.
     engine:
         Match-scan engine for the scanning policies (Greedy, Preserve,
-        Oracle): ``"batch"`` (vectorized, the default) or ``"scalar"``
-        (the bit-identical reference path).  Ignored by Baseline and
-        Topo-aware, which never scan.
+        Oracle): ``"cached"`` (content-addressed scan memoization over
+        the batch engine, the default), ``"batch"`` (vectorized,
+        rescans every call) or ``"scalar"`` (the bit-identical
+        reference path).  Ignored by Baseline and Topo-aware, which
+        never scan.
+    cache:
+        A shared :class:`~repro.scoring.memo.ScanCache` for the cached
+        engine — the multi-server scheduler pools one across a fleet's
+        policies, and the sweep runner reuses one per worker process.
+        Omitted → each scanning policy gets its own.  Ignored unless
+        ``engine="cached"``.
     """
     key = name.lower()
     if key == "baseline":
@@ -42,24 +52,26 @@ def make_policy(
     if key in ("topo-aware", "topo_aware", "topoaware"):
         return TopoAwarePolicy()
     if key == "greedy":
-        return GreedyPolicy(engine=engine)
+        return GreedyPolicy(engine=engine, cache=cache)
     if key in ("preserve", "preservation"):
         if model is not None:
-            return PreservePolicy(model, engine=engine)
-        return PreservePolicy(engine=engine)
+            return PreservePolicy(model, engine=engine, cache=cache)
+        return PreservePolicy(engine=engine, cache=cache)
     if key == "oracle":
         from .oracle import OraclePolicy
 
-        return OraclePolicy(engine=engine)
+        return OraclePolicy(engine=engine, cache=cache)
     known = ", ".join(POLICY_NAMES + ["oracle"])
     raise KeyError(f"unknown policy {name!r}; known: {known}")
 
 
 def all_policies(
     model: Optional[EffectiveBandwidthModel] = None,
-    engine: str = "batch",
+    engine: str = "cached",
+    cache: Optional[ScanCache] = None,
 ) -> Dict[str, AllocationPolicy]:
     """All four evaluation policies keyed by name."""
     return {
-        name: make_policy(name, model, engine=engine) for name in POLICY_NAMES
+        name: make_policy(name, model, engine=engine, cache=cache)
+        for name in POLICY_NAMES
     }

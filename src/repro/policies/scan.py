@@ -10,7 +10,7 @@ things only:
   also what the NCCL microbenchmark that trains the model exercises);
 * the **mapped pattern edges** ``E(P) ∩ E(M)`` — what AggBW (Eq. 1) sums.
 
-Two engines implement the scan against the topology's precomputed
+Three engines implement the scan against the topology's precomputed
 :class:`~repro.topology.linktable.LinkTable`:
 
 * the **scalar engine** (:func:`scan_scored_matches` plus
@@ -24,8 +24,17 @@ Two engines implement the scan against the topology's precomputed
   through :mod:`repro.scoring.batch` — censuses via one gather, AggBW
   via one sum, Eq. 2 via unique-census lookup.  Scores and the selected
   match are bit-identical to the scalar engine (see
-  :mod:`repro.scoring.batch` for why), just several times faster,
-  which is what the policies run in production.
+  :mod:`repro.scoring.batch` for why), just several times faster;
+* the **cached engine** (:class:`CachedScan`) puts a content-addressed
+  memo in front of the batch engine: completed :class:`BatchScan`
+  results — and the argmax winners selected from them — are stored in
+  a :class:`~repro.scoring.memo.ScanCache` keyed by
+  ``(topology_hash, pattern_id, free_set_bitmask)``, so a server that
+  returns to a previously seen free set replays the stored result
+  instead of rescanning.  Cached results *are* batch results (the miss
+  path builds them with :func:`batch_scan` and the hit path returns
+  them unchanged), so the engine stays bit-identical to both others.
+  This is what the policies run in production (``engine="cached"``).
 
 Candidate order is shared by both engines: subsets ascend
 lexicographically over the sorted free GPUs, orbit permutations keep
@@ -38,6 +47,7 @@ the scalar tuple-comparison tie-breaks exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations
 from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
@@ -47,6 +57,7 @@ from ..appgraph.application import ApplicationGraph
 from ..matching.candidates import orbit_permutations
 from ..scoring import batch as batch_scoring
 from ..scoring.census import LinkCensus
+from ..scoring.memo import CacheEntry, ScanCache
 from ..topology.hardware import HardwareGraph
 
 Pair = Tuple[int, int]
@@ -68,10 +79,16 @@ class ScoredMatch:
     agg_bw: float
 
 
+@lru_cache(maxsize=256)
 def _orbit_index_pairs(
     pattern: ApplicationGraph,
-) -> List[Tuple[Pair, ...]]:
-    """Per orbit permutation, the pattern edges as subset-index pairs."""
+) -> Tuple[Tuple[Pair, ...], ...]:
+    """Per orbit permutation, the pattern edges as subset-index pairs.
+
+    Memoized alongside :func:`~repro.matching.candidates.orbit_permutations`
+    (patterns hash by structure): every scan of the same pattern reuses
+    one table.
+    """
     out: List[Tuple[Pair, ...]] = []
     for perm in orbit_permutations(pattern):
         pairs = tuple(
@@ -79,7 +96,23 @@ def _orbit_index_pairs(
             for u, v in pattern.edges
         )
         out.append(pairs)
-    return out
+    return tuple(out)
+
+
+@lru_cache(maxsize=512)
+def _subset_matrix(m: int, k: int) -> np.ndarray:
+    """All ``C(m, k)`` ascending index subsets as a read-only int matrix.
+
+    A pure function of the two sizes, shared by every scan with ``m``
+    free GPUs and a ``k``-slot pattern — the single most expensive
+    constant of a cold scan at fleet scale (a 16-GPU server has 1820
+    4-subsets).
+    """
+    subsets = np.array(
+        list(combinations(range(m), k)), dtype=np.intp
+    ).reshape(-1, k)
+    subsets.flags.writeable = False
+    return subsets
 
 
 def scan_scored_matches(
@@ -302,9 +335,7 @@ def batch_scan(
     vcodes = table.codes_matrix[grid]
     vbw = table.bandwidth_matrix[grid]
     np.fill_diagonal(vbw, 0.0)
-    subsets = np.array(
-        list(combinations(range(m), k)), dtype=np.intp
-    ).reshape(-1, k)
+    subsets = _subset_matrix(m, k)
     a_idx, b_idx = batch_scoring.pair_slots(k)
     sub_a = subsets[:, a_idx]
     sub_b = subsets[:, b_idx]
@@ -329,6 +360,70 @@ def batch_scan(
         subset_pair_bw=sbw,
         free_bandwidth=vbw,
     )
+
+
+# ---------------------------------------------------------------------- #
+# the cached engine
+# ---------------------------------------------------------------------- #
+class CachedScan:
+    """Content-addressed front-end over :func:`batch_scan`.
+
+    The scanning policies (Greedy, Preserve, Oracle) consume this under
+    ``engine="cached"``: :meth:`entry` resolves the request's
+    ``(topology_hash, pattern_id, free_set_bitmask)`` key against a
+    :class:`~repro.scoring.memo.ScanCache`, building the
+    :class:`BatchScan` only on a miss, and the returned
+    :class:`~repro.scoring.memo.CacheEntry` additionally memoizes each
+    policy's argmax winner per objective token — a hit skips the scan
+    *and* the selection pass.
+
+    Invalidation is implicit: placement and release deltas flip bits in
+    the server's free mask (see
+    :attr:`repro.allocator.state.AllocationState.free_bitmask`), so a
+    changed free set routes to a different key and cached winners are
+    consulted only while their server's free set is genuinely
+    unchanged — exactly the dirty-set protocol the allocator publishes.
+
+    Parameters
+    ----------
+    cache:
+        The backing store.  Pass a shared instance to pool scans across
+        policies or across the servers of a fleet (sound because the
+        key partitions by wiring and pattern, and winner tokens carry
+        the objective and model identity); omit for a private cache.
+    """
+
+    def __init__(self, cache: Optional[ScanCache] = None) -> None:
+        self.cache = cache if cache is not None else ScanCache()
+
+    def entry(
+        self,
+        pattern: ApplicationGraph,
+        hardware: HardwareGraph,
+        available: FrozenSet[int] | Sequence[int],
+        free_mask: Optional[int] = None,
+    ) -> Optional[CacheEntry]:
+        """The cached (or freshly built) scan for one request.
+
+        ``free_mask`` is the caller's incrementally maintained free-set
+        bitmask; when omitted it is derived from ``available``.  The
+        caller must pass a mask consistent with ``available`` — the
+        allocator threads :attr:`AllocationState.free_bitmask
+        <repro.allocator.state.AllocationState.free_bitmask>` down,
+        keeping key construction O(1).  Returns ``None`` when the
+        pattern cannot fit the free set (never cached: the feasibility
+        pre-check makes it rare).
+        """
+        if free_mask is None:
+            free_mask = self.cache.free_mask(hardware, available)
+        key = self.cache.key(hardware, pattern, free_mask)
+        entry = self.cache.lookup(key)
+        if entry is None:
+            scan = batch_scan(pattern, hardware, available)
+            if scan is None:
+                return None
+            entry = self.cache.insert(key, scan)
+        return entry
 
 
 def best_match_by_agg(scan: BatchScan) -> ScoredMatch:

@@ -20,8 +20,6 @@ not the name.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
@@ -32,25 +30,13 @@ from ..topology.hardware import HardwareGraph
 def topology_hash(hardware: HardwareGraph) -> str:
     """Stable content hash of a server's wiring (name-independent).
 
-    Covers the GPU ids, every explicit NVLink edge with its link type,
-    the PCIe fallback link (it determines every non-NVLink pair's
-    bandwidth in the link table), and the socket partition — canonically
-    JSON-encoded and SHA-256 hashed.  Two builders that produce
-    identical wiring under different names hash identically, which is
-    what lets fleets share one link table between them.
+    Thin functional alias of
+    :attr:`~repro.topology.hardware.HardwareGraph.topology_hash` — the
+    digest moved onto the graph itself (cached per instance) when the
+    scan cache started keying scores by it, but this module's callers
+    keep their historical entry point.
     """
-    edges = sorted(
-        (link.u, link.v, link.link_type.name)
-        for link in hardware.nvlink_links()
-    )
-    payload = {
-        "gpus": list(hardware.gpus),
-        "edges": [list(e) for e in edges],
-        "sockets": [list(s) for s in hardware.sockets],
-        "pcie": hardware.pcie_link.name,
-    }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return hardware.topology_hash
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ from .aggregate import (
     allocation_aggregate_bandwidth,
     ideal_allocation_bandwidth,
 )
+from .memo import CacheEntry, CacheStats, ScanCache, pattern_id
 from .preserved import preserved_bandwidth, remaining_bandwidth
 from .effective import (
     FEATURE_NAMES,
@@ -41,6 +42,10 @@ __all__ = [
     "aggregated_bandwidth_of_edges",
     "allocation_aggregate_bandwidth",
     "ideal_allocation_bandwidth",
+    "CacheEntry",
+    "CacheStats",
+    "ScanCache",
+    "pattern_id",
     "preserved_bandwidth",
     "remaining_bandwidth",
     "FEATURE_NAMES",

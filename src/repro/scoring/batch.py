@@ -37,6 +37,7 @@ bandwidth).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -49,8 +50,12 @@ from .effective import EffectiveBandwidthModel
 CLASS_CODES: Tuple[int, int, int] = (X, Y, Z)
 
 
+@lru_cache(maxsize=128)
 def pair_slots(k: int) -> Tuple[np.ndarray, np.ndarray]:
     """Upper-triangular pair indices of a ``k``-slot pattern.
+
+    Memoized (and returned read-only): a pure function of ``k`` that
+    every scan rebuilds otherwise — replays call it once per placement.
 
     Parameters
     ----------
@@ -64,11 +69,17 @@ def pair_slots(k: int) -> Tuple[np.ndarray, np.ndarray]:
         enumerating slot pairs in the same ``a``-major order as the
         scalar scan's nested ``for a: for b in range(a+1, k)`` loops.
     """
-    return np.triu_indices(k, 1)
+    a_idx, b_idx = np.triu_indices(k, 1)
+    a_idx.flags.writeable = False
+    b_idx.flags.writeable = False
+    return a_idx, b_idx
 
 
+@lru_cache(maxsize=128)
 def pair_slot_positions(k: int) -> np.ndarray:
     """Map an ordered slot pair ``(a, b)`` to its :func:`pair_slots` column.
+
+    Memoized (and returned read-only), like :func:`pair_slots`.
 
     Returns
     -------
@@ -80,6 +91,7 @@ def pair_slot_positions(k: int) -> np.ndarray:
     a_idx, b_idx = pair_slots(k)
     lookup = np.full((k, k), -1, dtype=np.intp)
     lookup[a_idx, b_idx] = np.arange(a_idx.size, dtype=np.intp)
+    lookup.flags.writeable = False
     return lookup
 
 

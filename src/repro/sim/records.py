@@ -41,12 +41,23 @@ class JobRecord:
 
 
 class SimulationLog:
-    """Ordered collection of job records plus summary accessors."""
+    """Ordered collection of job records plus summary accessors.
+
+    ``cache_stats`` is an optional run-diagnostics payload (scan-cache
+    lookup/hit/miss/eviction counters plus the measured-bandwidth memo
+    counters) the simulation core attaches after a run.  It is
+    deliberately **excluded** from :meth:`to_dict`: cache counters are
+    performance telemetry, not simulation output, and keeping them out
+    preserves byte-identity between cached and uncached replays of the
+    same trace (the property every golden table and the sweep result
+    cache rely on).
+    """
 
     def __init__(self, policy_name: str, topology_name: str) -> None:
         self.policy_name = policy_name
         self.topology_name = topology_name
         self.records: List[JobRecord] = []
+        self.cache_stats: Optional[Dict[str, float]] = None
 
     def append(self, record: JobRecord) -> None:
         """Add one completed job (the simulator appends in completion order)."""

@@ -13,6 +13,8 @@ representation small and makes "is this a *direct* link?" queries cheap.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
@@ -117,6 +119,7 @@ class HardwareGraph:
         }
         self._link_table: Optional["LinkTable"] = None
         self._hash: Optional[int] = None
+        self._topology_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -169,6 +172,38 @@ class HardwareGraph:
 
             self._link_table = LinkTable(self)
         return self._link_table
+
+    @property
+    def topology_hash(self) -> str:
+        """Stable content hash of the wiring (name-independent, cached).
+
+        Covers the GPU ids, every explicit NVLink edge with its link
+        type, the PCIe fallback link (it determines every non-NVLink
+        pair's bandwidth in the link table), and the socket partition —
+        canonically JSON-encoded and SHA-256 hashed.  Two builders that
+        produce identical wiring under different names (big-basin and
+        p3dn are DGX-1V clones) hash identically, which is what lets
+        fleets share one link table — and one scan cache — between
+        them.  Graphs are immutable, so the digest is computed once.
+        """
+        if self._topology_hash is None:
+            edges = sorted(
+                (link.u, link.v, link.link_type.name)
+                for link in self.nvlink_links()
+            )
+            payload = {
+                "gpus": list(self._gpus),
+                "edges": [list(e) for e in edges],
+                "sockets": [list(s) for s in self._sockets],
+                "pcie": self._pcie_link.name,
+            }
+            canonical = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            )
+            self._topology_hash = hashlib.sha256(
+                canonical.encode("utf-8")
+            ).hexdigest()
+        return self._topology_hash
 
     def adopt_link_table(self, table: "LinkTable") -> None:
         """Install a link table precomputed for an identically wired graph.

@@ -46,7 +46,7 @@ class Job:
         declared pattern name.
         """
         if self.num_gpus == 1:
-            return patterns.single(1)
+            return patterns.by_name("single", 1)
         return patterns.by_name(self.pattern, self.num_gpus)
 
     def request(self) -> AllocationRequest:

@@ -235,3 +235,52 @@ class TestScenario:
         assert tuple(by_dest["arrival"].choices) == tuple(ARRIVAL_KINDS)
         assert tuple(by_dest["mix"].choices) == tuple(MIX_PRESETS)
         assert tuple(by_dest["node_policy"].choices) == tuple(NODE_POLICIES)
+
+
+class TestCacheCommand:
+    GRID = ["--grid", "policy=baseline", "--trace-jobs", "10", "--jobs", "1"]
+
+    def _populate(self, tmp_path):
+        assert main(["sweep", *self.GRID, "--cache-dir", str(tmp_path)]) == 0
+
+    def test_stats_counts_entries_and_orphans(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        (tmp_path / "leftover.tmp").write_text("debris")
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries        | 1" in out
+        assert "orphaned files | 1" in out
+        assert "in-memory scan cache" in out
+
+    def test_clear_orphans_keeps_entries(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        (tmp_path / "leftover.tmp").write_text("debris")
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", "--orphans", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "removed 1 orphaned file(s)" in capsys.readouterr().out
+        # the valid entry survived: the sweep re-run is fully cached
+        assert main(["sweep", *self.GRID, "--cache-dir", str(tmp_path)]) == 0
+        assert "1 cached, 0 simulated" in capsys.readouterr().err
+
+    def test_clear_removes_everything(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries        | 0" in capsys.readouterr().out
+
+    def test_stats_on_missing_dir_is_empty_not_an_error(self, tmp_path, capsys):
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "nope")]
+        ) == 0
+        assert "entries        | 0" in capsys.readouterr().out
+
+    def test_trace_embeds_scan_cache_stats(self, capsys):
+        assert main(["trace", "--jobs", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "scan cache [preserve]:" in out
+        assert "lookups" in out

@@ -133,3 +133,102 @@ class TestClusterSimulation:
                 [dgx1_v100(), summit_node()], trace, node_policy=node_policy
             )
             assert len(sim.log) == 30
+
+
+class TestCandidateIndexCapacity:
+    """The satellite fix: set_free validates against server capacity."""
+
+    def _index(self):
+        from repro.cluster.scheduler import CandidateServerIndex
+
+        return CandidateServerIndex([3, 8], capacities=[4, 8])
+
+    def test_negative_free_still_rejected(self):
+        index = self._index()
+        with pytest.raises(ValueError, match="negative free count"):
+            index.set_free(0, -1)
+
+    def test_free_above_capacity_rejected_same_shape(self):
+        index = self._index()
+        with pytest.raises(
+            ValueError, match="free count 5 exceeds capacity 4 for server 0"
+        ):
+            index.set_free(0, 5)
+        # the failed update must not have corrupted the index
+        assert index.free_count(0) == 3
+        index.check([3, 8])
+
+    def test_free_at_capacity_is_fine(self):
+        index = self._index()
+        index.set_free(0, 4)
+        assert index.free_count(0) == 4
+        assert index.capacity(0) == 4
+
+    def test_construction_validates_too(self):
+        from repro.cluster.scheduler import CandidateServerIndex
+
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            CandidateServerIndex([9], capacities=[8])
+        with pytest.raises(ValueError, match="negative free count"):
+            CandidateServerIndex([-1], capacities=[8])
+        with pytest.raises(ValueError, match="capacities"):
+            CandidateServerIndex([1, 2], capacities=[8])
+
+    def test_default_capacities_are_the_initial_counts(self):
+        from repro.cluster.scheduler import CandidateServerIndex
+
+        index = CandidateServerIndex([2, 5])
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            index.set_free(0, 3)
+
+    def test_scheduler_passes_true_capacities(self):
+        sched = MultiServerScheduler([dgx1_v100(), summit_node()])
+        index = sched.candidate_index
+        assert index.capacity(0) == 8
+        assert index.capacity(1) == summit_node().num_gpus
+
+
+class TestFleetScanCache:
+    def test_engines_share_one_cache(self):
+        sched = MultiServerScheduler([dgx1_v100(), dgx1_v100()])
+        caches = {id(e.policy.scan_cache) for e in sched.engines}
+        assert caches == {id(sched.scan_cache)}
+
+    def test_batch_engine_has_no_cache(self):
+        sched = MultiServerScheduler([dgx1_v100()], engine="batch")
+        assert sched.scan_cache is None
+        assert sched.scan_cache_stats() is None
+
+    def test_cache_stats_surface_in_simulation_log(self):
+        trace = generate_job_file(30, seed=11)
+        sim = run_cluster([dgx1_v100(), dgx1_v100()], trace)
+        stats = sim.log.cache_stats
+        assert stats is not None
+        assert stats["scan_lookups"] > 0
+        assert stats["scan_hits"] + stats["scan_misses"] == stats["scan_lookups"]
+        # telemetry stays out of the serialised log (byte-identity)
+        assert "cache_stats" not in sim.log.to_dict()
+
+    def test_engine_parameter_is_bit_identical_end_to_end(self):
+        import json
+
+        trace = generate_job_file(40, seed=12)
+        servers = [dgx1_v100(), summit_node()]
+        logs = {
+            engine: run_cluster(servers, trace, engine=engine).log.to_dict()
+            for engine in ("cached", "batch")
+        }
+        assert json.dumps(logs["cached"], sort_keys=True) == json.dumps(
+            logs["batch"], sort_keys=True
+        )
+
+    def test_external_cache_stays_warm_across_replays(self):
+        from repro.scoring.memo import ScanCache
+
+        trace = generate_job_file(25, seed=13)
+        cache = ScanCache()
+        run_cluster([dgx1_v100()], trace, scan_cache=cache)
+        cold_misses = cache.stats.misses
+        sim = run_cluster([dgx1_v100()], trace, scan_cache=cache)
+        assert cache.stats.misses == cold_misses  # fully warm re-run
+        assert sim.log.cache_stats["scan_hit_rate"] == 1.0

@@ -41,6 +41,7 @@ TIMING_TABLES = {
     "batch_scoring.txt",
     "fig19_overhead.txt",
     "fleet_scale.txt",
+    "scan_cache.txt",
     "scan_hotpath.txt",
 }
 

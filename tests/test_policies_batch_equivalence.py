@@ -109,11 +109,24 @@ def test_oracle_engines_identical_under_churn():
 
 def test_registry_passes_engine_through():
     assert make_policy("greedy", engine="scalar").engine == "scalar"
-    assert make_policy("preserve").engine == "batch"
+    assert make_policy("preserve").engine == "cached"
+    assert make_policy("preserve", engine="batch").engine == "batch"
     assert make_policy("oracle", engine="batch").engine == "batch"
     # non-scanning policies ignore the engine argument
     make_policy("baseline", engine="scalar")
     make_policy("topo-aware", engine="scalar")
+
+
+def test_registry_passes_shared_cache_through():
+    from repro.scoring.memo import ScanCache
+
+    shared = ScanCache()
+    greedy = make_policy("greedy", cache=shared)
+    preserve = make_policy("preserve", cache=shared)
+    assert greedy.scan_cache is shared
+    assert preserve.scan_cache is shared
+    # non-cached engines hold no cache at all
+    assert make_policy("greedy", engine="batch").scan_cache is None
 
 
 @pytest.mark.parametrize(
