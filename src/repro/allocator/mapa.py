@@ -39,6 +39,16 @@ class Mapa:
         effective bandwidth (independent of whatever the policy used
         internally), so every policy's decisions are scored on the same
         yardstick — exactly how Fig. 13(c, d) compares policies.
+    annotate_memo:
+        ``"split"`` (default) memoizes the three score components by
+        their *own* minimal keys — AggBW by the match's edge tuple,
+        census/Eq. 2 by the GPU tuple, Eq. 3 PreservedBW by the
+        post-allocation free bitmask — so a winner commits cheaply even
+        on a never-seen free set, as long as any component recurred.
+        ``"combined"`` keeps the historical single memo keyed by the
+        whole (free set, GPUs, edges, score keys) tuple; the fleet
+        benchmark's object-mode baseline runs with it.  Both are exact
+        replays of the uncached math, byte-identical by construction.
     """
 
     def __init__(
@@ -46,13 +56,19 @@ class Mapa:
         hardware: HardwareGraph,
         policy: AllocationPolicy,
         model: EffectiveBandwidthModel = PAPER_MODEL,
+        annotate_memo: str = "split",
     ) -> None:
         self.hardware = hardware
         self.policy = policy
         self.model = model
         self.state = AllocationState(hardware)
         self._anon_counter = 0
-        # Annotation memo: the full score vector of a committed
+        if annotate_memo not in ("split", "combined"):
+            raise ValueError(
+                f"annotate_memo must be 'split' or 'combined', got {annotate_memo!r}"
+            )
+        self.annotate_memo = annotate_memo
+        # Combined mode: the full score vector of a committed
         # allocation is a pure function of (free set, GPUs, match
         # edges, which scores the policy already filled in) for this
         # engine's fixed hardware/model, and replays commit the same
@@ -60,6 +76,22 @@ class Mapa:
         # lifetime; keys are the state's incremental bitmask plus the
         # proposal's identity tuples.
         self._annotate_memo: Dict[Tuple, Dict[str, float]] = {}
+        # Split mode: each component keyed by exactly what it depends
+        # on.  aggregated_bandwidth reads only the match's edges;
+        # census_of_allocation / Eq. 2 read only the GPU tuple; Eq. 3
+        # PreservedBW is remaining_bandwidth of the *post-allocation*
+        # free set, so its key is the pre-commit bitmask with the
+        # matched vertices' bits cleared.
+        self._agg_memo: Dict[Tuple, float] = {}
+        self._census_memo: Dict[Tuple[int, ...], Tuple[float, float, float, float]] = {}
+        self._preserved_memo: Dict[int, float] = {}
+        # Bit per GPU, same convention as AllocationState.free_bitmask
+        # (bit i = i-th GPU of the sorted GPU tuple); plus a per-vertex-
+        # tuple mask memo so recurring winners clear their bits in O(1).
+        self._gpu_bit: Dict[int, int] = {
+            g: 1 << i for i, g in enumerate(hardware.gpus)
+        }
+        self._vertex_mask_memo: Dict[Tuple[int, ...], int] = {}
         # Scan-memoizing policies take the state's incremental free-set
         # bitmask so their cache key costs O(1); detected by signature
         # so third-party three-argument policies keep working.
@@ -152,6 +184,8 @@ class Mapa:
                 scores=dict(alloc.scores),
                 job_id=job_id,
             )
+        if self.annotate_memo == "split":
+            return self._annotate_split(alloc, match, available, job_id)
         key = (
             self.state.free_bitmask,
             alloc.gpus,
@@ -176,6 +210,78 @@ class Mapa:
                 preserved_bandwidth(self.hardware, match, available),
             )
             self._annotate_memo[key] = scores
+        return Allocation(
+            gpus=alloc.gpus, match=match, scores=scores, job_id=job_id
+        )
+
+    def _annotate_split(
+        self, alloc: Allocation, match: Match, available, job_id: Hashable
+    ) -> Allocation:
+        """Component-wise annotation memo (``annotate_memo="split"``).
+
+        Identical arithmetic to the combined path — each component is
+        the same pure function call, just cached under its minimal key.
+        Policy-filled scores still win (the ``setdefault`` discipline),
+        and census_x/y/z are still unconditionally (re)written from the
+        induced census, exactly as the combined path does.
+
+        The finished score vector is additionally pinned onto the
+        proposal *object* (keyed by the model's coefficient vector).
+        Scan-cache winner objects live exactly as long as their
+        content-addressed ``(wiring, pattern, free set)`` entry — every
+        input of the annotation is fixed for the object's lifetime — so
+        a recurring winner re-annotates in one dict lookup, across
+        replays when the cache is shared.  Engines that build fresh
+        proposals per call (batch/scalar) simply never hit this memo.
+        """
+        memo: Optional[Dict[Tuple[float, ...], Dict[str, float]]] = getattr(
+            alloc, "_annotated", None
+        )
+        if memo is not None:
+            scores = memo.get(self.model.coefficients)
+            if scores is not None:
+                return Allocation(
+                    gpus=alloc.gpus, match=match, scores=scores, job_id=job_id
+                )
+        scores = dict(alloc.scores)
+        if "agg_bw" not in scores:
+            agg = self._agg_memo.get(match.edges)
+            if agg is None:
+                agg = aggregated_bandwidth(self.hardware, match)
+                self._agg_memo[match.edges] = agg
+            scores["agg_bw"] = agg
+        census = self._census_memo.get(alloc.gpus)
+        if census is None:
+            induced = census_of_allocation(self.hardware, alloc.gpus)
+            census = (
+                float(induced.x),
+                float(induced.y),
+                float(induced.z),
+                self.model.predict_census(induced),
+            )
+            self._census_memo[alloc.gpus] = census
+        scores["census_x"] = census[0]
+        scores["census_y"] = census[1]
+        scores["census_z"] = census[2]
+        if "effective_bw" not in scores:
+            scores["effective_bw"] = census[3]
+        if "preserved_bw" not in scores:
+            vmask = self._vertex_mask_memo.get(match.vertices)
+            if vmask is None:
+                vmask = 0
+                for g in match.vertices:
+                    vmask |= self._gpu_bit[g]
+                self._vertex_mask_memo[match.vertices] = vmask
+            remaining_mask = self.state.free_bitmask & ~vmask
+            preserved = self._preserved_memo.get(remaining_mask)
+            if preserved is None:
+                preserved = preserved_bandwidth(self.hardware, match, available)
+                self._preserved_memo[remaining_mask] = preserved
+            scores["preserved_bw"] = preserved
+        if memo is None:
+            memo = {}
+            object.__setattr__(alloc, "_annotated", memo)
+        memo[self.model.coefficients] = scores
         return Allocation(
             gpus=alloc.gpus, match=match, scores=scores, job_id=job_id
         )

@@ -52,6 +52,10 @@ class ApplicationGraph:
         for u, v in self._edges:
             self._adj[u].add(v)
             self._adj[v].add(u)
+        # Hash of the structural identity, computed once: patterns key
+        # caches and memo tables all over the hot path, and re-hashing
+        # the (possibly large) edge tuple per lookup adds up.
+        self._hash = hash((self._n, self._edges))
 
     # ------------------------------------------------------------------ #
     @property
@@ -153,8 +157,8 @@ class ApplicationGraph:
         return self._n == other._n and self._edges == other._edges
 
     def __hash__(self) -> int:
-        """Hash consistent with :meth:`__eq__`."""
-        return hash((self._n, self._edges))
+        """Hash consistent with :meth:`__eq__` (precomputed at init)."""
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

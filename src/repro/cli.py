@@ -23,10 +23,13 @@ Subcommands
     sweep it through the cached experiment grid exactly like a paper
     trace.
 ``cache``
-    Inspect or clear the on-disk sweep result cache (entry counts,
-    bytes, orphaned debris).  The *in-memory* scan cache has no disk
-    footprint — its hit/miss statistics are embedded directly in the
-    output of the runs that use it (``trace``, ``scenario --fleet``).
+    Inspect or clear the on-disk caches (sweep results and the spilled
+    scan-tier partitions: entry counts, bytes, orphaned debris), or
+    exercise the persistent scan tier — ``spill`` populates it from a
+    cold replay, ``warm`` warm-starts a replay from it and reports the
+    first-pass hit rate.  In-memory scan-cache hit/miss statistics are
+    embedded directly in the output of the runs that use it (``trace``,
+    ``scenario --fleet``).
 """
 
 from __future__ import annotations
@@ -430,17 +433,88 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_tier_replay(args: argparse.Namespace, store) -> int:
+    """``mapa cache warm|spill``: exercise the persistent scan tier.
+
+    ``spill`` replays a scenario cold and writes the resulting scan
+    winners to the tier (populating it); ``warm`` warm-starts a fresh
+    cache from the tier before replaying and reports the first-pass hit
+    rate (validating it).  Both replay the same deterministic scenario
+    for a given (fleet, jobs, seed), so a ``spill`` followed by a
+    ``warm`` demonstrates the cross-process reuse end to end.
+    """
+    import time as _time
+
+    from .cluster import run_cluster
+    from .experiments.spill import ScanSpillStore
+    from .scenarios import FleetSpec, MMPPArrivals, ScenarioSpec
+    from .scoring.memo import ScanCache
+
+    try:
+        fleet = FleetSpec.parse(args.fleet)
+    except ValueError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    spec = ScenarioSpec(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        arrival=MMPPArrivals(),
+        name="cache-tier",
+    ).resolve(fleet.min_gpus_per_server())
+    job_file = spec.build()
+    spill = ScanSpillStore(store.root)
+    cache = ScanCache()
+    started = _time.perf_counter()
+    sim = run_cluster(
+        fleet.build(),
+        job_file,
+        gpu_policy=args.policy,
+        scan_cache=cache,
+        scan_spill=spill if args.action == "warm" else None,
+    )
+    wall = _time.perf_counter() - started
+    stats = sim.log.cache_stats or {}
+    rows = [
+        ["tier dir", spill.scan_root],
+        ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
+        ["jobs replayed", str(args.jobs)],
+        ["replay wall (s)", f"{wall:.2f}"],
+        [
+            "scan hit rate",
+            f"{100.0 * float(stats.get('scan_hit_rate', 0.0)):.1f}%",
+        ],
+    ]
+    if args.action == "spill":
+        written = spill.spill(cache)
+        rows.append(["tier entries written", str(written)])
+        title = "Scan tier — spilled from a cold replay"
+    else:
+        title = "Scan tier — warm-started replay"
+    print(format_table(["metric", "value"], rows, title=title))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """``mapa cache``: inspect or clear the on-disk sweep result cache."""
+    """``mapa cache``: inspect, exercise or clear the on-disk caches."""
     from .experiments import ResultStore, default_cache_dir
 
     store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.action in ("warm", "spill"):
+        return _cache_tier_replay(args, store)
     if args.action == "stats":
         stats = store.disk_stats()
         rows = [
             ["cache dir", store.root],
-            ["entries", str(stats.entries)],
-            ["entry bytes", f"{stats.total_bytes} ({stats.total_mib:.2f} MiB)"],
+            ["sweep entries", str(stats.entries)],
+            [
+                "sweep entry bytes",
+                f"{stats.total_bytes} ({stats.total_mib:.2f} MiB)",
+            ],
+            ["scan partitions", str(stats.scan_entries)],
+            [
+                "scan partition bytes",
+                f"{stats.scan_bytes} ({stats.scan_mib:.2f} MiB)",
+            ],
             ["orphaned files", str(stats.orphans)],
             ["orphaned bytes", str(stats.orphan_bytes)],
         ]
@@ -450,9 +524,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             )
         )
         print(
-            "note: the in-memory scan cache has no disk footprint; its "
-            "hit/miss counters are embedded in run output "
-            "(`mapa trace`, `mapa scenario --fleet`)."
+            "note: scan partitions are the persistent scan-cache tier "
+            "(`mapa cache spill` populates it, `mapa cache warm` "
+            "validates it); in-memory hit/miss counters are embedded in "
+            "run output (`mapa trace`, `mapa scenario --fleet`)."
         )
         return 0
     removed, freed = store.clear(orphans_only=args.orphans)
@@ -749,23 +824,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser(
         "cache",
-        help="inspect or clear the on-disk sweep result cache",
+        help="inspect, exercise or clear the on-disk caches",
         description=(
-            "Maintain the content-addressed sweep result cache on disk: "
-            "`stats` reports entry counts, bytes and orphaned debris "
-            "(leftover temp files, misplaced entries); `clear` deletes "
-            "cached results (everything, or just the orphans with "
-            "--orphans).  Entries regenerate on the next sweep, so "
-            "clearing is always safe.  The in-memory scan cache that "
-            "accelerates match scoring has no disk footprint — its "
-            "statistics are embedded in the output of the runs that use "
-            "it."
+            "Maintain the content-addressed caches on disk: `stats` "
+            "reports entry counts, bytes and orphaned debris for both "
+            "tiers (sweep results and spilled scan partitions); `clear` "
+            "deletes cached files (everything, or just the orphans with "
+            "--orphans); `spill` replays a deterministic scenario cold "
+            "and writes its scan winners into the persistent scan tier; "
+            "`warm` replays the same scenario with a cache warm-started "
+            "from the tier and reports the first-pass hit rate.  "
+            "Everything here regenerates on demand, so clearing is "
+            "always safe."
         ),
     )
     p_cache.add_argument(
         "action",
-        choices=("stats", "clear"),
-        help="report disk usage, or delete cached files",
+        choices=("stats", "clear", "warm", "spill"),
+        help="report disk usage, delete cached files, or exercise the "
+        "persistent scan tier",
     )
     p_cache.add_argument(
         "--cache-dir",
@@ -776,6 +853,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--orphans",
         action="store_true",
         help="with `clear`: delete only orphaned debris, keep valid entries",
+    )
+    p_cache.add_argument(
+        "--fleet",
+        default="dgx1-v100:3,dgx2:1",
+        help="with `warm`/`spill`: fleet spec, topo[:count],… "
+        "(see `mapa topos`)",
+    )
+    p_cache.add_argument(
+        "--jobs",
+        type=int,
+        default=500,
+        help="with `warm`/`spill`: jobs in the replayed scenario",
+    )
+    p_cache.add_argument(
+        "--seed",
+        type=int,
+        default=2021,
+        help="with `warm`/`spill`: scenario seed",
+    )
+    p_cache.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="with `warm`/`spill`: GPU-selection policy",
     )
     p_cache.set_defaults(func=_cmd_cache)
 

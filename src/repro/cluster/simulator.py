@@ -48,7 +48,13 @@ class MultiServerSimulator:
         scheduling: str = "fifo",
         engine: str = "cached",
         scan_cache=None,
+        core: str = "columnar",
+        scan_spill=None,
     ) -> None:
+        if core not in ("columnar", "object"):
+            raise ValueError(
+                f"core must be 'columnar' or 'object', got {core!r}"
+            )
         self.scheduler = MultiServerScheduler(
             servers,
             gpu_policy=gpu_policy,
@@ -56,6 +62,12 @@ class MultiServerSimulator:
             model=model,
             engine=engine,
             scan_cache=scan_cache,
+            # The object core reproduces the historical replay loop end
+            # to end: the combined annotation memo it ran with, the
+            # bucket-merge candidate walk, the dirty-set drain.
+            annotate_memo="split" if core == "columnar" else "combined",
+            scan_spill=scan_spill,
+            fast_paths=(core == "columnar"),
         )
         self.scheduling = scheduling
         self.core = SimulationCore(
@@ -64,6 +76,7 @@ class MultiServerSimulator:
             log=SimulationLog(
                 f"{gpu_policy}/{node_policy}", f"cluster[{len(servers)}]"
             ),
+            columnar=(core == "columnar"),
         )
 
     def run(self, job_file: JobFile) -> SimulationLog:
@@ -134,6 +147,8 @@ def run_cluster(
     scheduling: str = "fifo",
     engine: str = "cached",
     scan_cache=None,
+    core: str = "columnar",
+    scan_spill=None,
 ) -> MultiServerSimulator:
     """Simulate a trace on a cluster; returns the simulator (log inside).
 
@@ -144,7 +159,14 @@ def run_cluster(
     ``scan_cache`` optionally supplies the cached engine's backing
     store, letting a caller keep it warm across repeated replays of
     the same fleet (cache keys are content-addressed, so reuse can
-    only ever change speed, not results).
+    only ever change speed, not results).  ``core`` selects the
+    simulation core: ``"columnar"`` (default, the struct-of-arrays hot
+    path) or ``"object"`` (the historical object-per-event loop, kept
+    as the bit-identical baseline the fleet benchmark's columnar gate
+    measures against).  ``scan_spill`` optionally attaches a persistent
+    scan-cache tier (:class:`repro.experiments.spill.ScanSpillStore`):
+    the shared cache is warm-started from it at construction, and
+    ``sim.scheduler.spill_scan_cache()`` writes it back.
     """
     sim = MultiServerSimulator(
         servers,
@@ -154,6 +176,8 @@ def run_cluster(
         scheduling,
         engine=engine,
         scan_cache=scan_cache,
+        core=core,
+        scan_spill=scan_spill,
     )
     sim.run(job_file)
     return sim

@@ -18,11 +18,12 @@ cache sound.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +35,13 @@ from ..sim.cluster import ClusterSimulator
 from ..sim.records import SimulationLog
 from ..topology.builders import by_name
 from .spec import CellConfig, ExperimentSpec
+from .spill import ScanSpillStore
 from .store import CellResult, ResultStore
+
+#: Environment variable naming the persistent scan-tier root.  Worker
+#: processes read it (the executor's fork/spawn children inherit the
+#: parent environment), so one variable warm-starts every shard.
+SCAN_SPILL_ENV = "MAPA_SCAN_SPILL_DIR"
 
 
 @lru_cache(maxsize=64)
@@ -60,19 +67,68 @@ def _worker_scan_cache() -> ScanCache:
     return ScanCache()
 
 
+@lru_cache(maxsize=1)
+def _worker_scan_spill() -> Optional[ScanSpillStore]:
+    """This worker's persistent scan tier, or ``None`` when disabled.
+
+    Controlled by the :data:`SCAN_SPILL_ENV` environment variable so
+    the setting crosses the process-pool boundary without touching the
+    picklable :func:`simulate_cell` signature.
+    """
+    root = os.environ.get(SCAN_SPILL_ENV)
+    return ScanSpillStore(root) if root else None
+
+
+#: Topology hashes already rehydrated into this process's scan cache —
+#: loading is idempotent (seeding skips live keys) but not free, so
+#: each worker pays the disk walk once per wiring, not once per cell.
+_spill_loaded: Set[str] = set()
+
+
+def _reset_spill_state() -> None:
+    """Forget the memoized spill store and load markers (test hook,
+    and the runner's guard when the tier directory changes mid-process)."""
+    _worker_scan_spill.cache_clear()
+    _spill_loaded.clear()
+
+
+def _warmed_scan_cache(hardware) -> ScanCache:
+    """The worker's shared scan cache, spill-warmed for ``hardware``."""
+    cache = _worker_scan_cache()
+    spill = _worker_scan_spill()
+    if spill is not None:
+        topology_hash = hardware.topology_hash
+        if topology_hash not in _spill_loaded:
+            _spill_loaded.add(topology_hash)
+            spill.load(cache, [topology_hash])
+    return cache
+
+
 def simulate_cell(cell: CellConfig) -> CellResult:
-    """Simulate one grid cell from scratch (pure function of the config)."""
+    """Simulate one grid cell from scratch (pure function of the config).
+
+    When the persistent scan tier is enabled (:data:`SCAN_SPILL_ENV`),
+    the worker's scan cache is warm-started from the spilled partitions
+    of this cell's wiring before simulating, and the cache's winners
+    are spilled back afterwards — cold worker processes then start with
+    the accumulated scan knowledge of every previous sweep.  Spilled
+    winners are exact (content-addressed keys, bit-identical rebuilds),
+    so cell outputs are unchanged either way.
+    """
     hardware = by_name(cell.topology)
     if cell.model == "paper":
         model = PAPER_MODEL
     else:
         model = _refit_model(cell.topology, cell.fit_sizes)
     trace = cell.trace.build()
-    policy = make_policy(cell.policy, model, cache=_worker_scan_cache())
+    policy = make_policy(cell.policy, model, cache=_warmed_scan_cache(hardware))
     simulator = ClusterSimulator(
         hardware, policy, model, scheduling=cell.discipline
     )
     log = simulator.run(trace)
+    spill = _worker_scan_spill()
+    if spill is not None:
+        spill.spill(_worker_scan_cache())
     return CellResult(
         config_hash=cell.config_hash(), label=cell.label, log=log
     )
@@ -194,15 +250,25 @@ class SweepRunner:
         serially in-process — no executor, no pickling, easiest to
         debug.  Cells are independent simulations, so speedup is
         near-linear until topology refits dominate.
+    scan_spill:
+        Root directory of the persistent scan tier.  When set, workers
+        warm-start their per-process scan caches from the spilled
+        partitions and spill fresh winners back after each simulated
+        cell; passed to workers through :data:`SCAN_SPILL_ENV`.
+        ``None`` (the default) leaves the tier disabled.
     """
 
     def __init__(
-        self, store: Optional[ResultStore] = None, jobs: int = 1
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        scan_spill: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be ≥ 1")
         self.store = store
         self.jobs = jobs
+        self.scan_spill = scan_spill
 
     # ------------------------------------------------------------------ #
     def run(
@@ -257,6 +323,24 @@ class SweepRunner:
         """Simulate cache-miss cells, serially or across worker processes."""
         if not cells:
             return []
+        if self.scan_spill is None:
+            return self._simulate_cells(cells)
+        # Publish the tier root through the environment so executor
+        # children inherit it, and reset the in-process memos so the
+        # serial path honours a changed directory too.
+        previous = os.environ.get(SCAN_SPILL_ENV)
+        os.environ[SCAN_SPILL_ENV] = self.scan_spill
+        _reset_spill_state()
+        try:
+            return self._simulate_cells(cells)
+        finally:
+            if previous is None:
+                os.environ.pop(SCAN_SPILL_ENV, None)
+            else:
+                os.environ[SCAN_SPILL_ENV] = previous
+            _reset_spill_state()
+
+    def _simulate_cells(self, cells: Sequence[CellConfig]) -> List[CellResult]:
         if self.jobs == 1 or len(cells) == 1:
             return [simulate_cell(cell) for cell in cells]
         workers = min(self.jobs, len(cells))
@@ -268,6 +352,7 @@ def run_experiment(
     spec: ExperimentSpec,
     jobs: int = 1,
     store: Optional[ResultStore] = None,
+    scan_spill: Optional[str] = None,
 ) -> SweepOutcome:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(store=store, jobs=jobs).run(spec)
+    return SweepRunner(store=store, jobs=jobs, scan_spill=scan_spill).run(spec)

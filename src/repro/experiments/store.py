@@ -78,21 +78,31 @@ class CellResult:
 class StoreStats:
     """Disk-usage summary of one :class:`ResultStore` (``mapa cache stats``).
 
-    ``orphans`` counts files under the cache root that are not valid
-    entries — leftover temp files from interrupted pre-atomic-write
-    runs, misplaced hashes (entry not in its own two-character fan-out
-    directory), or stray non-JSON files.
+    Two tiers share the cache root: sweep-cell *entries* directly under
+    it, and spilled scan-cache partitions (*scan entries*) under the
+    ``scan/`` subtree (see :mod:`repro.experiments.spill`).  ``orphans``
+    counts files in neither tier — leftover temp files from interrupted
+    pre-atomic-write runs, misplaced hashes (entry not in its own
+    two-character fan-out directory), or stray non-JSON files, in
+    either subtree.
     """
 
     entries: int
     total_bytes: int
     orphans: int
     orphan_bytes: int
+    scan_entries: int = 0
+    scan_bytes: int = 0
 
     @property
     def total_mib(self) -> float:
-        """Entry payload size in MiB."""
+        """Cell-entry payload size in MiB."""
         return self.total_bytes / (1024 * 1024)
+
+    @property
+    def scan_mib(self) -> float:
+        """Spilled scan-partition payload size in MiB."""
+        return self.scan_bytes / (1024 * 1024)
 
 
 class ResultStore:
@@ -141,46 +151,71 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # maintenance (the ``mapa cache`` subcommand)
     # ------------------------------------------------------------------ #
-    def _walk(self) -> Iterator[Tuple[str, bool]]:
-        """Yield ``(path, is_entry)`` for every file under the root.
+    #: Subtree of the root holding the spilled scan-cache tier
+    #: (mirrors :data:`repro.experiments.spill.SCAN_SUBDIR`; duplicated
+    #: here so the store never imports the spill module).
+    SCAN_SUBDIR = "scan"
 
-        A file is a valid *entry* iff it sits in its own two-character
-        fan-out directory and is named ``<config_hash>.json`` with the
-        directory as the hash prefix; everything else (stray temp
-        files, misplaced hashes, non-JSON debris) is an orphan.
+    def _walk(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(path, kind)`` for every file under the root.
+
+        ``kind`` is ``"entry"`` (a sweep-cell result in its own
+        two-character fan-out directory, named ``<config_hash>.json``
+        with the directory as the hash prefix), ``"scan"`` (a spilled
+        scan-cache partition obeying the same discipline under the
+        ``scan/`` subtree), or ``"orphan"`` — stray temp files,
+        misplaced hashes, non-JSON debris, in either subtree.
         """
         if not os.path.isdir(self.root):
             return
         for dirpath, _, filenames in os.walk(self.root):
             rel = os.path.relpath(dirpath, self.root)
+            parts = rel.split(os.sep)
+            scan_tier = parts[0] == self.SCAN_SUBDIR
+            fanout = parts[1] if scan_tier and len(parts) == 2 else (
+                rel if not scan_tier and len(parts) == 1 else None
+            )
             for name in filenames:
                 path = os.path.join(dirpath, name)
                 stem, ext = os.path.splitext(name)
-                is_entry = (
+                valid = (
                     ext == ".json"
-                    and rel != os.curdir
-                    and os.sep not in rel
-                    and len(rel) == 2
-                    and stem[:2] == rel
+                    and fanout is not None
+                    and fanout != os.curdir
+                    and len(fanout) == 2
+                    and stem[:2] == fanout
                     and len(stem) > 2
                 )
-                yield path, is_entry
+                if not valid:
+                    yield path, "orphan"
+                elif scan_tier:
+                    yield path, "scan"
+                else:
+                    yield path, "entry"
 
     def entry_paths(self) -> List[str]:
-        """Paths of every valid entry currently on disk (sorted)."""
-        return sorted(path for path, is_entry in self._walk() if is_entry)
+        """Paths of every valid cell entry currently on disk (sorted)."""
+        return sorted(path for path, kind in self._walk() if kind == "entry")
+
+    def scan_entry_paths(self) -> List[str]:
+        """Paths of every spilled scan partition on disk (sorted)."""
+        return sorted(path for path, kind in self._walk() if kind == "scan")
 
     def disk_stats(self) -> StoreStats:
-        """Entry/orphan counts and byte totals for ``mapa cache stats``."""
+        """Per-tier counts and byte totals for ``mapa cache stats``."""
         entries = total = orphans = orphan_bytes = 0
-        for path, is_entry in self._walk():
+        scan_entries = scan_bytes = 0
+        for path, kind in self._walk():
             try:
                 size = os.path.getsize(path)
             except OSError:  # pragma: no cover - racing deletion
                 continue
-            if is_entry:
+            if kind == "entry":
                 entries += 1
                 total += size
+            elif kind == "scan":
+                scan_entries += 1
+                scan_bytes += size
             else:
                 orphans += 1
                 orphan_bytes += size
@@ -189,19 +224,23 @@ class ResultStore:
             total_bytes=total,
             orphans=orphans,
             orphan_bytes=orphan_bytes,
+            scan_entries=scan_entries,
+            scan_bytes=scan_bytes,
         )
 
     def clear(self, orphans_only: bool = False) -> Tuple[int, int]:
         """Delete cached files; returns ``(files_removed, bytes_removed)``.
 
-        ``orphans_only=True`` removes just the invalid debris (the
-        cheap, always-safe cleanup); otherwise every entry goes too.
+        ``orphans_only=True`` removes just the invalid debris — in both
+        tiers, so interrupted spills are cleaned up too, while valid
+        spilled scan partitions are recognised and kept (the cheap,
+        always-safe cleanup).  Otherwise every entry of both tiers goes.
         Empty fan-out directories are pruned either way.  Results can
         always be regenerated — the store is a cache, not a record.
         """
         removed = freed = 0
-        for path, is_entry in self._walk():
-            if orphans_only and is_entry:
+        for path, kind in self._walk():
+            if orphans_only and kind != "orphan":
                 continue
             try:
                 size = os.path.getsize(path)
@@ -210,9 +249,12 @@ class ResultStore:
                 continue
             removed += 1
             freed += size
-        if os.path.isdir(self.root):
-            for name in sorted(os.listdir(self.root)):
-                sub = os.path.join(self.root, name)
+        scan_root = os.path.join(self.root, self.SCAN_SUBDIR)
+        for base in (scan_root, self.root):
+            if not os.path.isdir(base):
+                continue
+            for name in sorted(os.listdir(base)):
+                sub = os.path.join(base, name)
                 if os.path.isdir(sub) and not os.listdir(sub):
                     os.rmdir(sub)
         return removed, freed

@@ -33,10 +33,17 @@ class AllocationRequest:
     bandwidth_sensitive: bool = True
     job_id: Optional[Hashable] = None
 
+    def __post_init__(self) -> None:
+        # Cached: a fleet replay probes num_gpus on every placement
+        # attempt and candidate-server pass, so one attribute read
+        # beats chasing pattern.num_gpus each time.  Not a field —
+        # eq/hash/repr are unaffected.
+        object.__setattr__(self, "_num_gpus", self.pattern.num_gpus)
+
     @property
     def num_gpus(self) -> int:
         """GPUs the pattern needs."""
-        return self.pattern.num_gpus
+        return self._num_gpus
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,22 @@ class Allocation:
     def __post_init__(self) -> None:
         """Freeze ``scores`` behind a read-only mapping view."""
         object.__setattr__(self, "scores", MappingProxyType(dict(self.scores)))
+
+    def rebind(self, job_id: Optional[Hashable]) -> "Allocation":
+        """A copy of this allocation committed under ``job_id``.
+
+        Shares the existing read-only ``scores`` view instead of
+        re-copying the dict through ``__post_init__`` — the memoised
+        decision paths re-commit identical winners thousands of times
+        per replay, and every field of the clone is as immutable as the
+        original's.
+        """
+        clone = object.__new__(Allocation)
+        object.__setattr__(clone, "gpus", self.gpus)
+        object.__setattr__(clone, "match", self.match)
+        object.__setattr__(clone, "scores", self.scores)
+        object.__setattr__(clone, "job_id", job_id)
+        return clone
 
     @property
     def num_gpus(self) -> int:

@@ -423,6 +423,14 @@ class CachedScan:
             if scan is None:
                 return None
             entry = self.cache.insert(key, scan)
+        elif entry.value is None:
+            # Spill-rehydrated entry: it carries winners but not the
+            # dense scan.  Install (or refresh) the lazy rebuild from
+            # *this* request's inputs — the key pins the exact free
+            # set, so the rebuild is bit-identical to the spilled scan
+            # — and it fires only if a novel objective token asks.
+            snapshot = tuple(available)
+            entry.loader = lambda: batch_scan(pattern, hardware, snapshot)
         return entry
 
 

@@ -116,11 +116,35 @@ class CacheEntry:
     but also the selection pass.  Tokens must capture everything the
     selection depends on beyond the scan itself (model coefficients,
     objective name); the policies construct them accordingly.
+
+    Entries rehydrated from the persistent spill tier carry their
+    winners but **not** the dense scan (``value is None`` — the arrays
+    are large and cheap to rebuild, the winners are what replays
+    actually consume).  ``loader`` is the deferred rebuild: the cached
+    front-end installs it from the live request's inputs, and
+    :meth:`materialize` invokes it only when a *novel* objective token
+    needs the scan.  Because the entry's key pins the exact
+    (wiring, pattern, free set), the rebuilt scan is bit-identical to
+    the one that was spilled.
     """
 
     key: ScanKey
     value: Any
     winners: Dict[Hashable, Any] = field(default_factory=dict)
+    loader: Optional[Callable[[], Any]] = None
+
+    def materialize(self) -> Any:
+        """The scan value, rebuilding a spill-rehydrated entry on demand."""
+        if self.value is None and self.loader is not None:
+            self.value = self.loader()
+            self.loader = None
+        if self.value is None:
+            raise RuntimeError(
+                f"cache entry {self.key!r} has no value and no loader; "
+                "spill-rehydrated entries must be consumed through the "
+                "cached scan front-end, which installs the rebuild hook"
+            )
+        return self.value
 
     def winner(self, token: Hashable, compute: Callable[[Any], Any]) -> Any:
         """The memoized winner for ``token``, computing it on first use.
@@ -128,11 +152,14 @@ class CacheEntry:
         ``compute`` receives the cached scan and must be a pure
         function of it (plus whatever ``token`` encodes) — the result
         is reused verbatim for every later request with the same token.
+        A spill-rehydrated entry serves its stored winners without ever
+        touching the scan; the lazy rebuild fires only here, on the
+        first novel token.
         """
         try:
             return self.winners[token]
         except KeyError:
-            value = self.winners[token] = compute(self.value)
+            value = self.winners[token] = compute(self.materialize())
             return value
 
 
@@ -161,6 +188,15 @@ class ScanCache:
         # gpu -> bit-position masks, one mapping per distinct hardware
         # graph (equal graphs share: HardwareGraph hashes by wiring).
         self._bit_masks: Dict[HardwareGraph, Mapping[int, int]] = {}
+        # Side-car for content-addressed derivatives computed by higher
+        # layers (e.g. the multi-server scheduler's first-fit decision
+        # memo, namespaced by policy/model fingerprint).  Sharing a
+        # cache across replays shares these too — that is the point:
+        # the cache object is the one thing callers already thread
+        # through repeated replays of the same fleet.  Values must be
+        # pure functions of their (content-addressed) keys; the cache
+        # never interprets them.
+        self.aux: Dict[Hashable, Any] = {}
 
     # ------------------------------------------------------------------ #
     # key construction
@@ -228,6 +264,33 @@ class ScanCache:
                 self.stats.evictions += 1
         return entry
 
+    def seed(
+        self, key: ScanKey, winners: Mapping[Hashable, Any]
+    ) -> Optional[CacheEntry]:
+        """Install a spill-rehydrated entry without touching the stats.
+
+        Used by the persistent tier when warm-starting a cache from
+        disk: the entry arrives with its winners but no scan value (the
+        cached front-end installs the lazy rebuild on first use), and
+        seeding is bookkeeping, not traffic — lookups/hits/misses stay
+        untouched so a warmed replay's *own* hit rate is what the stats
+        report.  Seeding never displaces live entries: once the cache
+        is full, further seeds are dropped (returns ``None``) rather
+        than evicting — disk is allowed to be bigger than memory.
+        An existing entry under ``key`` is left untouched.
+        """
+        if key in self._entries:
+            return self._entries[key]
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            return None
+        entry = CacheEntry(key=key, value=None, winners=dict(winners))
+        self._entries[key] = entry
+        return entry
+
+    def entries(self) -> Tuple[CacheEntry, ...]:
+        """Every live entry, least recently used first (for spilling)."""
+        return tuple(self._entries.values())
+
     def invalidate(self, key: ScanKey) -> bool:
         """Drop one entry; returns whether it existed.
 
@@ -238,8 +301,9 @@ class ScanCache:
         return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        """Drop every entry (stats are preserved)."""
+        """Drop every entry and the aux side-car (stats are preserved)."""
         self._entries.clear()
+        self.aux.clear()
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

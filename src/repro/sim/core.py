@@ -26,6 +26,20 @@ discipline again.  Per-job records carry the allocation, AggBW, the
 Eq. 2 *predicted* effective bandwidth and the microbenchmark *measured*
 effective bandwidth — the columns behind the validation scatter of
 Fig. 15.
+
+Two execution modes share the loop.  The default **columnar** mode is
+the struct-of-arrays hot path: arrivals are bulk-scheduled into the
+columnar :class:`~repro.sim.engine.EventEngine` (one vectorised sort
+instead of N heap pushes), allocation requests are built once per job,
+running jobs are plain field tuples, and completions append straight
+into the :class:`~repro.sim.records.SimulationLog` column buffers —
+no :class:`JobRecord` / :class:`PlacementRecord` objects exist unless
+someone asks for them (``placements`` materialises lazily).  The
+**object** mode (``columnar=False``) preserves the historical
+object-per-event path — `heapq` entries, eager dataclass records —
+bit-identical by construction; the property tests replay random traces
+through both and compare serialisations, and the fleet benchmark uses
+it as the in-run baseline for the columnar speedup gate.
 """
 
 from __future__ import annotations
@@ -49,8 +63,8 @@ from ..policies.base import Allocation, AllocationRequest
 from ..topology.hardware import HardwareGraph
 from ..workloads.exectime import execution_time
 from ..workloads.jobs import Job, JobFile
-from .disciplines import QueueDiscipline
-from .engine import EventEngine
+from .disciplines import FifoDiscipline, QueueDiscipline
+from .engine import EventEngine, HeapEventEngine
 from .records import JobRecord, SimulationLog
 
 _ARRIVAL = "arrival"
@@ -147,6 +161,16 @@ class SingleServerBackend:
         """One-element tuple: free GPUs on the single server."""
         return (self.mapa.state.num_free,)
 
+    def max_free_count(self) -> int:
+        """Largest per-server free-GPU count (optional backend hook).
+
+        The columnar FIFO loop uses it as an O(1) infeasibility bound:
+        a head job requesting more GPUs than any server has free cannot
+        be placed, so its post-completion retry is skipped without
+        entering the placement path at all.
+        """
+        return self.mapa.state.num_free
+
     def hardware_for(self, server_index: int) -> HardwareGraph:
         """The server's hardware graph (``server_index`` is always 0)."""
         return self.mapa.hardware
@@ -193,6 +217,13 @@ class SimulationCore:
     log:
         The :class:`~repro.sim.records.SimulationLog` completed jobs are
         appended to (in completion order, as the paper's logger does).
+    columnar:
+        ``True`` (default) runs the struct-of-arrays hot path —
+        columnar event engine, field-tuple bookkeeping, column-buffer
+        log appends.  ``False`` runs the historical object-per-event
+        path (heap entries, eager dataclass records), kept as the
+        bit-identical reference the property tests and the fleet
+        benchmark's columnar speedup gate replay against.
     """
 
     def __init__(
@@ -200,15 +231,36 @@ class SimulationCore:
         backend: PlacementBackend,
         discipline: QueueDiscipline,
         log: SimulationLog,
+        columnar: bool = True,
     ) -> None:
         self.backend = backend
         self.discipline = discipline
         self.log = log
-        self.engine = EventEngine()
+        self.columnar = columnar
+        self.engine = EventEngine() if columnar else HeapEventEngine()
+        # Pre-interned completion kind: the fused start path schedules
+        # one completion per started job and skips re-interning the
+        # string (and the no-op negative-delay check) each time.
+        self._completion_code = (
+            self.engine.intern_kind(_COMPLETION) if columnar else -1
+        )
         self.queue: Deque[Job] = deque()
-        self.placements: List[PlacementRecord] = []
-        self._running: Dict[Hashable, PlacementRecord] = {}
         self._estimates: Dict[Hashable, float] = {}
+        # Columnar mode: running jobs and completed placements are
+        # plain field tuples in _ROW order; PlacementRecord objects are
+        # materialised lazily through the `placements` property.
+        # Object mode: both hold PlacementRecord instances eagerly, as
+        # the pre-columnar core always did.
+        self._running: Dict[Hashable, object] = {}
+        self._placements: List[object] = []
+        self._placements_cache: Optional[List[PlacementRecord]] = None
+        # Execution-time memo (columnar only): execution_time is a pure
+        # function of (catalogued workload, GPU count, measured BW) —
+        # workload_spec() is a registry lookup by name — and a steady-
+        # state fleet hands out the same few hundred placements over and
+        # over.  Cached floats are the exact floats the uncached call
+        # returns, so records stay bit-identical.
+        self._exec_cache: Dict[Tuple[str, int, float], float] = {}
         # Measured-bandwidth memo: the simulated NCCL microbenchmark is
         # a pure function of (wiring, GPU subset), and fleet replays
         # hand out the same subsets over and over.  Keyed by the
@@ -236,25 +288,87 @@ class SimulationCore:
     def run(self, job_file: JobFile) -> SimulationLog:
         """Simulate the whole trace and return the log."""
         self._scan_baseline = self._scan_counters()
-        for job in job_file:
-            if not self.backend.can_ever_fit(job.request()):
-                raise ValueError(
-                    f"job {job.job_id} requests {job.num_gpus} GPUs; "
-                    "no server can ever host it"
-                )
-            self.engine.schedule(job.submit_time, _ARRIVAL, job)
-        while True:
-            event = self.engine.pop()
-            if event is None:
-                break
-            _, kind, payload = event
-            if kind == _ARRIVAL:
-                self.queue.append(payload)
-            elif kind == _COMPLETION:
-                self._complete(payload)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
-            self.discipline.schedule(self)
+        if self.columnar:
+            jobs = list(job_file)
+            times = []
+            for job in jobs:
+                request = self._request(job)
+                if not self.backend.can_ever_fit(request):
+                    raise ValueError(
+                        f"job {job.job_id} requests {job.num_gpus} GPUs; "
+                        "no server can ever host it"
+                    )
+                times.append(job.submit_time)
+            self.engine.schedule_many(times, _ARRIVAL, jobs)
+        else:
+            for job in job_file:
+                if not self.backend.can_ever_fit(job.request()):
+                    raise ValueError(
+                        f"job {job.job_id} requests {job.num_gpus} GPUs; "
+                        "no server can ever host it"
+                    )
+                self.engine.schedule(job.submit_time, _ARRIVAL, job)
+        queue = self.queue
+        engine_pop = self.engine.pop
+        complete = self._complete
+        if self.columnar and type(self.discipline) is FifoDiscipline:
+            # Inlined FIFO dispatch (exactly FifoDiscipline.schedule):
+            # no per-event strategy call, and an arrival that joins a
+            # non-empty queue skips scheduling outright — the head
+            # already failed in the current release epoch (nothing has
+            # been released since, so its retry would be answered by
+            # the futile-epoch memo anyway) and FIFO starts no one
+            # behind a blocked head.
+            try_start = self.try_start
+            popleft = queue.popleft
+            # Optional backend hook: the largest per-server free count,
+            # O(1).  A head job asking for more GPUs than that cannot
+            # be placed anywhere, so the retry fired after every
+            # completion on a saturated fleet — almost always doomed —
+            # is answered by one integer compare instead of a full trip
+            # through the placement path.  Skipping try_start also
+            # skips its futile-epoch bookkeeping, which is sound: the
+            # memo only short-circuits placement attempts this guard
+            # rejects even earlier.
+            max_free_count = getattr(self.backend, "max_free_count", None)
+            while True:
+                event = engine_pop()
+                if event is None:
+                    break
+                _, kind, payload = event
+                if kind == _ARRIVAL:
+                    queue.append(payload)
+                    if len(queue) > 1:
+                        continue
+                elif kind == _COMPLETION:
+                    complete(payload)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {kind!r}")
+                if max_free_count is None:
+                    while queue and try_start(queue[0]):
+                        popleft()
+                else:
+                    while queue:
+                        head = queue[0]
+                        if head.num_gpus > max_free_count():
+                            break
+                        if not try_start(head):
+                            break
+                        popleft()
+        else:
+            while True:
+                event = engine_pop()
+                if event is None:
+                    break
+                _, kind, payload = event
+                if kind == _ARRIVAL:
+                    queue.append(payload)
+                elif kind == _COMPLETION:
+                    complete(payload)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {kind!r}")
+                self.discipline.schedule(self)
+                queue = self.queue  # disciplines may rebind the deque
         if self.queue:  # pragma: no cover - defensive
             raise RuntimeError("simulation ended with jobs still queued")
         self.log.cache_stats = self.cache_stats()
@@ -264,9 +378,13 @@ class SimulationCore:
         """Handle one completion: free GPUs, move the record to the log."""
         self.backend.release(job_id)
         self._release_epoch += 1
-        placement_record = self._running.pop(job_id)
-        self.placements.append(placement_record)
-        self.log.append(placement_record.record)
+        entry = self._running.pop(job_id)
+        self._placements.append(entry)
+        if self.columnar:
+            self._placements_cache = None
+            self.log.append_fields(*entry[1:])
+        else:
+            self.log.append(entry.record)
 
     # ------------------------------------------------------------------ #
     # discipline toolkit
@@ -275,6 +393,23 @@ class SimulationCore:
     def now(self) -> float:
         """Current simulated time (seconds since trace start)."""
         return self.engine.now
+
+    def _request(self, job: Job) -> AllocationRequest:
+        """The job's allocation request (memoized in columnar mode).
+
+        The request is pinned on the (frozen, shared) ``Job`` object
+        itself: a pure derivative of immutable fields, so replays of
+        the same trace — even through different cores — reuse one
+        request and one pattern object per job instead of rebuilding
+        the application graph every run.
+        """
+        if not self.columnar:
+            return job.request()
+        request = getattr(job, "_request_cache", None)
+        if request is None:
+            request = job.request()
+            object.__setattr__(job, "_request_cache", request)
+        return request
 
     def place(self, job: Job) -> Optional[PlacedJob]:
         """Commit a placement for ``job`` and evaluate its runtime.
@@ -293,7 +428,7 @@ class SimulationCore:
         """
         if self._futile.get(job.job_id) == self._release_epoch:
             return None
-        placement = self.backend.try_place(job.request())
+        placement = self.backend.try_place(self._request(job))
         if placement is None:
             self._futile[job.job_id] = self._release_epoch
             return None
@@ -367,11 +502,40 @@ class SimulationCore:
             )
         return stats
 
-    def commit(self, placed: PlacedJob) -> JobRecord:
-        """Start a placed job: build its record, schedule its completion."""
+    def commit(self, placed: PlacedJob) -> Optional[JobRecord]:
+        """Start a placed job: record it, schedule its completion.
+
+        Object mode returns the job's eagerly built :class:`JobRecord`.
+        Columnar mode books the same fields as a plain tuple and
+        returns ``None`` — the record is materialised only if the log's
+        ``records`` (or this core's ``placements``) is read later.  No
+        caller in the repository consumes the return value; it exists
+        for external drivers, which see it once the run completes.
+        """
         job = placed.job
         now = self.engine.now
         scores = placed.placement.allocation.scores
+        exec_time = placed.exec_time
+        if self.columnar:
+            # _ROW order: (server_index, *JobRecord fields) — _complete
+            # splats [1:] straight into SimulationLog.append_fields.
+            self._running[job.job_id] = (
+                placed.placement.server_index,
+                job.job_id,
+                job.workload,
+                job.num_gpus,
+                job.pattern,
+                job.bandwidth_sensitive,
+                job.submit_time,
+                now,
+                now + exec_time,
+                placed.placement.gpus,
+                scores.get("agg_bw", 0.0),
+                scores.get("effective_bw", 0.0),
+                placed.measured_bw,
+            )
+            self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
+            return None
         record = JobRecord(
             job_id=job.job_id,
             workload=job.workload,
@@ -380,7 +544,7 @@ class SimulationCore:
             bandwidth_sensitive=job.bandwidth_sensitive,
             submit_time=job.submit_time,
             start_time=now,
-            finish_time=now + placed.exec_time,
+            finish_time=now + exec_time,
             allocation=placed.placement.gpus,
             agg_bw=scores.get("agg_bw", 0.0),
             predicted_effective_bw=scores.get("effective_bw", 0.0),
@@ -389,7 +553,7 @@ class SimulationCore:
         self._running[job.job_id] = PlacementRecord(
             record=record, server_index=placed.placement.server_index
         )
-        self.engine.schedule_after(placed.exec_time, _COMPLETION, job.job_id)
+        self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
         return record
 
     def abort(self, placed: PlacedJob) -> None:
@@ -398,11 +562,65 @@ class SimulationCore:
         self._release_epoch += 1
 
     def try_start(self, job: Job) -> bool:
-        """Place and immediately start ``job`` (the common case)."""
-        placed = self.place(job)
-        if placed is None:
+        """Place and immediately start ``job`` (the common case).
+
+        Columnar mode fuses :meth:`place` and :meth:`commit` — same
+        arithmetic, same futile-epoch memoisation, but no intermediate
+        :class:`PlacedJob` and an execution-time memo on top of the
+        measured-bandwidth one (``execution_time`` is pure in the
+        catalogued workload name, the GPU count and the measured BW).
+        Disciplines that need to *hold* a placement before starting it
+        (EASY's speculative reservations) still use place/commit/abort.
+        """
+        if not self.columnar:
+            placed = self.place(job)
+            if placed is None:
+                return False
+            self.commit(placed)
+            return True
+        job_id = job.job_id
+        if self._futile.get(job_id) == self._release_epoch:
             return False
-        self.commit(placed)
+        placement = self.backend.try_place(self._request(job))
+        if placement is None:
+            self._futile[job_id] = self._release_epoch
+            return False
+        self._futile.pop(job_id, None)
+        gpus = placement.gpus
+        n = len(gpus)
+        if n == 1:
+            measured = 0.0
+        else:
+            measured = self._measured_bw(
+                self.backend.hardware_for(placement.server_index), gpus
+            )
+        key = (job.workload, n, measured)
+        exec_time = self._exec_cache.get(key)
+        if exec_time is None:
+            exec_time = execution_time(
+                job.workload_spec(), n, measured if n > 1 else float("inf")
+            )
+            self._exec_cache[key] = exec_time
+        now = self.engine.now
+        scores = placement.allocation.scores
+        self._running[job_id] = (
+            placement.server_index,
+            job_id,
+            job.workload,
+            job.num_gpus,
+            job.pattern,
+            job.bandwidth_sensitive,
+            job.submit_time,
+            now,
+            now + exec_time,
+            gpus,
+            scores.get("agg_bw", 0.0),
+            scores.get("effective_bw", 0.0),
+            measured,
+        )
+        self.engine.schedule_after_coded(
+            exec_time, self._completion_code, job_id
+        )
         return True
 
     def runtime_estimate(self, job: Job) -> float:
@@ -428,10 +646,15 @@ class SimulationCore:
         capacities = [
             self.backend.hardware_for(i).num_gpus for i in range(len(frees))
         ]
-        completions = sorted(
-            (pr.record.finish_time, pr.server_index, pr.record.num_gpus)
-            for pr in self._running.values()
-        )
+        if self.columnar:
+            completions = sorted(
+                (row[8], row[0], row[3]) for row in self._running.values()
+            )
+        else:
+            completions = sorted(
+                (pr.record.finish_time, pr.server_index, pr.record.num_gpus)
+                for pr in self._running.values()
+            )
         for finish_time, server, freed in completions:
             frees[server] += freed
             if capacities[server] >= num_gpus and frees[server] >= num_gpus:
@@ -439,11 +662,34 @@ class SimulationCore:
         return float("inf")
 
     # ------------------------------------------------------------------ #
+    @property
+    def placements(self) -> List[PlacementRecord]:
+        """Completed jobs with their hosting server, in completion order.
+
+        Columnar mode materialises the :class:`PlacementRecord` objects
+        lazily from the booked field tuples (cached until the next
+        completion); object mode returns the eagerly built list.
+        """
+        if not self.columnar:
+            return self._placements
+        if self._placements_cache is None:
+            self._placements_cache = [
+                PlacementRecord(
+                    record=JobRecord(*row[1:]), server_index=row[0]
+                )
+                for row in self._placements
+            ]
+        return self._placements_cache
+
     def jobs_per_server(self) -> Dict[int, int]:
         """How many completed jobs each server hosted."""
         counts: Dict[int, int] = {
             i: 0 for i in range(len(self.backend.free_gpu_counts()))
         }
-        for pr in self.placements:
-            counts[pr.server_index] += 1
+        if self.columnar:
+            for row in self._placements:
+                counts[row[0]] += 1
+        else:
+            for pr in self._placements:
+                counts[pr.server_index] += 1
         return counts

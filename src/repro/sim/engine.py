@@ -1,8 +1,30 @@
 """Event-driven execution engine.
 
-A minimal discrete-event core: a time-ordered heap of events with stable
-FIFO tie-breaking.  The cluster simulator drives it with job-arrival and
-job-completion events; the engine knows nothing about GPUs.
+A minimal discrete-event core: a time-ordered queue of events with
+stable FIFO tie-breaking.  The cluster simulator drives it with
+job-arrival and job-completion events; the engine knows nothing about
+GPUs.
+
+Two implementations share one contract:
+
+* :class:`EventEngine` — the production **columnar** engine.  Events
+  live in parallel numpy arrays (time / insertion sequence / interned
+  kind code / payload handle) instead of per-event heap objects: a
+  sorted *run* absorbs bulk schedules (a sorted array is already a
+  valid min-heap, so replay arrival streams cost one vectorised sort),
+  and a small C ``heapq`` of bare scalar tuples absorbs the dynamic
+  events a simulation schedules mid-run (completions) — no dataclass
+  per event, and tuple comparison never reaches the payload because
+  sequences are unique.  ``pop`` merges the two heads on the same
+  ``(time, seq)`` order the heap engine uses, so event order — and
+  therefore every golden table — is bit-identical.
+* :class:`HeapEventEngine` — the original ``heapq``-of-dataclasses
+  engine, kept as the object-path reference oracle the property tests
+  and the fleet benchmark's columnar gate compare against.
+
+Both preallocate nothing the caller can observe: the API (``schedule``
+/ ``schedule_after`` / ``pop`` / ``peek_time`` / ``pending`` /
+``tolerance``) and the relative past-time tolerance band are identical.
 """
 
 from __future__ import annotations
@@ -10,7 +32,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(order=True)
@@ -33,15 +57,44 @@ class _Entry:
 #: that schedules from a genuinely stale ``now`` still raises loudly.
 _REL_EPS = 1e-11
 
+#: Initial capacity of the columnar engine's arrays.
+_MIN_CAPACITY = 64
+
 
 class EventEngine:
-    """Time-ordered event queue with deterministic tie-breaking."""
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    Struct-of-arrays storage: every scheduled event is four scalars —
+    its clamped time, its global insertion sequence, an interned kind
+    code and a handle into the payload list.  Bulk schedules
+    (:meth:`schedule_many`) land in a lexsorted *run* of parallel
+    preallocated arrays consumed by a cursor; singleton schedules land
+    in a C ``heapq`` of bare ``(time, seq, kind, handle)`` tuples;
+    :meth:`pop` takes whichever head is smaller under ``(time, seq)`` —
+    the exact total order of the reference :class:`HeapEventEngine`
+    (sequences are unique, so the comparison never reaches payloads).
+    """
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
-        self._counter = itertools.count()
         self.now = 0.0
+        self._seq = 0
+        self._payloads: List[Any] = []
+        self._kind_codes: Dict[str, int] = {}
+        self._kind_names: List[str] = []
+        # Sorted bulk run, consumed front-to-back by _cursor.
+        self._run_time = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._run_seq = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._run_kind = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._run_payload = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._run_len = 0
+        self._cursor = 0
+        # Dynamic events: C heapq over scalar tuples (time, seq, kind
+        # code, payload handle).
+        self._heap: List[Tuple[float, int, int, int]] = []
 
+    # ------------------------------------------------------------------ #
+    # shared clamp semantics
+    # ------------------------------------------------------------------ #
     def tolerance(self, time: float) -> float:
         """Past/future tolerance band at ``time``: symmetric and relative.
 
@@ -50,6 +103,210 @@ class EventEngine:
         float accumulation at large clocks is absorbed instead of
         raising.
         """
+        return _REL_EPS * max(1.0, abs(time), abs(self.now))
+
+    def _clamped(self, time: float) -> float:
+        """``time`` clamped into the monotone band, or :class:`ValueError`."""
+        if time < self.now:
+            if time < self.now - self.tolerance(time):
+                raise ValueError(
+                    f"cannot schedule event at {time} before current time "
+                    f"{self.now}"
+                )
+            return self.now
+        return time
+
+    def _kind_code(self, kind: str) -> int:
+        """Intern ``kind`` and return its stable integer code."""
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kind_names)
+            self._kind_codes[kind] = code
+            self._kind_names.append(kind)
+        return code
+
+    def _store_payload(self, payload: Any) -> int:
+        """Append ``payload`` to the handle store; -1 encodes ``None``."""
+        if payload is None:
+            return -1
+        self._payloads.append(payload)
+        return len(self._payloads) - 1
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+        """Enqueue an event at absolute ``time`` (must not be in the past).
+
+        Times within the symmetric tolerance band *before* ``now`` —
+        round-off, not logic errors — are clamped to ``now`` so the
+        clock stays monotone; anything earlier raises.
+        """
+        time = self._clamped(time)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (time, seq, self._kind_code(kind), self._store_payload(payload)),
+        )
+
+    def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:
+        """Enqueue an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        self.schedule(self.now + delay, kind, payload)
+
+    def intern_kind(self, kind: str) -> int:
+        """Pre-intern ``kind`` for :meth:`schedule_after_coded`."""
+        return self._kind_code(kind)
+
+    def schedule_after_coded(self, delay: float, code: int, payload: Any) -> None:
+        """:meth:`schedule_after` minus per-event interning and checks.
+
+        ``code`` comes from :meth:`intern_kind` and ``delay`` must be
+        ≥ 0 (so ``now + delay`` can never fall below ``now`` and the
+        clamp is a no-op by construction).  The replay hot loop
+        schedules one completion per started job through here;
+        ``(time, seq)`` ordering is identical to :meth:`schedule`.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._payloads.append(payload)
+        heapq.heappush(
+            self._heap, (self.now + delay, seq, code, len(self._payloads) - 1)
+        )
+
+    def schedule_many(
+        self,
+        times: Sequence[float],
+        kind: str,
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> None:
+        """Bulk-enqueue one event per entry of ``times`` (vectorised).
+
+        Equivalent to calling :meth:`schedule` once per element in
+        order — identical clamp/raise semantics, identical ``(time,
+        seq)`` total order against events scheduled before or after —
+        but the events land in the columnar sorted run via one lexsort
+        instead of N heap pushes.  This is the fast path replay
+        simulations use for their arrival streams.
+        """
+        arr = np.asarray(times, dtype=np.float64)
+        n = int(arr.shape[0])
+        if payloads is not None and len(payloads) != n:
+            raise ValueError(
+                f"{len(payloads)} payloads for {n} scheduled times"
+            )
+        if n == 0:
+            return
+        floor = self.now - _REL_EPS * np.maximum(
+            np.maximum(np.abs(arr), abs(self.now)), 1.0
+        )
+        if bool((arr < floor).any()):
+            bad = float(arr[arr < floor][0])
+            raise ValueError(
+                f"cannot schedule event at {bad} before current time "
+                f"{self.now}"
+            )
+        arr = np.maximum(arr, self.now)  # in-band stragglers clamp to now
+        seqs = np.arange(self._seq, self._seq + n, dtype=np.int64)
+        self._seq += n
+        kinds = np.full(n, self._kind_code(kind), dtype=np.int64)
+        if payloads is None:
+            handles = np.full(n, -1, dtype=np.int64)
+        else:
+            base = len(self._payloads)
+            self._payloads.extend(payloads)
+            handles = np.arange(base, base + n, dtype=np.int64)
+        live = slice(self._cursor, self._run_len)
+        merged_t = np.concatenate([self._run_time[live], arr])
+        merged_s = np.concatenate([self._run_seq[live], seqs])
+        merged_k = np.concatenate([self._run_kind[live], kinds])
+        merged_p = np.concatenate([self._run_payload[live], handles])
+        order = np.lexsort((merged_s, merged_t))
+        m = merged_t.shape[0]
+        if m > self._run_time.shape[0]:
+            cap = max(_MIN_CAPACITY, 2 * m)
+            self._run_time = np.empty(cap, dtype=np.float64)
+            self._run_seq = np.empty(cap, dtype=np.int64)
+            self._run_kind = np.empty(cap, dtype=np.int64)
+            self._run_payload = np.empty(cap, dtype=np.int64)
+        self._run_time[:m] = merged_t[order]
+        self._run_seq[:m] = merged_s[order]
+        self._run_kind[:m] = merged_k[order]
+        self._run_payload[:m] = merged_p[order]
+        self._run_len = m
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # consumption
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Events not yet popped."""
+        return (self._run_len - self._cursor) + len(self._heap)
+
+    def pop(self) -> Optional[Tuple[float, str, Any]]:
+        """Advance time to the next event and return it, or ``None``."""
+        cursor = self._cursor
+        heap = self._heap
+        have_run = cursor < self._run_len
+        if have_run and heap:
+            rt = self._run_time[cursor]
+            head = heap[0]
+            ht = head[0]
+            from_run = rt < ht or (
+                rt == ht and self._run_seq[cursor] < head[1]
+            )
+        elif have_run:
+            from_run = True
+        elif heap:
+            from_run = False
+        else:
+            return None
+        if from_run:
+            time = float(self._run_time[cursor])
+            kc = int(self._run_kind[cursor])
+            ph = int(self._run_payload[cursor])
+            self._cursor = cursor + 1
+            if self._cursor == self._run_len:
+                self._cursor = self._run_len = 0
+        else:
+            time, _, kc, ph = heapq.heappop(heap)
+        self.now = time
+        payload = None if ph < 0 else self._payloads[ph]
+        return time, self._kind_names[kc], payload
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event without popping it (``None`` if empty)."""
+        have_run = self._cursor < self._run_len
+        if have_run and self._heap:
+            return float(
+                min(self._run_time[self._cursor], self._heap[0][0])
+            )
+        if have_run:
+            return float(self._run_time[self._cursor])
+        if self._heap:
+            return float(self._heap[0][0])
+        return None
+
+
+class HeapEventEngine:
+    """The original object-path engine: a ``heapq`` of `_Entry` objects.
+
+    Bit-identical in behaviour to :class:`EventEngine` (the property
+    tests drive random traces through both and compare pop streams);
+    kept as the reference oracle and as the legacy core's engine so the
+    fleet benchmark can measure the columnar speedup in-run.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def tolerance(self, time: float) -> float:
+        """Past/future tolerance band at ``time``: symmetric and relative."""
         return _REL_EPS * max(1.0, abs(time), abs(self.now))
 
     def schedule(self, time: float, kind: str, payload: Any = None) -> None:
@@ -73,6 +330,22 @@ class EventEngine:
         if delay < 0:
             raise ValueError("negative delay")
         self.schedule(self.now + delay, kind, payload)
+
+    def schedule_many(
+        self,
+        times: Sequence[float],
+        kind: str,
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> None:
+        """Bulk schedule, one heap push per event (API parity)."""
+        if payloads is not None and len(payloads) != len(times):
+            raise ValueError(
+                f"{len(payloads)} payloads for {len(times)} scheduled times"
+            )
+        for i, time in enumerate(times):
+            self.schedule(
+                float(time), kind, None if payloads is None else payloads[i]
+            )
 
     @property
     def pending(self) -> int:

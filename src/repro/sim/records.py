@@ -1,10 +1,35 @@
-"""Per-job log records (the simulator's "Log File" in paper Fig. 14)."""
+"""Per-job log records (the simulator's "Log File" in paper Fig. 14).
+
+:class:`JobRecord` is unchanged — a frozen dataclass, the unit every
+analysis helper consumes.  :class:`SimulationLog` however stores the
+log **columnar**: one typed buffer per record field (numpy arrays for
+the numeric columns, plain lists for strings and allocations) instead
+of a list of dataclass instances.  The hot append path
+(:meth:`SimulationLog.append_fields`, used by the simulation core)
+never builds a :class:`JobRecord` at all; ``records`` / ``__iter__``
+materialise them lazily and cache the result, so analysis code sees
+the exact objects it always did while replay loops pay only a few
+array writes per completion.
+
+Summary accessors are derived from the buffers: ``makespan`` is a
+running maximum maintained on append (O(1) — the analysis tables call
+it per row), ``throughput`` follows from it, ``execution_times`` and
+``to_csv`` are vectorised, and the subset views (``by_workload`` /
+``sensitive`` / ``multi_gpu``) filter on the typed columns.
+``to_dict`` / ``from_dict`` emit and accept byte-identical payloads to
+the historical object implementation — every value crosses back
+through native Python types (``ndarray.tolist`` round-trips float64
+bit-exactly), so the :class:`~repro.experiments.store.ResultStore` and
+the golden harness are untouched.
+"""
 
 from __future__ import annotations
 
 import io
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -40,8 +65,12 @@ class JobRecord:
         return self.finish_time - self.submit_time
 
 
+#: Initial capacity of the numeric column buffers.
+_MIN_CAPACITY = 64
+
+
 class SimulationLog:
-    """Ordered collection of job records plus summary accessors.
+    """Ordered, columnar collection of job records plus summary accessors.
 
     ``cache_stats`` is an optional run-diagnostics payload (scan-cache
     lookup/hit/miss/eviction counters plus the measured-bandwidth memo
@@ -56,16 +85,161 @@ class SimulationLog:
     def __init__(self, policy_name: str, topology_name: str) -> None:
         self.policy_name = policy_name
         self.topology_name = topology_name
-        self.records: List[JobRecord] = []
         self.cache_stats: Optional[Dict[str, float]] = None
+        self._n = 0
+        self._job_id: List[int] = []
+        self._workload: List[str] = []
+        self._pattern: List[str] = []
+        self._allocation: List[Tuple[int, ...]] = []
+        self._num_gpus = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._sensitive = np.empty(_MIN_CAPACITY, dtype=np.bool_)
+        self._submit = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._start = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._finish = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._agg_bw = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._predicted = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._measured = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._max_finish = 0.0  # running max: O(1) makespan
+        self._materialised: Optional[List[JobRecord]] = None
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        """Double the numeric buffers (geometric growth, amortised O(1))."""
+        cap = 2 * self._num_gpus.shape[0]
+        for name in (
+            "_num_gpus",
+            "_sensitive",
+            "_submit",
+            "_start",
+            "_finish",
+            "_agg_bw",
+            "_predicted",
+            "_measured",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(cap, dtype=old.dtype)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+
+    def append_fields(
+        self,
+        job_id: int,
+        workload: str,
+        num_gpus: int,
+        pattern: str,
+        bandwidth_sensitive: bool,
+        submit_time: float,
+        start_time: float,
+        finish_time: float,
+        allocation: Tuple[int, ...],
+        agg_bw: float,
+        predicted_effective_bw: float,
+        measured_effective_bw: float,
+    ) -> None:
+        """Append one completed job straight into the column buffers.
+
+        The simulation core's hot path: no :class:`JobRecord` is built
+        (``records`` materialises lazily if anyone asks).
+        """
+        i = self._n
+        if i == self._num_gpus.shape[0]:
+            self._grow()
+        self._n = i + 1
+        self._job_id.append(job_id)
+        self._workload.append(workload)
+        self._pattern.append(pattern)
+        self._allocation.append(allocation)
+        self._num_gpus[i] = num_gpus
+        self._sensitive[i] = bandwidth_sensitive
+        self._submit[i] = submit_time
+        self._start[i] = start_time
+        self._finish[i] = finish_time
+        self._agg_bw[i] = agg_bw
+        self._predicted[i] = predicted_effective_bw
+        self._measured[i] = measured_effective_bw
+        if finish_time > self._max_finish:
+            self._max_finish = finish_time
+        self._materialised = None
 
     def append(self, record: JobRecord) -> None:
         """Add one completed job (the simulator appends in completion order)."""
-        self.records.append(record)
+        self.append_fields(
+            record.job_id,
+            record.workload,
+            record.num_gpus,
+            record.pattern,
+            record.bandwidth_sensitive,
+            record.submit_time,
+            record.start_time,
+            record.finish_time,
+            record.allocation,
+            record.agg_bw,
+            record.predicted_effective_bw,
+            record.measured_effective_bw,
+        )
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def _record_at(self, i: int) -> JobRecord:
+        """Materialise record ``i`` from the column buffers."""
+        return JobRecord(
+            job_id=self._job_id[i],
+            workload=self._workload[i],
+            num_gpus=int(self._num_gpus[i]),
+            pattern=self._pattern[i],
+            bandwidth_sensitive=bool(self._sensitive[i]),
+            submit_time=float(self._submit[i]),
+            start_time=float(self._start[i]),
+            finish_time=float(self._finish[i]),
+            allocation=self._allocation[i],
+            agg_bw=float(self._agg_bw[i]),
+            predicted_effective_bw=float(self._predicted[i]),
+            measured_effective_bw=float(self._measured[i]),
+        )
+
+    @property
+    def records(self) -> List[JobRecord]:
+        """The log as :class:`JobRecord` objects, in completion order.
+
+        Materialised lazily from the column buffers and cached until
+        the next append, so analysis code iterating repeatedly pays the
+        object construction once.
+        """
+        if self._materialised is None:
+            n = self._n
+            gpus = self._num_gpus[:n].tolist()
+            sens = self._sensitive[:n].tolist()
+            submit = self._submit[:n].tolist()
+            start = self._start[:n].tolist()
+            finish = self._finish[:n].tolist()
+            agg = self._agg_bw[:n].tolist()
+            pred = self._predicted[:n].tolist()
+            meas = self._measured[:n].tolist()
+            self._materialised = [
+                JobRecord(*row)
+                for row in zip(
+                    self._job_id,
+                    self._workload,
+                    gpus,
+                    self._pattern,
+                    sens,
+                    submit,
+                    start,
+                    finish,
+                    self._allocation,
+                    agg,
+                    pred,
+                    meas,
+                )
+            ]
+        return self._materialised
 
     def __len__(self) -> int:
         """Number of completed jobs logged."""
-        return len(self.records)
+        return self._n
 
     def __iter__(self):
         """Iterate over records in completion order."""
@@ -74,35 +248,51 @@ class SimulationLog:
     # ------------------------------------------------------------------ #
     def by_workload(self, workload: str) -> List[JobRecord]:
         """Records of one workload (e.g. ``"vgg16"``)."""
-        return [r for r in self.records if r.workload == workload]
+        records = self.records
+        return [
+            records[i]
+            for i, name in enumerate(self._workload)
+            if name == workload
+        ]
 
     def sensitive(self) -> List[JobRecord]:
         """Records of bandwidth-sensitive jobs."""
-        return [r for r in self.records if r.bandwidth_sensitive]
+        records = self.records
+        return [records[i] for i in np.flatnonzero(self._sensitive[: self._n])]
 
     def insensitive(self) -> List[JobRecord]:
         """Records of bandwidth-insensitive jobs."""
-        return [r for r in self.records if not r.bandwidth_sensitive]
+        records = self.records
+        return [
+            records[i] for i in np.flatnonzero(~self._sensitive[: self._n])
+        ]
 
     def multi_gpu(self) -> List[JobRecord]:
         """Records of jobs that used more than one GPU."""
-        return [r for r in self.records if r.num_gpus > 1]
+        records = self.records
+        return [
+            records[i] for i in np.flatnonzero(self._num_gpus[: self._n] > 1)
+        ]
 
     @property
     def makespan(self) -> float:
-        """Completion time of the whole trace."""
-        return max((r.finish_time for r in self.records), default=0.0)
+        """Completion time of the whole trace (O(1): a running max)."""
+        return self._max_finish
 
     @property
     def throughput(self) -> float:
         """Jobs per second over the trace."""
-        span = self.makespan
-        return len(self.records) / span if span > 0 else 0.0
+        span = self._max_finish
+        return self._n / span if span > 0 else 0.0
 
-    def execution_times(self, records: Optional[Sequence[JobRecord]] = None) -> List[float]:
+    def execution_times(
+        self, records: Optional[Sequence[JobRecord]] = None
+    ) -> List[float]:
         """Execution times of ``records`` (default: the whole log)."""
-        recs = self.records if records is None else records
-        return [r.execution_time for r in recs]
+        if records is None:
+            n = self._n
+            return (self._finish[:n] - self._start[:n]).tolist()
+        return [r.execution_time for r in records]
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
@@ -110,12 +300,46 @@ class SimulationLog:
 
         Floats survive a JSON round-trip bit-exactly, so a log restored
         with :meth:`from_dict` (e.g. from the sweep result cache)
-        reproduces every derived table byte-identically.
+        reproduces every derived table byte-identically.  Values are
+        emitted as native Python types (``tolist`` round-trips the
+        buffers bit-exactly) in :class:`JobRecord` field order, so the
+        payload is byte-identical to one built from dataclass
+        instances.
         """
+        n = self._n
         return {
             "policy": self.policy_name,
             "topology": self.topology_name,
-            "records": [asdict(r) for r in self.records],
+            "records": [
+                {
+                    "job_id": jid,
+                    "workload": wl,
+                    "num_gpus": gpus,
+                    "pattern": pat,
+                    "bandwidth_sensitive": sens,
+                    "submit_time": submit,
+                    "start_time": start,
+                    "finish_time": finish,
+                    "allocation": alloc,
+                    "agg_bw": agg,
+                    "predicted_effective_bw": pred,
+                    "measured_effective_bw": meas,
+                }
+                for jid, wl, gpus, pat, sens, submit, start, finish, alloc, agg, pred, meas in zip(
+                    self._job_id,
+                    self._workload,
+                    self._num_gpus[:n].tolist(),
+                    self._pattern,
+                    self._sensitive[:n].tolist(),
+                    self._submit[:n].tolist(),
+                    self._start[:n].tolist(),
+                    self._finish[:n].tolist(),
+                    self._allocation,
+                    self._agg_bw[:n].tolist(),
+                    self._predicted[:n].tolist(),
+                    self._measured[:n].tolist(),
+                )
+            ],
         }
 
     @classmethod
@@ -123,25 +347,46 @@ class SimulationLog:
         """Rebuild a log produced by :meth:`to_dict`."""
         log = cls(payload["policy"], payload["topology"])
         for raw in payload["records"]:
-            data = dict(raw)
-            data["allocation"] = tuple(data["allocation"])
-            log.append(JobRecord(**data))
+            log.append_fields(
+                raw["job_id"],
+                raw["workload"],
+                raw["num_gpus"],
+                raw["pattern"],
+                raw["bandwidth_sensitive"],
+                raw["submit_time"],
+                raw["start_time"],
+                raw["finish_time"],
+                tuple(raw["allocation"]),
+                raw["agg_bw"],
+                raw["predicted_effective_bw"],
+                raw["measured_effective_bw"],
+            )
         return log
 
     # ------------------------------------------------------------------ #
     def to_csv(self) -> str:
         """The log as CSV, one row per record (tuples space-joined)."""
         cols = [f.name for f in fields(JobRecord)]
+        n = self._n
         buf = io.StringIO()
         buf.write(",".join(cols) + "\n")
-        for r in self.records:
-            row = []
-            for c in cols:
-                v = getattr(r, c)
-                if isinstance(v, tuple):
-                    v = " ".join(str(x) for x in v)
-                elif isinstance(v, bool):
-                    v = int(v)
-                row.append(str(v))
-            buf.write(",".join(row) + "\n")
+        for jid, wl, gpus, pat, sens, submit, start, finish, alloc, agg, pred, meas in zip(
+            self._job_id,
+            self._workload,
+            self._num_gpus[:n].tolist(),
+            self._pattern,
+            self._sensitive[:n].tolist(),
+            self._submit[:n].tolist(),
+            self._start[:n].tolist(),
+            self._finish[:n].tolist(),
+            self._allocation,
+            self._agg_bw[:n].tolist(),
+            self._predicted[:n].tolist(),
+            self._measured[:n].tolist(),
+        ):
+            buf.write(
+                f"{jid},{wl},{gpus},{pat},{int(sens)},{submit},{start},"
+                f"{finish},{' '.join(str(g) for g in alloc)},{agg},{pred},"
+                f"{meas}\n"
+            )
         return buf.getvalue()

@@ -249,9 +249,9 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "entries        | 1" in out
-        assert "orphaned files | 1" in out
-        assert "in-memory scan cache" in out
+        assert "sweep entries        | 1" in out
+        assert "orphaned files       | 1" in out
+        assert "persistent scan-cache tier" in out
 
     def test_clear_orphans_keeps_entries(self, tmp_path, capsys):
         self._populate(tmp_path)
@@ -271,13 +271,33 @@ class TestCacheCommand:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1 file(s)" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
-        assert "entries        | 0" in capsys.readouterr().out
+        assert "sweep entries        | 0" in capsys.readouterr().out
 
     def test_stats_on_missing_dir_is_empty_not_an_error(self, tmp_path, capsys):
         assert main(
             ["cache", "stats", "--cache-dir", str(tmp_path / "nope")]
         ) == 0
-        assert "entries        | 0" in capsys.readouterr().out
+        assert "sweep entries        | 0" in capsys.readouterr().out
+
+    def test_spill_then_warm_round_trip(self, tmp_path, capsys):
+        """`cache spill` populates the tier, `cache warm` replays from
+        it at a 100% first-pass hit rate, `stats` sees the partitions."""
+        args = ["--cache-dir", str(tmp_path), "--fleet", "dgx1-v100:2",
+                "--jobs", "120"]
+        assert main(["cache", "spill", *args]) == 0
+        out = capsys.readouterr().out
+        assert "tier entries written" in out
+        assert main(["cache", "warm", *args]) == 0
+        assert "scan hit rate   | 100.0%" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scan partitions      | 0" not in out
+
+    def test_bad_fleet_spec_is_a_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["cache", "warm", "--cache-dir", str(tmp_path), "--fleet", "x:"]
+        ) == 2
+        assert "cache:" in capsys.readouterr().err
 
     def test_trace_embeds_scan_cache_stats(self, capsys):
         assert main(["trace", "--jobs", "12"]) == 0

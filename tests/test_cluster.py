@@ -231,4 +231,11 @@ class TestFleetScanCache:
         cold_misses = cache.stats.misses
         sim = run_cluster([dgx1_v100()], trace, scan_cache=cache)
         assert cache.stats.misses == cold_misses  # fully warm re-run
-        assert sim.log.cache_stats["scan_hit_rate"] == 1.0
+        # The shared cache's decision memo answers recurring placements
+        # before the scan cache is even consulted, so a warm replay
+        # makes few (possibly zero) scan lookups — but every lookup it
+        # does make must hit.
+        stats = sim.log.cache_stats
+        assert stats["scan_misses"] == 0
+        if stats["scan_lookups"]:
+            assert stats["scan_hit_rate"] == 1.0
