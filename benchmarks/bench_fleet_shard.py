@@ -1,0 +1,337 @@
+"""Sharded fleet replay benchmark: multi-process shards, one trace.
+
+The sharded scheduler (:mod:`repro.cluster.sharding`) partitions the
+fleet across worker processes — dense link tables and per-server free
+state in one shared-memory segment, inter-shard routing decided
+parent-side against exact per-shard mirrors, event dispatch batched to
+amortise IPC.  Its contract is *byte-identity*: the same trace must
+produce the same log as the single-process replay, for any shard
+count.
+
+This benchmark holds the sharded engine to that contract and measures
+what sharding buys:
+
+1. **parity** — the ``bench_fleet_scale`` trace (64 heterogeneous
+   servers, 10k jobs, bursty MMPP arrivals) replayed at 1, 2 and 4
+   process shards with the cached engine; every digest must equal the
+   committed single-process digest in ``BENCH_fleet_columnar.json``;
+2. **scaling** — the same trace on the ``batch`` engine (scan-heavy,
+   so shard workers dominate IPC) at 1, 2 and 4 shards, reporting
+   jobs/sec each; the 4-shard replay must reach ``SCALING_GATE`` times
+   the 1-shard throughput *when the machine has the cores to show it*
+   (the gate is recorded but not enforced below
+   ``MIN_CORES_FOR_GATE`` CPUs — a single-core runner cannot
+   demonstrate multi-process speedup, and pretending otherwise would
+   gate on noise);
+3. **fleet-scale demo** (``MAPA_SHARD_FULL=1``) — a 1024-server,
+   1M-job replay across 4 shards (sizes overridable via
+   ``MAPA_SHARD_SERVERS`` / ``MAPA_SHARD_JOBS``), recording wall time,
+   throughput and the log digest.
+
+Aggregated and per-shard scan-cache statistics for every replay are
+written to ``shard_cache_stats.json`` next to the result tables, which
+CI uploads as a job artifact.
+
+Set ``MAPA_UPDATE_BENCH=1`` to regenerate the committed
+``BENCH_fleet_shard.json`` after an intentional change (run with
+``MAPA_SHARD_FULL=1`` so the baseline carries the fleet-scale numbers).
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_fleet_shard.py
+"""
+
+import gc
+import hashlib
+import json
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.cluster import run_sharded
+from repro.ioutils import atomic_write_text
+from repro.scenarios import MMPPArrivals, ScenarioSpec, mixed_fleet, paper_mix
+
+try:
+    from conftest import RESULTS_DIR, emit
+except ImportError:  # standalone run, outside pytest's benchmarks rootdir
+    RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+    def emit(experiment: str, text: str) -> None:
+        print(f"\n===== {experiment} =====\n{text}")
+
+#: Fleet size (servers) and trace length (jobs) of the parity trace —
+#: identical to ``bench_fleet_scale`` so the digest baseline is shared.
+NUM_SERVERS = 64
+NUM_JOBS = 10_000
+
+#: Shard counts exercised by the parity and scaling passes.
+SHARD_COUNTS = (1, 2, 4)
+
+#: Throughput the 4-shard batch replay must reach over the 1-shard one.
+SCALING_GATE = float(os.environ.get("MAPA_SHARD_SCALING_GATE", "2.5"))
+
+#: CPUs below which the scaling gate is recorded but not enforced.
+MIN_CORES_FOR_GATE = 4
+
+#: Wall-time gate in seconds for ONE cold 1-shard cached parity replay.
+TIME_GATE_S = float(os.environ.get("MAPA_SHARD_GATE_S", "180"))
+
+#: Fleet-scale demo sizes (``MAPA_SHARD_FULL=1`` enables the pass).
+FULL_SERVERS = int(os.environ.get("MAPA_SHARD_SERVERS", "1024"))
+FULL_JOBS = int(os.environ.get("MAPA_SHARD_JOBS", "1000000"))
+FULL_SHARDS = 4
+
+#: Committed baseline of this benchmark.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_fleet_shard.json"
+)
+
+#: The single-process fleet benchmark's committed digest — the parity
+#: replays must reproduce it byte for byte.
+COLUMNAR_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_fleet_columnar.json"
+)
+
+ARRIVALS = MMPPArrivals(
+    quiet_rate=1.0, burst_rate=20.0, quiet_dwell=300.0, burst_dwell=60.0
+)
+
+
+def _cores() -> int:
+    """Usable CPU count (affinity-aware where the platform supports it)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _scenario(servers: int, jobs: int, name: str) -> Tuple[object, object]:
+    """(fleet, job file) for one generated trace."""
+    fleet = mixed_fleet(servers)
+    spec = ScenarioSpec(
+        num_jobs=jobs,
+        seed=2021,
+        arrival=ARRIVALS,
+        mix=paper_mix(),
+        name=name,
+    ).resolve(fleet.min_gpus_per_server())
+    return fleet, spec.build()
+
+
+def _replay(
+    shards: int,
+    *,
+    servers: int = NUM_SERVERS,
+    jobs: int = NUM_JOBS,
+    engine: str = "cached",
+    name: str = "fleet-scale",
+) -> Tuple[str, float, float, Dict[str, float]]:
+    """One sharded process-mode replay; (digest, wall s, makespan, stats).
+
+    The wall clock covers scheduler construction (worker forks, segment
+    publication) through the final flush — the cost a cold caller
+    actually pays — but not trace generation or log serialisation.
+    """
+    fleet, job_file = _scenario(servers, jobs, name)
+    gc.collect()
+    t0 = time.perf_counter()
+    log = run_sharded(fleet, job_file, shards, engine=engine, mode="process")
+    wall = time.perf_counter() - t0
+    digest = hashlib.sha256(
+        json.dumps(log.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest, wall, log.makespan, log.cache_stats or {}
+
+
+def build_table() -> Tuple[str, Dict[str, float], bool]:
+    """Run every pass; returns (table text, gate inputs, identical?)."""
+    cores = cores_available = _cores()
+    all_stats: Dict[str, Dict[str, float]] = {}
+
+    # Parity: cached engine, every shard count, one shared digest.
+    parity: Dict[int, Tuple[str, float]] = {}
+    digests = []
+    makespan = 0.0
+    for shards in SHARD_COUNTS:
+        digest, wall, makespan, stats = _replay(shards, engine="cached")
+        parity[shards] = (digest, wall)
+        digests.append(digest)
+        all_stats[f"cached_{shards}shard"] = stats
+
+    # Scaling: batch engine (scan-heavy workers — the parallel fraction
+    # IPC batching is meant to expose), jobs/sec per shard count.
+    jobs_per_sec: Dict[int, float] = {}
+    for shards in SHARD_COUNTS:
+        digest, wall, _, stats = _replay(shards, engine="batch")
+        digests.append(digest)
+        jobs_per_sec[shards] = NUM_JOBS / wall if wall > 0 else float("inf")
+        all_stats[f"batch_{shards}shard"] = stats
+    scaling = (
+        jobs_per_sec[SHARD_COUNTS[-1]] / jobs_per_sec[1]
+        if jobs_per_sec[1] > 0
+        else float("inf")
+    )
+    gate_enforced = cores_available >= MIN_CORES_FOR_GATE
+
+    # Fleet-scale demo: opt-in (minutes of wall), honest numbers only.
+    full: Optional[Dict[str, float]] = None
+    if os.environ.get("MAPA_SHARD_FULL"):
+        digest, wall, full_makespan, stats = _replay(
+            FULL_SHARDS,
+            servers=FULL_SERVERS,
+            jobs=FULL_JOBS,
+            engine="cached",
+            name="fleet-shard-full",
+        )
+        full = {
+            "servers": FULL_SERVERS,
+            "jobs": FULL_JOBS,
+            "shards": FULL_SHARDS,
+            "wall_s": round(wall, 1),
+            "jobs_per_sec": round(FULL_JOBS / wall, 1) if wall > 0 else 0.0,
+            "makespan": round(full_makespan, 1),
+            "log_digest": digest,
+        }
+        all_stats["full"] = stats
+
+    identical = all(d == digests[0] for d in digests)
+
+    fleet = mixed_fleet(NUM_SERVERS)
+    rows = [
+        ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
+        ["jobs replayed", f"{NUM_JOBS}"],
+        ["cores available", f"{cores}"],
+        ["simulated makespan (s)", f"{makespan:.0f}"],
+        ["log digest (sha256, 12)", digests[0][:12]],
+    ]
+    for shards in SHARD_COUNTS:
+        rows.append(
+            [
+                f"cached parity wall, {shards} shard(s) (s)",
+                f"{parity[shards][1]:.1f}",
+            ]
+        )
+    for shards in SHARD_COUNTS:
+        rows.append(
+            [
+                f"batch throughput, {shards} shard(s) (jobs/s)",
+                f"{jobs_per_sec[shards]:.0f}",
+            ]
+        )
+    rows.append(
+        [
+            f"scaling, {SHARD_COUNTS[-1]} shards vs 1",
+            f"{scaling:.2f}x"
+            + ("" if gate_enforced else " (gate not enforced: too few cores)"),
+        ]
+    )
+    if full is not None:
+        rows.append(
+            [
+                "fleet-scale demo",
+                (
+                    f"{full['servers']} servers / {full['jobs']} jobs / "
+                    f"{full['shards']} shards: {full['wall_s']:.0f}s "
+                    f"({full['jobs_per_sec']:.0f} jobs/s)"
+                ),
+            ]
+        )
+    rows.append(
+        [
+            f"byte-identical (all {len(digests)} replays)",
+            "yes" if identical else "NO",
+        ]
+    )
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title="Sharded fleet replay — process shards, shared-memory state",
+    )
+
+    gates = {
+        "digest": digests[0],
+        "cold_wall_s": parity[1][1],
+        "scaling": scaling,
+        "scaling_gate_enforced": gate_enforced,
+    }
+    stats_payload = {
+        "cores": cores,
+        "jobs": NUM_JOBS,
+        "servers": NUM_SERVERS,
+        "log_digest": digests[0],
+        "jobs_per_sec": {str(k): round(v, 1) for k, v in jobs_per_sec.items()},
+        "scaling": round(scaling, 3),
+        "scaling_gate_enforced": gate_enforced,
+        "cache_stats": all_stats,
+        "full": full,
+        "byte_identical": identical,
+    }
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, "shard_cache_stats.json"),
+        json.dumps(stats_payload, indent=2, sort_keys=True) + "\n",
+    )
+    if os.environ.get("MAPA_UPDATE_BENCH"):
+        atomic_write_text(
+            BASELINE_PATH,
+            json.dumps(
+                {
+                    "scenario": "fleet-scale",
+                    "servers": NUM_SERVERS,
+                    "jobs": NUM_JOBS,
+                    "log_digest": digests[0],
+                    "cores": cores,
+                    "scaling_gate_enforced": gate_enforced,
+                    "reference": {
+                        "jobs_per_sec": {
+                            str(k): round(v, 1)
+                            for k, v in jobs_per_sec.items()
+                        },
+                        "scaling": round(scaling, 3),
+                    },
+                    "full": full,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+    return text, gates, identical
+
+
+def _assert_gates(gates: Dict[str, float], identical: bool) -> None:
+    """The CI gates, shared by pytest and standalone runs."""
+    assert identical, (
+        "sharded replays are not byte-identical across shard counts / "
+        "engines"
+    )
+    if os.path.exists(COLUMNAR_BASELINE_PATH):
+        with open(COLUMNAR_BASELINE_PATH, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        assert gates["digest"] == baseline["log_digest"], (
+            "sharded replay log digest differs from the single-process "
+            f"baseline ({str(gates['digest'])[:12]} != "
+            f"{baseline['log_digest'][:12]}) — the sharded engine broke "
+            "byte-identity with run_cluster"
+        )
+    assert gates["cold_wall_s"] <= TIME_GATE_S, (
+        f"cold 1-shard parity replay took {gates['cold_wall_s']:.1f}s "
+        f"(gate {TIME_GATE_S:.0f}s)"
+    )
+    if gates["scaling_gate_enforced"]:
+        assert gates["scaling"] >= SCALING_GATE, (
+            f"4-shard batch throughput only {gates['scaling']:.2f}x the "
+            f"1-shard run, under the {SCALING_GATE:.1f}x gate"
+        )
+
+
+def test_fleet_shard(benchmark):
+    text, gates, identical = benchmark.pedantic(
+        build_table, rounds=1, iterations=1
+    )
+    emit("fleet_shard", text)
+    _assert_gates(gates, identical)
+
+
+if __name__ == "__main__":
+    text, gates, identical = build_table()
+    emit("fleet_shard", text)
+    _assert_gates(gates, identical)

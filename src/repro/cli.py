@@ -29,7 +29,13 @@ Subcommands
     cold replay, ``warm`` warm-starts a replay from it and reports the
     first-pass hit rate.  In-memory scan-cache hit/miss statistics are
     embedded directly in the output of the runs that use it (``trace``,
-    ``scenario --fleet``).
+    ``scenario --fleet``).  ``--shards N`` runs the tier replay through
+    the sharded scheduler instead, one scan cache per shard.
+``fleet``
+    Sharded fleet-scale replay: partition a heterogeneous fleet into N
+    multi-process scheduler shards sharing one read-only topology
+    segment, replay a deterministic scenario, and print throughput, the
+    canonical log digest, and aggregate plus per-shard cache counters.
 """
 
 from __future__ import annotations
@@ -107,6 +113,16 @@ def _scan_cache_line(stats) -> Optional[str]:
         f"{stats['scan_misses']:.0f} misses, "
         f"{stats['scan_evictions']:.0f} evictions)"
     )
+
+
+def _per_shard_cache_rows(stats) -> List[List[str]]:
+    """Per-shard scan-cache rows for a sharded replay's summary table."""
+    rows: List[List[str]] = []
+    for i, shard in enumerate((stats or {}).get("per_shard", ())):
+        line = _scan_cache_line(shard)
+        if line is not None:
+            rows.append([f"scan cache [shard {i}]", line])
+    return rows
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -316,17 +332,43 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
         # Export exactly the (size-resolved) trace the replay consumes.
         job_file.save(args.output)
         print(f"trace written to {args.output}")
-    sim = run_cluster(
-        fleet.build(),
-        job_file,
-        gpu_policy=args.policy,
-        node_policy=args.node_policy,
-        scheduling=args.scheduling,
-    )
-    log = sim.log
+    if args.shards:
+        from .cluster import (
+            SHARDABLE_NODE_POLICIES,
+            ShardedFleetScheduler,
+            ShardedFleetSimulator,
+        )
+
+        if args.scheduling != "fifo":
+            raise ValueError(
+                "--shards replays dispatch FIFO only; drop --scheduling"
+            )
+        if args.node_policy not in SHARDABLE_NODE_POLICIES:
+            raise ValueError(
+                f"node policy {args.node_policy!r} cannot be sharded; "
+                f"shardable: {', '.join(SHARDABLE_NODE_POLICIES)}"
+            )
+        with ShardedFleetScheduler(
+            fleet,
+            args.shards,
+            gpu_policy=args.policy,
+            node_policy=args.node_policy,
+        ) as scheduler:
+            fleet_sim = ShardedFleetSimulator(scheduler)
+            log = fleet_sim.run(job_file)
+            per_server = fleet_sim.jobs_per_server()
+    else:
+        sim = run_cluster(
+            fleet.build(),
+            job_file,
+            gpu_policy=args.policy,
+            node_policy=args.node_policy,
+            scheduling=args.scheduling,
+        )
+        log = sim.log
+        per_server = sim.jobs_per_server()
     waits = [r.wait_time for r in log.records]
     sens = [r.measured_effective_bw for r in log.sensitive() if r.num_gpus > 1]
-    per_server = sim.jobs_per_server()
     rows = [
         ["servers", f"{fleet.num_servers} ({fleet.label()})"],
         ["jobs", str(len(log))],
@@ -334,12 +376,18 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
         ["mean wait (s)", f"{float(np.mean(waits)):.1f}" if waits else "0.0"],
         ["jobs/h", f"{3600.0 * log.throughput:.1f}"],
         ["mean sens. EffBW", f"{float(np.mean(sens)):.1f}" if sens else "0.0"],
-        ["busiest server", str(max(per_server.values()))],
-        ["idlest server", str(min(per_server.values()))],
+        ["busiest server", str(max(per_server.values(), default=0))],
+        [
+            "idlest server",
+            str(min(per_server.get(i, 0) for i in range(fleet.num_servers))),
+        ],
     ]
+    if args.shards:
+        rows.insert(1, ["shards", str(args.shards)])
     cache_line = _scan_cache_line(log.cache_stats)
     if cache_line is not None:
         rows.append(["scan cache", cache_line])
+    rows.extend(_per_shard_cache_rows(log.cache_stats))
     print(
         format_table(
             ["metric", "value"],
@@ -394,6 +442,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             spec,
             f"{args.num_jobs}-job {spec.name} scenario (seed {args.seed})",
         )
+    if args.shards and not args.fleet:
+        print(
+            "scenario: --shards requires --fleet (shards partition a "
+            "multi-server fleet)",
+            file=sys.stderr,
+        )
+        return 2
     if args.fleet:
         try:
             return _scenario_fleet_replay(args, spec)
@@ -442,6 +497,12 @@ def _cache_tier_replay(args: argparse.Namespace, store) -> int:
     rate (validating it).  Both replay the same deterministic scenario
     for a given (fleet, jobs, seed), so a ``spill`` followed by a
     ``warm`` demonstrates the cross-process reuse end to end.
+
+    With ``--shards N`` the replay runs through the sharded scheduler:
+    every shard owns a scan cache attached to the same on-disk tier
+    (content-addressed keys make concurrent population safe), ``warm``
+    warm-starts each shard from it, and ``spill`` writes every shard's
+    winners back.
     """
     import time as _time
 
@@ -463,17 +524,37 @@ def _cache_tier_replay(args: argparse.Namespace, store) -> int:
     ).resolve(fleet.min_gpus_per_server())
     job_file = spec.build()
     spill = ScanSpillStore(store.root)
-    cache = ScanCache()
+    written: Optional[int] = None
     started = _time.perf_counter()
-    sim = run_cluster(
-        fleet.build(),
-        job_file,
-        gpu_policy=args.policy,
-        scan_cache=cache,
-        scan_spill=spill if args.action == "warm" else None,
-    )
+    if args.shards:
+        from .cluster import ShardedFleetScheduler, ShardedFleetSimulator
+
+        # Sharded tier replay: every shard owns a scan cache keyed by
+        # the same content-addressed wiring hashes, so they all load
+        # from — and spill into — the one on-disk tier.
+        with ShardedFleetScheduler(
+            fleet,
+            args.shards,
+            gpu_policy=args.policy,
+            scan_spill_root=store.root,
+        ) as scheduler:
+            log = ShardedFleetSimulator(scheduler).run(job_file)
+            if args.action == "spill":
+                written = scheduler.spill_scan_cache()
+    else:
+        cache = ScanCache()
+        sim = run_cluster(
+            fleet.build(),
+            job_file,
+            gpu_policy=args.policy,
+            scan_cache=cache,
+            scan_spill=spill if args.action == "warm" else None,
+        )
+        log = sim.log
+        if args.action == "spill":
+            written = spill.spill(cache)
     wall = _time.perf_counter() - started
-    stats = sim.log.cache_stats or {}
+    stats = log.cache_stats or {}
     rows = [
         ["tier dir", spill.scan_root],
         ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
@@ -484,8 +565,10 @@ def _cache_tier_replay(args: argparse.Namespace, store) -> int:
             f"{100.0 * float(stats.get('scan_hit_rate', 0.0)):.1f}%",
         ],
     ]
+    if args.shards:
+        rows.insert(2, ["shards", str(args.shards)])
+        rows.extend(_per_shard_cache_rows(stats))
     if args.action == "spill":
-        written = spill.spill(cache)
         rows.append(["tier entries written", str(written)])
         title = "Scan tier — spilled from a cold replay"
     else:
@@ -533,6 +616,87 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     removed, freed = store.clear(orphans_only=args.orphans)
     what = "orphaned file(s)" if args.orphans else "file(s)"
     print(f"removed {removed} {what} ({freed} bytes) from {store.root}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``mapa fleet``: sharded fleet-scale replay, digest and counters.
+
+    Replays the fleet benchmark's deterministic MMPP scenario through
+    :class:`~repro.cluster.ShardedFleetScheduler`, so the printed digest
+    for the default fleet/jobs/seed is directly comparable with
+    ``benchmarks/BENCH_fleet_shard.json`` — and invariant in the shard
+    count, which is the whole point.
+    """
+    import hashlib
+    import json
+    import time as _time
+
+    from .cluster import ShardedFleetScheduler, ShardedFleetSimulator
+    from .scenarios import FleetSpec, MMPPArrivals, ScenarioSpec, mixed_fleet
+
+    try:
+        fleet = (
+            FleetSpec.parse(args.fleet)
+            if args.fleet
+            else mixed_fleet(args.servers)
+        )
+        spec = ScenarioSpec(
+            num_jobs=args.jobs,
+            seed=args.seed,
+            arrival=MMPPArrivals(
+                quiet_rate=1.0,
+                burst_rate=20.0,
+                quiet_dwell=300.0,
+                burst_dwell=60.0,
+            ),
+            name="fleet-scale",
+        ).resolve(fleet.min_gpus_per_server())
+        job_file = spec.build()
+        scheduler = ShardedFleetScheduler(
+            fleet,
+            args.shards,
+            gpu_policy=args.policy,
+            node_policy=args.node_policy,
+            engine=args.engine,
+            mode=args.mode,
+        )
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    with scheduler:
+        sim = ShardedFleetSimulator(scheduler)
+        started = _time.perf_counter()
+        log = sim.run(job_file)
+        wall = _time.perf_counter() - started
+        if args.check:
+            scheduler.check_mirror()
+    digest = hashlib.sha256(
+        json.dumps(log.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    stats = log.cache_stats or {}
+    rows = [
+        ["fleet", f"{fleet.num_servers} servers ({fleet.label()})"],
+        ["shards", f"{args.shards} ({args.mode})"],
+        ["jobs replayed", str(len(log))],
+        ["replay wall (s)", f"{wall:.2f}"],
+        ["throughput (jobs/s)", f"{len(log) / wall:.0f}"],
+        ["simulated makespan (s)", f"{log.makespan:.0f}"],
+        ["log digest (sha256)", digest],
+    ]
+    cache_line = _scan_cache_line(stats)
+    if cache_line is not None:
+        rows.append(["scan cache", cache_line])
+    rows.extend(_per_shard_cache_rows(stats))
+    if args.check:
+        rows.append(["mirror check", "consistent"])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="Sharded fleet replay — shard-count-invariant digest",
+        )
+    )
     return 0
 
 
@@ -820,6 +984,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table", "json", "csv"),
         help="sweep output format",
     )
+    p_scen.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "with --fleet: replay through this many scheduler shards "
+            "(0 = the classic single-scheduler path; FIFO only, "
+            "shardable node policies only; the log is byte-identical "
+            "either way)"
+        ),
+    )
     p_scen.set_defaults(func=_cmd_scenario)
 
     p_cache = sub.add_parser(
@@ -878,7 +1053,87 @@ def build_parser() -> argparse.ArgumentParser:
         choices=POLICY_NAMES,
         help="with `warm`/`spill`: GPU-selection policy",
     )
+    p_cache.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "with `warm`/`spill`: replay through this many scheduler "
+            "shards, each with its own scan cache attached to the one "
+            "on-disk tier (0 = single scheduler); reports per-shard "
+            "hit rates"
+        ),
+    )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="sharded fleet-scale replay (multi-process scheduler shards)",
+        description=(
+            "Partition a heterogeneous fleet into N scheduler shards — "
+            "worker processes sharing one read-only shared-memory "
+            "topology segment — and replay a deterministic MMPP "
+            "scenario.  Prints replay throughput, the canonical "
+            "sha-256 log digest (invariant in the shard count, and for "
+            "the default fleet/jobs/seed comparable with "
+            "benchmarks/BENCH_fleet_shard.json), and aggregate plus "
+            "per-shard scan-cache counters."
+        ),
+    )
+    from .cluster import SHARDABLE_NODE_POLICIES
+
+    p_fleet.add_argument(
+        "--servers",
+        type=int,
+        default=64,
+        help="fleet size for the representative mixed fleet "
+        "(ignored when --fleet is given)",
+    )
+    p_fleet.add_argument(
+        "--fleet",
+        help="explicit fleet spec as topo[:count] groups, e.g. "
+        "dgx1-v100:40,dgx1-p100:16,dgx2:8",
+    )
+    p_fleet.add_argument(
+        "--jobs", type=int, default=10000, help="jobs in the replayed scenario"
+    )
+    p_fleet.add_argument(
+        "--seed", type=int, default=2021, help="scenario RNG seed"
+    )
+    p_fleet.add_argument(
+        "--shards", type=int, default=4, help="scheduler shard count"
+    )
+    p_fleet.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="GPU-selection policy inside each node",
+    )
+    p_fleet.add_argument(
+        "--node-policy",
+        default="first-fit",
+        choices=SHARDABLE_NODE_POLICIES,
+        help="server-selection policy (shardable subset)",
+    )
+    p_fleet.add_argument(
+        "--engine",
+        default="cached",
+        choices=("cached", "batch", "scalar"),
+        help="scan engine inside each shard (all bit-identical)",
+    )
+    p_fleet.add_argument(
+        "--mode",
+        default="process",
+        choices=("process", "inline"),
+        help="shard transport: worker processes over shared memory, "
+        "or inline in-process shards (debugging)",
+    )
+    p_fleet.add_argument(
+        "--check",
+        action="store_true",
+        help="verify routing mirrors against shard state after the replay",
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_fit = sub.add_parser("fit", help="fit the Eq. 2 model for a topology")
     p_fit.add_argument(

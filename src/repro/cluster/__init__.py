@@ -6,6 +6,16 @@ from .scheduler import (
     ClusterPlacement,
     MultiServerScheduler,
 )
+from .sharding import (
+    SHARDABLE_NODE_POLICIES,
+    ShardPlan,
+    SharedFleetManifest,
+    SharedLinkTableView,
+    ShardedFleetScheduler,
+    ShardedFleetSimulator,
+    aggregate_cache_stats,
+    run_sharded,
+)
 from .simulator import (
     ClusterJobRecord,
     ClusterSimulator,  # deprecated alias of MultiServerSimulator
@@ -15,9 +25,17 @@ from .simulator import (
 
 __all__ = [
     "NODE_POLICIES",
+    "SHARDABLE_NODE_POLICIES",
     "CandidateServerIndex",
     "ClusterPlacement",
     "MultiServerScheduler",
+    "ShardPlan",
+    "SharedFleetManifest",
+    "SharedLinkTableView",
+    "ShardedFleetScheduler",
+    "ShardedFleetSimulator",
+    "aggregate_cache_stats",
+    "run_sharded",
     "ClusterJobRecord",
     "ClusterSimulator",
     "MultiServerSimulator",

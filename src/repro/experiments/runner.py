@@ -18,6 +18,7 @@ cache sound.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -90,6 +91,35 @@ def _reset_spill_state() -> None:
     and the runner's guard when the tier directory changes mid-process)."""
     _worker_scan_spill.cache_clear()
     _spill_loaded.clear()
+
+
+def _worker_cache_probe(_token: int = 0) -> Tuple[int, int, int]:
+    """``(pid, cache entries, cache lookups)`` of the calling worker.
+
+    Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
+    can ship it; the pool-reuse regression test submits it before and
+    after a sweep to prove the same worker processes — and therefore
+    their warm per-worker scan caches — survive consecutive
+    :meth:`SweepRunner.run` calls.  The unused ``_token`` argument only
+    defeats executor-level call coalescing.
+    """
+    cache = _worker_scan_cache()
+    return os.getpid(), len(cache.entries()), cache.stats.lookups
+
+
+def _pool_mp_context():
+    """The ``fork`` multiprocessing context when the platform has it.
+
+    ``fork`` workers inherit the parent's imported modules and
+    warmed-up state instead of re-importing from scratch, which is the
+    cheap path for short sweep cells; platforms without ``fork``
+    (Windows, some macOS configurations) fall back to the executor's
+    default context.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
 
 
 def _warmed_scan_cache(hardware) -> ScanCache:
@@ -269,6 +299,8 @@ class SweepRunner:
         self.store = store
         self.jobs = jobs
         self.scan_spill = scan_spill
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
 
     # ------------------------------------------------------------------ #
     def run(
@@ -343,9 +375,56 @@ class SweepRunner:
     def _simulate_cells(self, cells: Sequence[CellConfig]) -> List[CellResult]:
         if self.jobs == 1 or len(cells) == 1:
             return [simulate_cell(cell) for cell in cells]
-        workers = min(self.jobs, len(cells))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(simulate_cell, cells))
+        return list(self._ensure_pool().map(simulate_cell, cells))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """This runner's persistent executor, (re)built only when needed.
+
+        Historically every :meth:`run` call spawned and tore down a
+        fresh :class:`~concurrent.futures.ProcessPoolExecutor`, which
+        discarded the per-worker scan caches (:func:`_worker_scan_cache`)
+        between sweeps and paid process start-up per call.  The pool is
+        now created once — sized to ``self.jobs``; the executor spawns
+        workers lazily, so a constant size costs nothing for small cell
+        lists while maximizing worker (and cache) reuse — and recreated
+        only when ``self.jobs`` changes.
+        """
+        if self._pool is not None and self._pool_workers != self.jobs:
+            self.close()
+        if self._pool is None:
+            ctx = _pool_mp_context()
+            kwargs = {"mp_context": ctx} if ctx is not None else {}
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, **kwargs)
+            self._pool_workers = self.jobs
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        Runners are also context managers; ``with SweepRunner(...)``
+        closes on exit.  An unclosed runner's pool is reclaimed by the
+        executor's own finalization at interpreter exit, so calling
+        this is an optimization, not a correctness requirement.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepRunner":
+        """Support ``with SweepRunner(...) as runner:`` usage."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the persistent pool when the ``with`` block exits."""
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        """Best-effort pool shutdown when the runner is garbage-collected."""
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def run_experiment(
@@ -355,4 +434,5 @@ def run_experiment(
     scan_spill: Optional[str] = None,
 ) -> SweepOutcome:
     """One-call convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(store=store, jobs=jobs, scan_spill=scan_spill).run(spec)
+    with SweepRunner(store=store, jobs=jobs, scan_spill=scan_spill) as runner:
+        return runner.run(spec)

@@ -41,6 +41,7 @@ TIMING_TABLES = {
     "batch_scoring.txt",
     "fig19_overhead.txt",
     "fleet_scale.txt",
+    "fleet_shard.txt",
     "scan_cache.txt",
     "scan_hotpath.txt",
 }

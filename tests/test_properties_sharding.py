@@ -1,0 +1,187 @@
+"""Property tests: sharded replay vs the single-scheduler reference.
+
+Three contracts pin the tentpole:
+
+* a sharded replay (any shard count, any valid explicit partitioning,
+  any shardable node policy) is byte-identical — canonical JSON — to
+  the unsharded :func:`repro.cluster.run_cluster` replay of the same
+  fleet and trace;
+* parent-side routing over the per-shard mirrors picks exactly the
+  server an exhaustive scan of global free counts would pick, for
+  every shardable node policy and any reachable free-state;
+* :meth:`~repro.cluster.ShardedFleetScheduler.check_mirror` catches an
+  arbitrary single-cell mirror corruption after arbitrary churn, and
+  :meth:`resync_mirror` restores a state from which replays remain
+  byte-identical.
+
+Everything runs shards inline (``mode="inline"``): the process
+transport is exercised by :mod:`tests.test_sharding`, and the routing,
+mirror, and partitioning logic under test here is transport-independent.
+"""
+
+import hashlib
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    SHARDABLE_NODE_POLICIES,
+    ShardedFleetScheduler,
+    ShardedFleetSimulator,
+    run_cluster,
+    run_sharded,
+)
+from repro.scenarios import FleetSpec, ScenarioSpec
+
+
+def _digest(log) -> str:
+    """Canonical SHA-256 digest of a simulation log."""
+    return hashlib.sha256(
+        json.dumps(log.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@st.composite
+def _fleet(draw):
+    """A tiny heterogeneous fleet (3–8 servers, ≥2 server models)."""
+    groups = [
+        ("dgx1-v100", draw(st.integers(1, 4))),
+        ("dgx1-p100", draw(st.integers(1, 2))),
+    ]
+    if draw(st.booleans()):
+        groups.append(("dgx2", draw(st.integers(1, 2))))
+    return FleetSpec(groups=tuple(groups))
+
+
+@st.composite
+def _boundaries(draw, num_servers):
+    """A valid explicit shard partitioning of ``num_servers`` servers."""
+    interior = draw(
+        st.lists(
+            st.integers(1, num_servers - 1),
+            unique=True,
+            max_size=num_servers - 1,
+        )
+    )
+    return (0, *sorted(interior), num_servers)
+
+
+@st.composite
+def _scenario(draw, fleet):
+    """A short trace resolved to the fleet's smallest server."""
+    spec = ScenarioSpec(
+        num_jobs=draw(st.integers(30, 80)),
+        seed=draw(st.integers(0, 2**16)),
+        name="shard-prop",
+    )
+    return spec.resolve(fleet.min_gpus_per_server()).build()
+
+
+class TestShardedByteIdentity:
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_any_shard_count_matches_reference(self, data):
+        fleet = data.draw(_fleet())
+        trace = data.draw(_scenario(fleet))
+        node_policy = data.draw(st.sampled_from(SHARDABLE_NODE_POLICIES))
+        shards = data.draw(st.integers(1, fleet.num_servers))
+        reference = run_cluster(
+            fleet.build(), trace, node_policy=node_policy
+        ).log
+        sharded = run_sharded(
+            fleet, trace, shards, node_policy=node_policy, mode="inline"
+        )
+        assert _digest(sharded) == _digest(reference)
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_any_explicit_partitioning_matches_reference(self, data):
+        fleet = data.draw(_fleet())
+        trace = data.draw(_scenario(fleet))
+        boundaries = data.draw(_boundaries(fleet.num_servers))
+        reference = run_cluster(fleet.build(), trace).log
+        sharded = run_sharded(
+            fleet, trace, boundaries=boundaries, mode="inline"
+        )
+        assert _digest(sharded) == _digest(reference)
+
+
+class TestRoutingMatchesExhaustiveScan:
+    @staticmethod
+    def _exhaustive(scheduler, num_gpus):
+        """Reference winner: a flat scan of global free counts."""
+        frees = []
+        for shard, mirror in enumerate(scheduler.mirrors):
+            for local in range(scheduler.plan.size(shard)):
+                frees.append((shard, local, mirror.free_count(local)))
+        feasible = [(s, l, f) for s, l, f in frees if f >= num_gpus]
+        if not feasible:
+            return None
+        policy = scheduler.node_policy
+        if policy == "first-fit":
+            return feasible[0][:2]
+        if policy == "pack":
+            best = min(enumerate(feasible), key=lambda e: (e[1][2], e[0]))
+        else:  # spread
+            best = min(enumerate(feasible), key=lambda e: (-e[1][2], e[0]))
+        return best[1][:2]
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_route_equals_flat_scan_over_random_states(self, data):
+        fleet = data.draw(_fleet())
+        node_policy = data.draw(st.sampled_from(SHARDABLE_NODE_POLICIES))
+        shards = data.draw(st.integers(1, fleet.num_servers))
+        with ShardedFleetScheduler(
+            fleet, shards, node_policy=node_policy, mode="inline"
+        ) as scheduler:
+            capacities = [
+                [
+                    mirror.free_count(local)
+                    for local in range(scheduler.plan.size(shard))
+                ]
+                for shard, mirror in enumerate(scheduler.mirrors)
+            ]
+            # drive the mirrors through a random reachable free-state
+            for shard, mirror in enumerate(scheduler.mirrors):
+                for local, cap in enumerate(capacities[shard]):
+                    mirror.set_free(local, data.draw(st.integers(0, cap)))
+            for num_gpus in (1, 2, 4, 8, 16, 99):
+                assert scheduler.route(num_gpus) == self._exhaustive(
+                    scheduler, num_gpus
+                ), f"policy={node_policy} num_gpus={num_gpus}"
+
+
+class TestMirrorChurn:
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_corruption_detected_and_resync_restores_identity(self, data):
+        fleet = data.draw(_fleet())
+        trace = data.draw(_scenario(fleet))
+        reference = _digest(run_cluster(fleet.build(), trace).log)
+        shards = data.draw(st.integers(1, fleet.num_servers))
+        with ShardedFleetScheduler(fleet, shards, mode="inline") as scheduler:
+            sim = ShardedFleetSimulator(scheduler)
+            assert _digest(sim.run(trace)) == reference
+            scheduler.check_mirror()
+            shard = data.draw(st.integers(0, scheduler.num_shards - 1))
+            local = data.draw(
+                st.integers(0, scheduler.plan.size(shard) - 1)
+            )
+            mirror = scheduler.mirrors[shard]
+            # all jobs have completed, so true_free == server capacity
+            true_free = mirror.free_count(local)
+            corrupt = data.draw(st.integers(0, true_free - 1))
+            mirror.set_free(local, corrupt)
+            try:
+                scheduler.check_mirror()
+            except RuntimeError:
+                pass
+            else:
+                raise AssertionError("corrupted mirror passed check_mirror")
+            scheduler.resync_mirror()  # rebuilds the mirror object
+            scheduler.check_mirror()
+            assert scheduler.mirrors[shard].free_count(local) == true_free
+            # a post-resync replay is still byte-identical
+            assert _digest(sim.run(trace)) == reference
