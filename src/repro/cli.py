@@ -355,7 +355,7 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
             node_policy=args.node_policy,
         ) as scheduler:
             fleet_sim = ShardedFleetSimulator(scheduler)
-            log = fleet_sim.run(job_file)
+            log = fleet_sim.run(job_file, dynamics=resolved.dynamics)
             per_server = fleet_sim.jobs_per_server()
     else:
         sim = run_cluster(
@@ -364,6 +364,7 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
             gpu_policy=args.policy,
             node_policy=args.node_policy,
             scheduling=args.scheduling,
+            dynamics=resolved.dynamics,
         )
         log = sim.log
         per_server = sim.jobs_per_server()
@@ -382,6 +383,8 @@ def _scenario_fleet_replay(args: argparse.Namespace, spec) -> int:
             str(min(per_server.get(i, 0) for i in range(fleet.num_servers))),
         ],
     ]
+    if resolved.dynamics is not None and not resolved.dynamics.is_empty():
+        rows.insert(1, ["dynamics", resolved.dynamics.describe()])
     if args.shards:
         rows.insert(1, ["shards", str(args.shards)])
     cache_line = _scan_cache_line(log.cache_stats)
@@ -402,15 +405,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     """``mapa scenario``: generate, export, replay or sweep a scenario."""
     from collections import Counter
 
-    from .scenarios import ScenarioSpec, mix_by_name
+    from .scenarios import DynamicsSpec, ScenarioSpec, mix_by_name
 
     try:
+        dynamics = (
+            DynamicsSpec.parse(args.dynamics) if args.dynamics else None
+        )
         spec = ScenarioSpec(
             num_jobs=args.num_jobs,
             seed=args.seed,
             arrival=_build_arrival(args),
             mix=mix_by_name(args.mix),
             name=f"{args.mix}/{args.arrival}",
+            dynamics=dynamics,
         )
     except ValueError as exc:
         print(f"scenario: {exc}", file=sys.stderr)
@@ -993,6 +1000,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 = the classic single-scheduler path; FIFO only, "
             "shardable node policies only; the log is byte-identical "
             "either way)"
+        ),
+    )
+    p_scen.add_argument(
+        "--dynamics",
+        help=(
+            "seeded fleet-chaos axis as key=value pairs, e.g. "
+            "'seed=7,horizon=600,failures=3,grows=1,shrinks=1,"
+            "preemptions=5,casualty=requeue,victim=youngest' — server "
+            "failure/repair, autoscale and preemption events injected "
+            "into the replay (FIFO only; hashes into sweep cells like "
+            "any other scenario axis)"
         ),
     )
     p_scen.set_defaults(func=_cmd_scenario)

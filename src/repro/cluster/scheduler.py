@@ -101,6 +101,11 @@ class CandidateServerIndex:
         self._buckets: List[List[int]] = [[] for _ in range(cap + 1)]
         for server, free in enumerate(self._free):
             self._buckets[free].append(server)
+        # Fleet-dynamics membership: an inactive server (failed or
+        # drained) keeps its index slot and its free count but lives in
+        # no bucket, so it is invisible to every candidate walk while
+        # releases on it still book-keep correctly.
+        self._active: List[bool] = [True] * len(self._free)
         # Largest free count in the fleet, maintained by set_free(): the
         # O(1) infeasibility test.  A saturated fleet retries its queue
         # head after every completion, and most retries are infeasible —
@@ -123,8 +128,24 @@ class CandidateServerIndex:
 
     @property
     def max_free(self) -> int:
-        """The largest free count over all servers (maintained, O(1))."""
+        """The largest free count over all *active* servers (O(1))."""
         return self._max_free
+
+    def is_active(self, server: int) -> bool:
+        """Whether ``server`` currently participates in candidate walks."""
+        return self._active[server]
+
+    def _drop_max_free(self, old: int) -> None:
+        """Walk ``_max_free`` down after the top bucket lost a member.
+
+        Amortised O(1) — the walk only covers ground a matching sequence
+        of upward moves paid for.
+        """
+        if old == self._max_free and not self._buckets[old]:
+            top = old
+            while top > 0 and not self._buckets[top]:
+                top -= 1
+            self._max_free = top
 
     def set_free(self, server: int, free: int) -> None:
         """Move ``server`` to bucket ``free`` (no-op if unchanged).
@@ -134,7 +155,9 @@ class CandidateServerIndex:
         ``0 .. capacity(server)`` — a count above the server's capacity
         is exactly as corrupt as a negative one (it would route
         infeasible requests at the server forever) and raises the same
-        :class:`ValueError` shape.
+        :class:`ValueError` shape.  An inactive server only records the
+        count (a drained server's jobs keep finishing); its bucket
+        placement happens at :meth:`activate` time.
         """
         old = self._free[server]
         if free == old:
@@ -146,6 +169,9 @@ class CandidateServerIndex:
                 f"free count {free} exceeds capacity "
                 f"{self._capacity[server]} for server {server}"
             )
+        if not self._active[server]:
+            self._free[server] = free
+            return
         bucket = self._buckets[old]
         del bucket[bisect_left(bucket, server)]
         if free >= len(self._buckets):  # pragma: no cover - unreachable
@@ -156,14 +182,72 @@ class CandidateServerIndex:
         self._free[server] = free
         if free > self._max_free:
             self._max_free = free
-        elif old == self._max_free and not bucket:
-            # The (sole) top bucket drained downward: walk down to the
-            # next non-empty one.  Amortised O(1) — the walk only covers
-            # ground a matching sequence of upward moves paid for.
-            top = old
-            while top > 0 and not self._buckets[top]:
-                top -= 1
-            self._max_free = top
+        else:
+            self._drop_max_free(old)
+
+    # ------------------------------------------------------------------ #
+    # fleet-dynamics membership
+    # ------------------------------------------------------------------ #
+    def add_server(self, free: int, capacity: int) -> int:
+        """Append a new (active) server; returns its index.
+
+        The autoscale-grow path: the server lands in bucket ``free``
+        with the highest index, so every candidate order sees it after
+        the incumbents it ties with — deterministic and
+        insertion-stable.
+        """
+        if free < 0 or free > capacity:
+            raise ValueError(
+                f"free count {free} out of range for capacity {capacity}"
+            )
+        server = len(self._free)
+        self._free.append(free)
+        self._capacity.append(capacity)
+        self._active.append(True)
+        if capacity >= len(self._buckets):
+            self._buckets.extend(
+                [] for _ in range(capacity - len(self._buckets) + 1)
+            )
+        self._buckets[free].append(server)  # highest index: stays sorted
+        if free > self._max_free:
+            self._max_free = free
+        return server
+
+    def deactivate(self, server: int) -> None:
+        """Remove ``server`` from every candidate walk (keep its slot).
+
+        Failure and drain both route through here: the server's free
+        count stays tracked (releases on a draining server still update
+        it via :meth:`set_free`) but no placement will ever consider it.
+        No-op if already inactive.
+        """
+        if not self._active[server]:
+            return
+        old = self._free[server]
+        bucket = self._buckets[old]
+        del bucket[bisect_left(bucket, server)]
+        self._active[server] = False
+        self._drop_max_free(old)
+
+    def activate(self, server: int, free: Optional[int] = None) -> None:
+        """Return ``server`` to candidate walks (the repair path).
+
+        ``free`` overrides the tracked free count (a repaired server
+        comes back empty, i.e. fully free).  No-op if already active.
+        """
+        if self._active[server]:
+            return
+        if free is not None:
+            if free < 0 or free > self._capacity[server]:
+                raise ValueError(
+                    f"free count {free} out of range for server {server}"
+                )
+            self._free[server] = free
+        count = self._free[server]
+        insort(self._buckets[count], server)
+        self._active[server] = True
+        if count > self._max_free:
+            self._max_free = count
 
     def first(self, num_gpus: int) -> Optional[int]:
         """Lowest-index server with ≥ ``num_gpus`` free, or ``None``.
@@ -229,18 +313,33 @@ class CandidateServerIndex:
         """
         return self._max_free, tuple(len(b) for b in self._buckets)
 
-    def check(self, expected_free: Iterable[int]) -> None:
+    def check(
+        self,
+        expected_free: Iterable[int],
+        expected_active: Optional[Iterable[bool]] = None,
+    ) -> None:
         """Assert the index equals one recomputed from scratch.
 
         Property tests drive random place/release sequences through the
         scheduler and call this after every step: the per-server counts
         must match ``expected_free`` exactly, and every bucket must hold
-        exactly the servers with that free count, sorted ascending.
+        exactly the *active* servers with that free count, sorted
+        ascending.  ``expected_active`` defaults to all-active (the
+        static-fleet contract).
         """
         expected = list(expected_free)
         if self._free != expected:
             raise AssertionError(
                 f"index free counts {self._free} != actual {expected}"
+            )
+        active = (
+            [True] * len(expected)
+            if expected_active is None
+            else list(expected_active)
+        )
+        if self._active != active:
+            raise AssertionError(
+                f"index activity {self._active} != actual {active}"
             )
         seen: List[int] = []
         for free, bucket in enumerate(self._buckets):
@@ -253,12 +352,15 @@ class CandidateServerIndex:
                         f"{self._free[server]} free"
                     )
             seen.extend(bucket)
-        if sorted(seen) != list(range(len(self._free))):
+        expected_members = [s for s, up in enumerate(active) if up]
+        if sorted(seen) != expected_members:
             raise AssertionError(
-                f"buckets cover {sorted(seen)}, expected every server "
-                f"0..{len(self._free) - 1} exactly once"
+                f"buckets cover {sorted(seen)}, expected exactly the "
+                f"active servers {expected_members}"
             )
-        true_max = max(self._free, default=0)
+        true_max = max(
+            (f for s, f in enumerate(self._free) if active[s]), default=0
+        )
         if self._max_free != true_max:
             raise AssertionError(
                 f"maintained max free {self._max_free} != actual {true_max}"
@@ -332,6 +434,16 @@ class MultiServerScheduler:
             )
             for hw in servers
         ]
+        # Construction knobs retained for autoscale grow: add_server()
+        # builds the new engine exactly as __init__ would have.
+        self._gpu_policy = gpu_policy
+        self._engine_kind = engine
+        self._annotate_memo = annotate_memo
+        # Fleet-dynamics membership: one status per engine ("up",
+        # "failed" or "drained"), plus the construction-time fleet size
+        # so reset() can truncate grown servers.
+        self._status: List[str] = ["up"] * len(self.engines)
+        self._initial_servers = len(self.engines)
         self._max_capacity = max(e.hardware.num_gpus for e in self.engines)
         # ``fast_paths=False`` replays the pre-columnar scheduling loop
         # exactly: the bucket-merge candidate iterator instead of the
@@ -496,10 +608,137 @@ class MultiServerScheduler:
             [e.state.num_free for e in self.engines],
             capacities=[e.hardware.num_gpus for e in self.engines],
         )
+        for server, status in enumerate(self._status):
+            if status != "up":
+                self._index.deactivate(server)
 
     def check_index(self) -> None:
         """Assert the delta-maintained index matches a from-scratch scan."""
-        self._index.check(e.state.num_free for e in self.engines)
+        self._index.check(
+            (e.state.num_free for e in self.engines),
+            (status == "up" for status in self._status),
+        )
+
+    # ------------------------------------------------------------------ #
+    # fleet dynamics: failure / repair / autoscale
+    # ------------------------------------------------------------------ #
+    def server_status(self, server: int) -> str:
+        """``"up"``, ``"failed"`` or ``"drained"``."""
+        return self._status[server]
+
+    def max_active_capacity(self, exclude: Optional[int] = None) -> int:
+        """Largest GPU capacity over up servers (optionally minus one).
+
+        The deadlock guard: before failing or draining a server the
+        caller checks the *remaining* fleet can still host the largest
+        request in play; removing the last big server would strand its
+        jobs forever.
+        """
+        return max(
+            (
+                e.hardware.num_gpus
+                for i, e in enumerate(self.engines)
+                if self._status[i] == "up" and i != exclude
+            ),
+            default=0,
+        )
+
+    def fail_server(self, server: int) -> List[Hashable]:
+        """Take ``server`` down instantly; returns its casualties.
+
+        Every allocation on the server is released (so the shared
+        :class:`~repro.scoring.memo.ScanCache` bitmask keys and the
+        candidate index stay exact) and the job ids are returned in
+        allocation order — the caller decides their fate (requeue or
+        kill) per the scenario's casualty policy.  No-op (empty list) on
+        a server that is not up.
+        """
+        if self._status[server] != "up":
+            return []
+        casualties = list(self.engines[server].state.active_jobs)
+        for job_id in casualties:
+            del self._job_server[job_id]
+            self.engines[server].release(job_id)
+        self._sync_index(server)
+        self._index.deactivate(server)
+        self._status[server] = "failed"
+        return casualties
+
+    def repair_server(self, server: int) -> bool:
+        """Bring a failed server back (empty, schedulable).  No-op
+        unless currently failed."""
+        if self._status[server] != "failed":
+            return False
+        # The failure released everything, so the engine is already
+        # empty; activation re-buckets it at its (full) free count.
+        self._index.activate(
+            server, free=self.engines[server].state.num_free
+        )
+        self._status[server] = "up"
+        return True
+
+    def drain_server(self, server: int) -> bool:
+        """Autoscale shrink: stop placing on ``server``; jobs finish
+        naturally.  No-op unless currently up."""
+        if self._status[server] != "up":
+            return False
+        self._index.deactivate(server)
+        self._status[server] = "drained"
+        return True
+
+    def add_server(self, hardware: HardwareGraph) -> int:
+        """Autoscale grow: a new server joins, immediately schedulable.
+
+        The engine is built with the construction-time policy/model
+        knobs and the fleet-shared scan cache, so the newcomer's scans
+        land in (and hit) the same content-addressed entries as its
+        wiring twins.  Returns the new server index (always the highest:
+        membership history never renumbers incumbents).
+        """
+        engine = Mapa(
+            hardware,
+            make_policy(
+                self._gpu_policy,
+                self.model,
+                engine=self._engine_kind,
+                cache=self.scan_cache,
+            ),
+            self.model,
+            annotate_memo=self._annotate_memo,
+        )
+        self.engines.append(engine)
+        self._status.append("up")
+        self._topo_hashes.append(hardware.topology_hash)
+        if hardware.num_gpus > self._max_capacity:
+            self._max_capacity = hardware.num_gpus
+        if self.scan_spill is not None and self.scan_cache is not None:
+            self.scan_spill.load(self.scan_cache, {hardware.topology_hash})
+        return self._index.add_server(
+            engine.state.num_free, hardware.num_gpus
+        )
+
+    def grow_server(self, topology: str) -> int:
+        """:meth:`add_server` by topology *name* (the autoscale event).
+
+        Reuses an incumbent's (immutable, shareable)
+        :class:`~repro.topology.hardware.HardwareGraph` instance when
+        one of the same name exists — the
+        :meth:`~repro.scenarios.fleet.FleetSpec.build` sharing
+        discipline — and otherwise builds the graph fresh, adopting the
+        precomputed link table of any wiring twin already in the fleet.
+        """
+        for e in self.engines:
+            if e.hardware.name == topology:
+                return self.add_server(e.hardware)
+        from ..topology.builders import by_name
+
+        hardware = by_name(topology)
+        wiring = hardware.topology_hash
+        for e in self.engines:
+            if e.hardware.topology_hash == wiring:
+                hardware.adopt_link_table(e.hardware.link_table)
+                break
+        return self.add_server(hardware)
 
     def _candidates(self, request: AllocationRequest) -> Iterator[int]:
         """Feasible servers in the node policy's preference order.
@@ -617,8 +856,17 @@ class MultiServerScheduler:
         return idx, freed
 
     def reset(self) -> None:
-        """Release every job on every server."""
+        """Release every job and undo fleet-dynamics history.
+
+        Grown servers are truncated, failed/drained servers come back
+        up: the scheduler returns to its construction-time fleet.
+        """
+        del self.engines[self._initial_servers :]
+        del self._topo_hashes[self._initial_servers :]
+        del self._status[self._initial_servers :]
         for e in self.engines:
             e.reset()
+        self._status = ["up"] * len(self.engines)
+        self._max_capacity = max(e.hardware.num_gpus for e in self.engines)
         self._job_server.clear()
         self.resync_index()

@@ -50,6 +50,7 @@ class MultiServerSimulator:
         scan_cache=None,
         core: str = "columnar",
         scan_spill=None,
+        dynamics=None,
     ) -> None:
         if core not in ("columnar", "object"):
             raise ValueError(
@@ -77,6 +78,7 @@ class MultiServerSimulator:
                 f"{gpu_policy}/{node_policy}", f"cluster[{len(servers)}]"
             ),
             columnar=(core == "columnar"),
+            dynamics=dynamics,
         )
 
     def run(self, job_file: JobFile) -> SimulationLog:
@@ -149,6 +151,7 @@ def run_cluster(
     scan_cache=None,
     core: str = "columnar",
     scan_spill=None,
+    dynamics=None,
 ) -> MultiServerSimulator:
     """Simulate a trace on a cluster; returns the simulator (log inside).
 
@@ -166,7 +169,10 @@ def run_cluster(
     measures against).  ``scan_spill`` optionally attaches a persistent
     scan-cache tier (:class:`repro.experiments.spill.ScanSpillStore`):
     the shared cache is warm-started from it at construction, and
-    ``sim.scheduler.spill_scan_cache()`` writes it back.
+    ``sim.scheduler.spill_scan_cache()`` writes it back.  ``dynamics``
+    optionally injects a seeded fleet-chaos axis
+    (:class:`repro.scenarios.dynamics.DynamicsSpec`): failures,
+    autoscale and preemption as first-class events (FIFO only).
     """
     sim = MultiServerSimulator(
         servers,
@@ -178,6 +184,7 @@ def run_cluster(
         scan_cache=scan_cache,
         core=core,
         scan_spill=scan_spill,
+        dynamics=dynamics,
     )
     sim.run(job_file)
     return sim

@@ -153,7 +153,14 @@ def simulate_cell(cell: CellConfig) -> CellResult:
     trace = cell.trace.build()
     policy = make_policy(cell.policy, model, cache=_warmed_scan_cache(hardware))
     simulator = ClusterSimulator(
-        hardware, policy, model, scheduling=cell.discipline
+        hardware,
+        policy,
+        model,
+        scheduling=cell.discipline,
+        # Scenario specs may carry a fleet-dynamics axis (hash-visible
+        # via trace.to_dict()); on a single-server cell only preemption
+        # has meaning, the fleet mutations no-op deterministically.
+        dynamics=getattr(cell.trace, "dynamics", None),
     )
     log = simulator.run(trace)
     spill = _worker_scan_spill()

@@ -12,7 +12,10 @@ scenario specs that compose
   :mod:`repro.experiments.presets`;
 * a **fleet** (:mod:`repro.scenarios.fleet`): heterogeneous
   multi-server clusters that share one
-  :class:`~repro.topology.linktable.LinkTable` per distinct topology.
+  :class:`~repro.topology.linktable.LinkTable` per distinct topology;
+* **fleet dynamics** (:mod:`repro.scenarios.dynamics`): seeded chaos —
+  server failure/repair, autoscale grow/shrink and job preemption —
+  injected into a replay as first-class events.
 
 Every random draw flows through one explicit
 :class:`numpy.random.Generator` seeded from the spec — no module-level
@@ -31,6 +34,13 @@ from .arrivals import (
     MMPPArrivals,
     PoissonArrivals,
     arrival_from_dict,
+)
+from .dynamics import (
+    CASUALTY_POLICIES,
+    VICTIM_POLICIES,
+    DynamicsSpec,
+    FleetEvent,
+    dynamics_from_dict,
 )
 from .fleet import FleetSpec, mixed_fleet, topology_hash
 from .mixes import (
@@ -51,6 +61,11 @@ __all__ = [
     "DiurnalArrivals",
     "MMPPArrivals",
     "arrival_from_dict",
+    "CASUALTY_POLICIES",
+    "VICTIM_POLICIES",
+    "DynamicsSpec",
+    "FleetEvent",
+    "dynamics_from_dict",
     "FleetSpec",
     "mixed_fleet",
     "topology_hash",

@@ -28,6 +28,7 @@ import numpy as np
 from ..workloads.catalog import get_workload
 from ..workloads.jobs import Job, JobFile
 from .arrivals import ArrivalProcess, BatchArrivals, arrival_from_dict
+from .dynamics import DynamicsSpec
 from .mixes import JobMix, paper_mix
 
 
@@ -80,6 +81,11 @@ class ScenarioSpec:
         Cosmetic label for CLI output; deliberately excluded from
         :meth:`to_dict` so renaming a scenario never invalidates cached
         sweep cells.
+    dynamics:
+        Optional fleet-dynamics axis (failures / autoscale /
+        preemption).  ``None`` — the static-fleet default — contributes
+        *nothing* to :meth:`to_dict`, so every pre-dynamics cache hash
+        is preserved.
     """
 
     num_jobs: int = 300
@@ -87,6 +93,7 @@ class ScenarioSpec:
     arrival: ArrivalProcess = field(default_factory=BatchArrivals)
     mix: JobMix = field(default_factory=paper_mix)
     name: str = "scenario"
+    dynamics: Optional[DynamicsSpec] = None
 
     def __post_init__(self) -> None:
         """Validate the trace length."""
@@ -125,26 +132,35 @@ class ScenarioSpec:
 
         Starts with ``"kind": "scenario"`` so a scenario can never
         hash-collide with a :class:`~repro.experiments.spec.TraceSpec`
-        describing superficially similar parameters.
+        describing superficially similar parameters.  The ``dynamics``
+        axis appears only when set, so static-fleet specs hash exactly
+        as they always have and no cached sweep cell is invalidated.
         """
-        return {
+        payload = {
             "kind": "scenario",
             "num_jobs": self.num_jobs,
             "seed": self.seed,
             "arrival": self.arrival.to_dict(),
             "mix": self.mix.to_dict(),
         }
+        if self.dynamics is not None:
+            payload["dynamics"] = self.dynamics.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
         """Rebuild a spec from its :meth:`to_dict` form."""
         if payload.get("kind") != "scenario":
             raise ValueError(f"not a scenario payload: {payload.get('kind')!r}")
+        dynamics = payload.get("dynamics")
         return cls(
             num_jobs=payload["num_jobs"],
             seed=payload["seed"],
             arrival=arrival_from_dict(payload["arrival"]),
             mix=JobMix.from_dict(payload["mix"]),
+            dynamics=(
+                None if dynamics is None else DynamicsSpec.from_dict(dynamics)
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -157,9 +173,12 @@ class ScenarioSpec:
         """One-line human-readable summary."""
         rate = self.arrival.mean_rate()
         rate_text = "batch (t=0)" if rate == float("inf") else f"~{rate:.3g} jobs/s"
-        return (
+        text = (
             f"{self.name}: {self.num_jobs} jobs, seed {self.seed}, "
             f"{self.arrival.kind} arrivals ({rate_text}), "
             f"{len(self.mix.workloads)} workloads, "
             f"sizes {min(self.mix.gpu_sizes)}–{max(self.mix.gpu_sizes)}"
         )
+        if self.dynamics is not None and not self.dynamics.is_empty():
+            text += f"; {self.dynamics.describe()}"
+        return text

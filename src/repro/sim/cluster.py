@@ -45,15 +45,21 @@ class ClusterSimulator:
         policy: AllocationPolicy,
         model: EffectiveBandwidthModel = PAPER_MODEL,
         scheduling: str = "fifo",
+        dynamics=None,
     ) -> None:
         self.hardware = hardware
         self.policy = policy
         self.scheduling = scheduling
         self.mapa = Mapa(hardware, policy, model)
+        # ``dynamics`` (a repro.scenarios.dynamics.DynamicsSpec) flows
+        # through so dynamics-carrying scenarios sweep through single-
+        # server grid cells; on one server only preemption has meaning
+        # (fail/repair/autoscale are deterministic no-ops).
         self.core = SimulationCore(
             backend=SingleServerBackend(self.mapa),
             discipline=make_discipline(scheduling),
             log=SimulationLog(policy.name, hardware.name),
+            dynamics=dynamics,
         )
 
     # ------------------------------------------------------------------ #

@@ -64,11 +64,12 @@ from ..topology.hardware import HardwareGraph
 from ..workloads.exectime import execution_time
 from ..workloads.jobs import Job, JobFile
 from .disciplines import FifoDiscipline, QueueDiscipline
-from .engine import EventEngine, HeapEventEngine
+from .engine import FLEET_PRIORITY, EventEngine, HeapEventEngine
 from .records import JobRecord, SimulationLog
 
 _ARRIVAL = "arrival"
 _COMPLETION = "completion"
+_FLEET = "fleet"
 
 
 class Placement(Protocol):
@@ -224,6 +225,14 @@ class SimulationCore:
         path (heap entries, eager dataclass records), kept as the
         bit-identical reference the property tests and the fleet
         benchmark's columnar speedup gate replay against.
+    dynamics:
+        Optional fleet-dynamics axis (duck-typed
+        :class:`~repro.scenarios.dynamics.DynamicsSpec`): seeded
+        failure/repair, autoscale and preemption events injected into
+        the run at :data:`~repro.sim.engine.FLEET_PRIORITY` (mutations
+        beat same-timestamp job events deterministically).  Requires
+        the FIFO discipline.  ``None`` or an empty spec leaves every
+        static-fleet path — and its event stream — untouched.
     """
 
     def __init__(
@@ -232,11 +241,24 @@ class SimulationCore:
         discipline: QueueDiscipline,
         log: SimulationLog,
         columnar: bool = True,
+        dynamics: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.discipline = discipline
         self.log = log
         self.columnar = columnar
+        # Fleet dynamics: _dynamic goes True inside run() when the spec
+        # actually carries events.  While dynamic, completions carry
+        # (job_id, start_count) incarnation payloads so a completion of
+        # a preempted/failed incarnation is recognised as stale, and
+        # _job_objs retains Job objects so casualties can requeue.
+        self._dynamics = dynamics
+        self._dynamic = False
+        self._starts: Dict[Hashable, int] = {}
+        self._job_objs: Dict[Hashable, Job] = {}
+        self._casualty = "requeue"
+        self._victim_policy = "youngest"
+        self._max_request = 0
         self.engine = EventEngine() if columnar else HeapEventEngine()
         # Pre-interned completion kind: the fused start path schedules
         # one completion per started job and skips re-interning the
@@ -288,6 +310,13 @@ class SimulationCore:
     def run(self, job_file: JobFile) -> SimulationLog:
         """Simulate the whole trace and return the log."""
         self._scan_baseline = self._scan_counters()
+        dynamics = self._dynamics
+        self._dynamic = dynamics is not None and not dynamics.is_empty()
+        if self._dynamic and not isinstance(self.discipline, FifoDiscipline):
+            raise ValueError(
+                "fleet dynamics requires the fifo discipline "
+                f"(got {type(self.discipline).__name__})"
+            )
         if self.columnar:
             jobs = list(job_file)
             times = []
@@ -301,16 +330,41 @@ class SimulationCore:
                 times.append(job.submit_time)
             self.engine.schedule_many(times, _ARRIVAL, jobs)
         else:
-            for job in job_file:
+            jobs = list(job_file)
+            for job in jobs:
                 if not self.backend.can_ever_fit(job.request()):
                     raise ValueError(
                         f"job {job.job_id} requests {job.num_gpus} GPUs; "
                         "no server can ever host it"
                     )
                 self.engine.schedule(job.submit_time, _ARRIVAL, job)
+        if self._dynamic:
+            self._casualty = dynamics.casualty
+            self._victim_policy = dynamics.victim
+            # Deadlock guard bound: fleet mutations must never strand
+            # the largest request in the trace (identical computation
+            # in the sharded parent, so skips replay identically).
+            self._max_request = max((j.num_gpus for j in jobs), default=0)
+            topologies = [
+                self.backend.hardware_for(i).name
+                for i in range(len(self.backend.free_gpu_counts()))
+            ]
+            events = dynamics.build(topologies)
+            if self.columnar:
+                self.engine.schedule_many(
+                    [e.time for e in events],
+                    _FLEET,
+                    events,
+                    priority=FLEET_PRIORITY,
+                )
+            else:
+                for event in events:
+                    self.engine.schedule(
+                        event.time, _FLEET, event, priority=FLEET_PRIORITY
+                    )
         queue = self.queue
         engine_pop = self.engine.pop
-        complete = self._complete
+        complete = self._complete_dynamic if self._dynamic else self._complete
         if self.columnar and type(self.discipline) is FifoDiscipline:
             # Inlined FIFO dispatch (exactly FifoDiscipline.schedule):
             # no per-event strategy call, and an arrival that joins a
@@ -342,6 +396,8 @@ class SimulationCore:
                         continue
                 elif kind == _COMPLETION:
                     complete(payload)
+                elif kind == _FLEET:
+                    self._apply_fleet_event(payload)
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown event kind {kind!r}")
                 if max_free_count is None:
@@ -365,6 +421,8 @@ class SimulationCore:
                     queue.append(payload)
                 elif kind == _COMPLETION:
                     complete(payload)
+                elif kind == _FLEET:
+                    self._apply_fleet_event(payload)
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown event kind {kind!r}")
                 self.discipline.schedule(self)
@@ -385,6 +443,106 @@ class SimulationCore:
             self.log.append_fields(*entry[1:])
         else:
             self.log.append(entry.record)
+
+    def _complete_dynamic(self, payload: Tuple[Hashable, int]) -> None:
+        """Dynamic-fleet completion: skip stale incarnations.
+
+        While dynamics are active every completion carries ``(job_id,
+        start_count)``.  A preempted or failed job leaves its scheduled
+        completion behind; when that event pops, the job either is not
+        running (killed / finished under a later incarnation whose
+        completion already fired) or is running a *different*
+        incarnation — both recognised here and dropped without touching
+        any state, identically on every core and shard count.
+        """
+        job_id, count = payload
+        if job_id not in self._running or self._starts.get(job_id) != count:
+            return
+        self._job_objs.pop(job_id, None)
+        self._complete(job_id)
+
+    # ------------------------------------------------------------------ #
+    # fleet-mutation events
+    # ------------------------------------------------------------------ #
+    def _apply_fleet_event(self, event: object) -> None:
+        """Apply one fleet mutation to the backend, casualty-aware.
+
+        Backends advertise dynamics capabilities by method presence
+        (``fail_server`` / ``repair_server`` / ``drain_server`` /
+        ``grow_server`` on the multi-server scheduler); an action the
+        backend cannot express is a deterministic no-op, so a dynamics-
+        carrying scenario still sweeps through single-server grid
+        cells (where only preemption has meaning).  The release-epoch
+        bump on repair/grow/preempt is load-bearing: those are the only
+        fleet mutations that *improve* placement feasibility, which the
+        futile-retry memo otherwise assumes only releases do.
+        """
+        backend = self.backend
+        action = event.action
+        if action == "fail":
+            fail = getattr(backend, "fail_server", None)
+            if fail is None or not self._retire_allowed(event.server):
+                return
+            casualties = fail(event.server)
+            requeue: List[Job] = []
+            for job_id in casualties:
+                self._running.pop(job_id, None)
+                job = self._job_objs.pop(job_id, None)
+                if job is not None and self._casualty == "requeue":
+                    requeue.append(job)
+            if requeue:
+                # Front of the queue, allocation order preserved: the
+                # earliest-placed casualty is the next head.
+                self.queue.extendleft(reversed(requeue))
+        elif action == "repair":
+            repair = getattr(backend, "repair_server", None)
+            if repair is not None and repair(event.server):
+                self._release_epoch += 1
+        elif action == "remove":
+            drain = getattr(backend, "drain_server", None)
+            if drain is not None and self._retire_allowed(event.server):
+                drain(event.server)
+        elif action == "add":
+            grow = getattr(backend, "grow_server", None)
+            if grow is not None:
+                grow(event.topology)
+                self._release_epoch += 1
+        elif action == "preempt":
+            self._preempt(event)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown fleet action {action!r}")
+
+    def _retire_allowed(self, server: int) -> bool:
+        """Deadlock guard for fail/remove: the remaining up servers must
+        still be able to host the trace's largest request."""
+        probe = getattr(self.backend, "max_active_capacity", None)
+        if probe is None:  # pragma: no cover - defensive
+            return False
+        return probe(exclude=server) >= self._max_request
+
+    def _preempt(self, event: object) -> None:
+        """Evict one running job (victim policy) and requeue it (back)."""
+        if not self._running:
+            return
+        if self.columnar:
+            ranked = sorted(
+                (row[7], row[1]) for row in self._running.values()
+            )
+        else:
+            ranked = sorted(
+                (pr.record.start_time, pr.record.job_id)
+                for pr in self._running.values()
+            )
+        if self._victim_policy == "youngest":
+            victim_id = ranked[-1][1]
+        elif self._victim_policy == "oldest":
+            victim_id = ranked[0][1]
+        else:  # "rank"
+            victim_id = ranked[event.victim_rank % len(ranked)][1]
+        self.backend.release(victim_id)
+        self._release_epoch += 1
+        self._running.pop(victim_id)
+        self.queue.append(self._job_objs.pop(victim_id))
 
     # ------------------------------------------------------------------ #
     # discipline toolkit
@@ -534,7 +692,9 @@ class SimulationCore:
                 scores.get("effective_bw", 0.0),
                 placed.measured_bw,
             )
-            self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
+            self.engine.schedule_after(
+                exec_time, _COMPLETION, self._completion_payload(job)
+            )
             return None
         record = JobRecord(
             job_id=job.job_id,
@@ -553,8 +713,20 @@ class SimulationCore:
         self._running[job.job_id] = PlacementRecord(
             record=record, server_index=placed.placement.server_index
         )
-        self.engine.schedule_after(exec_time, _COMPLETION, job.job_id)
+        self.engine.schedule_after(
+            exec_time, _COMPLETION, self._completion_payload(job)
+        )
         return record
+
+    def _completion_payload(self, job: Job) -> object:
+        """Bare ``job_id`` statically; ``(job_id, start_count)`` while
+        fleet dynamics are active (see :meth:`_complete_dynamic`)."""
+        if not self._dynamic:
+            return job.job_id
+        count = self._starts.get(job.job_id, 0) + 1
+        self._starts[job.job_id] = count
+        self._job_objs[job.job_id] = job
+        return (job.job_id, count)
 
     def abort(self, placed: PlacedJob) -> None:
         """Undo a speculative placement (EASY reservation miss)."""
@@ -619,7 +791,9 @@ class SimulationCore:
             measured,
         )
         self.engine.schedule_after_coded(
-            exec_time, self._completion_code, job_id
+            exec_time,
+            self._completion_code,
+            self._completion_payload(job) if self._dynamic else job_id,
         )
         return True
 

@@ -16,8 +16,8 @@ Two implementations share one contract:
   events a simulation schedules mid-run (completions) — no dataclass
   per event, and tuple comparison never reaches the payload because
   sequences are unique.  ``pop`` merges the two heads on the same
-  ``(time, seq)`` order the heap engine uses, so event order — and
-  therefore every golden table — is bit-identical.
+  ``(time, priority, seq)`` order the heap engine uses, so event order
+  — and therefore every golden table — is bit-identical.
 * :class:`HeapEventEngine` — the original ``heapq``-of-dataclasses
   engine, kept as the object-path reference oracle the property tests
   and the fleet benchmark's columnar gate compare against.
@@ -39,12 +39,28 @@ import numpy as np
 
 @dataclass(order=True)
 class _Entry:
-    """One scheduled event; orders by (time, insertion sequence)."""
+    """One scheduled event; orders by (time, priority, insertion seq)."""
 
     time: float
+    priority: int
     seq: int
     kind: str = field(compare=False)
     payload: Any = field(compare=False)
+
+
+#: Default event priority.  Same-timestamp ties break on ``(time,
+#: priority, seq)``: lower priorities pop first, and within a priority
+#: the insertion sequence preserves the historical FIFO order.  Job
+#: events (arrivals, completions) all carry :data:`DEFAULT_PRIORITY`, so
+#: a static-fleet replay's pop stream — and every golden table — is
+#: unchanged; fleet mutations (failure, repair, autoscale, preemption)
+#: schedule at :data:`FLEET_PRIORITY` so a failure at an arrival instant
+#: lands *before* the arrival deterministically, on every core and at
+#: every shard count.
+DEFAULT_PRIORITY = 1
+
+#: Priority for fleet-mutation events (see :data:`DEFAULT_PRIORITY`).
+FLEET_PRIORITY = 0
 
 
 #: Relative width of the past-time tolerance band around ``now``.  An
@@ -64,15 +80,16 @@ _MIN_CAPACITY = 64
 class EventEngine:
     """Time-ordered event queue with deterministic tie-breaking.
 
-    Struct-of-arrays storage: every scheduled event is four scalars —
-    its clamped time, its global insertion sequence, an interned kind
-    code and a handle into the payload list.  Bulk schedules
-    (:meth:`schedule_many`) land in a lexsorted *run* of parallel
-    preallocated arrays consumed by a cursor; singleton schedules land
-    in a C ``heapq`` of bare ``(time, seq, kind, handle)`` tuples;
-    :meth:`pop` takes whichever head is smaller under ``(time, seq)`` —
-    the exact total order of the reference :class:`HeapEventEngine`
-    (sequences are unique, so the comparison never reaches payloads).
+    Struct-of-arrays storage: every scheduled event is five scalars —
+    its clamped time, its tie-break priority, its global insertion
+    sequence, an interned kind code and a handle into the payload list.
+    Bulk schedules (:meth:`schedule_many`) land in a lexsorted *run* of
+    parallel preallocated arrays consumed by a cursor; singleton
+    schedules land in a C ``heapq`` of bare ``(time, priority, seq,
+    kind, handle)`` tuples; :meth:`pop` takes whichever head is smaller
+    under ``(time, priority, seq)`` — the exact total order of the
+    reference :class:`HeapEventEngine` (sequences are unique, so the
+    comparison never reaches payloads).
     """
 
     def __init__(self) -> None:
@@ -83,14 +100,15 @@ class EventEngine:
         self._kind_names: List[str] = []
         # Sorted bulk run, consumed front-to-back by _cursor.
         self._run_time = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._run_prio = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._run_seq = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._run_kind = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._run_payload = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._run_len = 0
         self._cursor = 0
-        # Dynamic events: C heapq over scalar tuples (time, seq, kind
-        # code, payload handle).
-        self._heap: List[Tuple[float, int, int, int]] = []
+        # Dynamic events: C heapq over scalar tuples (time, priority,
+        # seq, kind code, payload handle).
+        self._heap: List[Tuple[float, int, int, int, int]] = []
 
     # ------------------------------------------------------------------ #
     # shared clamp semantics
@@ -135,26 +153,46 @@ class EventEngine:
     # ------------------------------------------------------------------ #
     # scheduling
     # ------------------------------------------------------------------ #
-    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+    def schedule(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
         """Enqueue an event at absolute ``time`` (must not be in the past).
 
         Times within the symmetric tolerance band *before* ``now`` —
         round-off, not logic errors — are clamped to ``now`` so the
-        clock stays monotone; anything earlier raises.
+        clock stays monotone; anything earlier raises.  ``priority``
+        breaks same-timestamp ties before the insertion sequence does
+        (lower pops first); job events keep the default.
         """
         time = self._clamped(time)
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(
             self._heap,
-            (time, seq, self._kind_code(kind), self._store_payload(payload)),
+            (
+                time,
+                priority,
+                seq,
+                self._kind_code(kind),
+                self._store_payload(payload),
+            ),
         )
 
-    def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:
+    def schedule_after(
+        self,
+        delay: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
         """Enqueue an event ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("negative delay")
-        self.schedule(self.now + delay, kind, payload)
+        self.schedule(self.now + delay, kind, payload, priority)
 
     def intern_kind(self, kind: str) -> int:
         """Pre-intern ``kind`` for :meth:`schedule_after_coded`."""
@@ -173,7 +211,8 @@ class EventEngine:
         self._seq = seq + 1
         self._payloads.append(payload)
         heapq.heappush(
-            self._heap, (self.now + delay, seq, code, len(self._payloads) - 1)
+            self._heap,
+            (self.now + delay, DEFAULT_PRIORITY, seq, code, len(self._payloads) - 1),
         )
 
     def schedule_many(
@@ -181,6 +220,7 @@ class EventEngine:
         times: Sequence[float],
         kind: str,
         payloads: Optional[Sequence[Any]] = None,
+        priority: int = DEFAULT_PRIORITY,
     ) -> None:
         """Bulk-enqueue one event per entry of ``times`` (vectorised).
 
@@ -211,6 +251,7 @@ class EventEngine:
         arr = np.maximum(arr, self.now)  # in-band stragglers clamp to now
         seqs = np.arange(self._seq, self._seq + n, dtype=np.int64)
         self._seq += n
+        prios = np.full(n, priority, dtype=np.int64)
         kinds = np.full(n, self._kind_code(kind), dtype=np.int64)
         if payloads is None:
             handles = np.full(n, -1, dtype=np.int64)
@@ -220,18 +261,21 @@ class EventEngine:
             handles = np.arange(base, base + n, dtype=np.int64)
         live = slice(self._cursor, self._run_len)
         merged_t = np.concatenate([self._run_time[live], arr])
+        merged_pr = np.concatenate([self._run_prio[live], prios])
         merged_s = np.concatenate([self._run_seq[live], seqs])
         merged_k = np.concatenate([self._run_kind[live], kinds])
         merged_p = np.concatenate([self._run_payload[live], handles])
-        order = np.lexsort((merged_s, merged_t))
+        order = np.lexsort((merged_s, merged_pr, merged_t))
         m = merged_t.shape[0]
         if m > self._run_time.shape[0]:
             cap = max(_MIN_CAPACITY, 2 * m)
             self._run_time = np.empty(cap, dtype=np.float64)
+            self._run_prio = np.empty(cap, dtype=np.int64)
             self._run_seq = np.empty(cap, dtype=np.int64)
             self._run_kind = np.empty(cap, dtype=np.int64)
             self._run_payload = np.empty(cap, dtype=np.int64)
         self._run_time[:m] = merged_t[order]
+        self._run_prio[:m] = merged_pr[order]
         self._run_seq[:m] = merged_s[order]
         self._run_kind[:m] = merged_k[order]
         self._run_payload[:m] = merged_p[order]
@@ -256,7 +300,9 @@ class EventEngine:
             head = heap[0]
             ht = head[0]
             from_run = rt < ht or (
-                rt == ht and self._run_seq[cursor] < head[1]
+                rt == ht
+                and (self._run_prio[cursor], self._run_seq[cursor])
+                < (head[1], head[2])
             )
         elif have_run:
             from_run = True
@@ -272,7 +318,7 @@ class EventEngine:
             if self._cursor == self._run_len:
                 self._cursor = self._run_len = 0
         else:
-            time, _, kc, ph = heapq.heappop(heap)
+            time, _, _, kc, ph = heapq.heappop(heap)
         self.now = time
         payload = None if ph < 0 else self._payloads[ph]
         return time, self._kind_names[kc], payload
@@ -309,12 +355,20 @@ class HeapEventEngine:
         """Past/future tolerance band at ``time``: symmetric and relative."""
         return _REL_EPS * max(1.0, abs(time), abs(self.now))
 
-    def schedule(self, time: float, kind: str, payload: Any = None) -> None:
+    def schedule(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
         """Enqueue an event at absolute ``time`` (must not be in the past).
 
         Times within the symmetric tolerance band *before* ``now`` —
         round-off, not logic errors — are clamped to ``now`` so the
-        clock stays monotone; anything earlier raises.
+        clock stays monotone; anything earlier raises.  ``priority``
+        breaks same-timestamp ties before the insertion sequence does
+        (lower pops first); job events keep the default.
         """
         if time < self.now:
             if time < self.now - self.tolerance(time):
@@ -323,19 +377,29 @@ class HeapEventEngine:
                     f"{self.now}"
                 )
             time = self.now
-        heapq.heappush(self._heap, _Entry(time, next(self._counter), kind, payload))
+        heapq.heappush(
+            self._heap,
+            _Entry(time, priority, next(self._counter), kind, payload),
+        )
 
-    def schedule_after(self, delay: float, kind: str, payload: Any = None) -> None:
+    def schedule_after(
+        self,
+        delay: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
         """Enqueue an event ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("negative delay")
-        self.schedule(self.now + delay, kind, payload)
+        self.schedule(self.now + delay, kind, payload, priority)
 
     def schedule_many(
         self,
         times: Sequence[float],
         kind: str,
         payloads: Optional[Sequence[Any]] = None,
+        priority: int = DEFAULT_PRIORITY,
     ) -> None:
         """Bulk schedule, one heap push per event (API parity)."""
         if payloads is not None and len(payloads) != len(times):
@@ -344,7 +408,10 @@ class HeapEventEngine:
             )
         for i, time in enumerate(times):
             self.schedule(
-                float(time), kind, None if payloads is None else payloads[i]
+                float(time),
+                kind,
+                None if payloads is None else payloads[i],
+                priority,
             )
 
     @property

@@ -1,8 +1,9 @@
 """Golden-table regression suite (``pytest -m golden``).
 
-The 24 deterministic benchmark tables — every figure/table
-reproduction that contains no wall-clock measurement — are snapshotted
-byte-for-byte under ``tests/golden/``.  This suite reruns the whole
+The 28 deterministic benchmark tables — every figure/table
+reproduction that contains no wall-clock measurement, including the
+fleet-chaos dynamics tables — are snapshotted byte-for-byte under
+``tests/golden/``.  This suite reruns the whole
 benchmark harness in a subprocess (results redirected to a scratch
 directory via ``MAPA_BENCH_RESULTS``, so the committed
 ``benchmarks/results/`` are never touched) and asserts each regenerated
@@ -76,7 +77,7 @@ def regenerated_tables(tmp_path_factory):
 
 def test_golden_snapshot_is_complete():
     """Every deterministic table has a snapshot, and nothing stale."""
-    assert len(GOLDEN_TABLES) >= 24, f"golden set truncated: {GOLDEN_TABLES}"
+    assert len(GOLDEN_TABLES) >= 28, f"golden set truncated: {GOLDEN_TABLES}"
     assert not (set(GOLDEN_TABLES) & TIMING_TABLES), (
         "timing-dependent tables must not be snapshotted"
     )

@@ -1,0 +1,169 @@
+"""ScanCache soundness under fleet dynamics.
+
+The cache is content-addressed — ``(wiring, pattern, free-bitmask)`` —
+so removing a server and re-adding one under the same id must never
+surface a stale entry: an entry cached against a *partial* free mask
+cannot be served for the repaired (empty, full-mask) server, and a
+grown wiring twin must hit the incumbent's entries with bit-identical
+results.  These tests pin that, including the persistent
+:class:`~repro.experiments.spill.ScanSpillStore` tier.
+"""
+
+import hashlib
+import json
+
+from repro.cluster import MultiServerScheduler, run_cluster
+from repro.experiments.spill import ScanSpillStore
+from repro.policies.base import AllocationRequest
+from repro.scenarios import DynamicsSpec, FleetSpec, ScenarioSpec
+from repro.scoring.memo import ScanCache
+from repro.appgraph.application import ApplicationGraph
+
+
+def _ring(num_gpus: int) -> ApplicationGraph:
+    edges = tuple(
+        (i, (i + 1) % num_gpus) for i in range(num_gpus)
+    )
+    return ApplicationGraph(f"ring{num_gpus}", num_gpus, edges)
+
+
+def _request(job_id, num_gpus: int = 4) -> AllocationRequest:
+    return AllocationRequest(pattern=_ring(num_gpus), job_id=job_id)
+
+
+def _digest(log) -> str:
+    return hashlib.sha256(
+        json.dumps(log.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _chaos_setup():
+    fleet = FleetSpec.parse("dgx1-v100:3,dgx1-p100:2,dgx2:1")
+    trace = (
+        ScenarioSpec(num_jobs=120, seed=7, name="cache-chaos")
+        .resolve(fleet.min_gpus_per_server())
+        .build()
+    )
+    dynamics = DynamicsSpec(
+        seed=5,
+        horizon=400.0,
+        failures=2,
+        mean_downtime=60.0,
+        grows=1,
+        shrinks=1,
+        preemptions=4,
+    )
+    return fleet, trace, dynamics
+
+
+class TestStaleMasksAcrossRemoveReadd:
+    def test_partial_mask_entry_not_served_after_fail_repair(self):
+        """Fail + repair under the same server id: the next placement
+        must reflect the (empty) full free mask, not the partial mask
+        cached while the server was occupied."""
+        cache = ScanCache()
+        scheduler = MultiServerScheduler(
+            FleetSpec.parse("dgx1-v100:1").build(), scan_cache=cache
+        )
+        first = scheduler.try_place(_request("a"))
+        assert first is not None
+        second = scheduler.try_place(_request("b"))
+        assert second is not None
+        # Same pattern against a half-occupied server: a different,
+        # disjoint allocation cached under the partial free mask.
+        assert set(second.gpus).isdisjoint(first.gpus)
+
+        casualties = scheduler.fail_server(0)
+        assert casualties == ["a", "b"]
+        assert scheduler.try_place(_request("c")) is None  # down
+        assert scheduler.repair_server(0)
+
+        misses_before = cache.stats.misses
+        again = scheduler.try_place(_request("c"))
+        assert again is not None
+        # The repaired server is empty: full-mask result, served from
+        # the cached full-mask state — never the partial-mask one.
+        # No fresh scan was needed (the content-addressed tiers — the
+        # scan store or its decision memo side-car — answered).
+        assert again.gpus == first.gpus
+        assert cache.stats.misses == misses_before
+
+    def test_grown_wiring_twin_hits_cache_with_identical_result(self):
+        """Drain both incumbents, grow a wiring twin (a brand-new
+        server id): the twin's first scan hits the incumbents' entries
+        and lands on the same GPUs a cold server would."""
+        cache = ScanCache()
+        scheduler = MultiServerScheduler(
+            FleetSpec.parse("dgx1-v100:2").build(), scan_cache=cache
+        )
+        first = scheduler.try_place(_request("a"))
+        assert first is not None and first.server_index == 0
+
+        assert scheduler.drain_server(0)
+        assert scheduler.drain_server(1)
+        grown = scheduler.grow_server("dgx1-v100")
+        assert grown == 2
+
+        misses_before = cache.stats.misses
+        placed = scheduler.try_place(_request("b"))
+        assert placed is not None
+        assert placed.server_index == grown
+        assert placed.gpus == first.gpus
+        # Served by the incumbents' content-addressed entries — the
+        # twin's first scan never missed.
+        assert cache.stats.misses == misses_before
+        scheduler.check_index()
+
+    def test_warm_cache_replay_with_churn_is_bit_identical(self):
+        """A cache warmed by a full chaos replay — masks from failed,
+        repaired, drained and grown states included — cannot change a
+        rerun's results, only its speed."""
+        fleet, trace, dynamics = _chaos_setup()
+        cache = ScanCache()
+        cold = _digest(
+            run_cluster(
+                fleet.build(), trace, scan_cache=cache, dynamics=dynamics
+            ).log
+        )
+        cold_misses = cache.stats.misses
+        warm = _digest(
+            run_cluster(
+                fleet.build(), trace, scan_cache=cache, dynamics=dynamics
+            ).log
+        )
+        assert warm == cold
+        # The rerun recomputed nothing: every scan the churn replay
+        # needs — including post-repair and post-grow masks — was
+        # already content-addressed.
+        assert cache.stats.misses == cold_misses
+
+
+class TestSpillTierUnderChurn:
+    def test_spilled_entries_rehydrate_bit_identically(self, tmp_path):
+        """Round-trip through the persistent tier across a chaos
+        replay (growth included, which warm-loads the newcomer's
+        partition): the rehydrated cache serves only sound entries."""
+        fleet, trace, dynamics = _chaos_setup()
+        reference = _digest(
+            run_cluster(fleet.build(), trace, dynamics=dynamics).log
+        )
+
+        store = ScanSpillStore(root=str(tmp_path))
+        sim = run_cluster(
+            fleet.build(),
+            trace,
+            scan_spill=store,
+            dynamics=dynamics,
+        )
+        assert _digest(sim.log) == reference
+        assert sim.scheduler.spill_scan_cache() > 0
+
+        warm_cache = ScanCache()
+        warmed = run_cluster(
+            fleet.build(),
+            trace,
+            scan_cache=warm_cache,
+            scan_spill=store,
+            dynamics=dynamics,
+        )
+        assert _digest(warmed.log) == reference

@@ -1,0 +1,200 @@
+"""Unit tests for the fleet-dynamics scenario axis (DynamicsSpec)."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (
+    CASUALTY_POLICIES,
+    VICTIM_POLICIES,
+    DynamicsSpec,
+    FleetEvent,
+    ScenarioSpec,
+)
+
+TOPOLOGIES = ("dgx1-v100", "dgx1-v100", "dgx1-p100", "dgx2")
+
+CHAOS = DynamicsSpec(
+    seed=11,
+    horizon=300.0,
+    failures=2,
+    mean_downtime=45.0,
+    grows=1,
+    shrinks=1,
+    preemptions=3,
+)
+
+
+class TestFleetEvent:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fleet action"):
+            FleetEvent(1.0, "explode")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="≥ 0"):
+            FleetEvent(-1.0, "fail", server=0)
+
+    def test_round_trip(self):
+        event = FleetEvent(3.5, "add", topology="dgx2")
+        assert FleetEvent.from_dict(event.to_dict()) == event
+
+
+class TestValidation:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="failures must be"):
+            DynamicsSpec(failures=-1)
+
+    def test_rejects_bad_policies(self):
+        with pytest.raises(ValueError, match="casualty"):
+            DynamicsSpec(casualty="retry")
+        with pytest.raises(ValueError, match="victim"):
+            DynamicsSpec(victim="richest")
+
+    def test_rejects_nonpositive_horizon_and_downtime(self):
+        with pytest.raises(ValueError, match="horizon"):
+            DynamicsSpec(horizon=0.0)
+        with pytest.raises(ValueError, match="mean_downtime"):
+            DynamicsSpec(mean_downtime=0.0)
+
+    def test_emptiness(self):
+        assert DynamicsSpec().is_empty()
+        assert not CHAOS.is_empty()
+        assert CHAOS.total_events == 2 * 2 + 1 + 1 + 3
+
+
+class TestBuild:
+    def test_deterministic_and_sorted(self):
+        first = CHAOS.build(TOPOLOGIES)
+        second = CHAOS.build(TOPOLOGIES)
+        assert first == second
+        assert list(first) == sorted(first, key=lambda e: e.time)
+
+    def test_seed_changes_stream(self):
+        other = dataclasses.replace(CHAOS, seed=CHAOS.seed + 1)
+        assert other.build(TOPOLOGIES) != CHAOS.build(TOPOLOGIES)
+
+    def test_event_population_matches_spec(self):
+        events = CHAOS.build(TOPOLOGIES)
+        by_action = {}
+        for event in events:
+            by_action.setdefault(event.action, []).append(event)
+        assert len(by_action["fail"]) == CHAOS.failures
+        assert len(by_action["repair"]) == CHAOS.failures
+        assert len(by_action["remove"]) == CHAOS.shrinks
+        assert len(by_action["add"]) == CHAOS.grows
+        assert len(by_action["preempt"]) == CHAOS.preemptions
+        for event in by_action["fail"] + by_action["remove"]:
+            assert 0 <= event.server < len(TOPOLOGIES)
+        for event in by_action["add"]:
+            assert event.topology in TOPOLOGIES
+
+    def test_repairs_follow_their_failures(self):
+        # A server may fail more than once; sorted elementwise pairing
+        # per server is valid iff some fail→repair matching is.
+        fails, repairs = {}, {}
+        for event in CHAOS.build(TOPOLOGIES):
+            if event.action == "fail":
+                fails.setdefault(event.server, []).append(event.time)
+            elif event.action == "repair":
+                repairs.setdefault(event.server, []).append(event.time)
+        assert sorted(fails) == sorted(repairs)
+        for server, down_times in fails.items():
+            for down, up in zip(sorted(down_times), sorted(repairs[server])):
+                assert up >= down
+
+    def test_grow_topology_override(self):
+        spec = DynamicsSpec(seed=1, grows=2, grow_topology="dgx2")
+        assert all(
+            e.topology == "dgx2" for e in spec.build(TOPOLOGIES)
+        )
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError, match="empty fleet"):
+            CHAOS.build(())
+
+
+class TestParse:
+    def test_empty_text_is_default(self):
+        assert DynamicsSpec.parse("") == DynamicsSpec()
+
+    def test_full_form(self):
+        spec = DynamicsSpec.parse(
+            "failures=3, mean_downtime=90, grows=1, shrinks=2,"
+            " preemptions=5, horizon=400, seed=9,"
+            " casualty=kill, victim=rank, grow_topology=dgx2"
+        )
+        assert spec == DynamicsSpec(
+            seed=9,
+            horizon=400.0,
+            failures=3,
+            mean_downtime=90.0,
+            grows=1,
+            shrinks=2,
+            grow_topology="dgx2",
+            preemptions=5,
+            casualty="kill",
+            victim="rank",
+        )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown dynamics key"):
+            DynamicsSpec.parse("explosions=3")
+
+    def test_bad_item_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            DynamicsSpec.parse("failures")
+
+    def test_policy_constants_parse(self):
+        for casualty in CASUALTY_POLICIES:
+            assert (
+                DynamicsSpec.parse(f"casualty={casualty}").casualty
+                == casualty
+            )
+        for victim in VICTIM_POLICIES:
+            assert DynamicsSpec.parse(f"victim={victim}").victim == victim
+
+
+class TestHashing:
+    def test_round_trip(self):
+        assert DynamicsSpec.from_dict(CHAOS.to_dict()) == CHAOS
+
+    def test_kind_discriminator(self):
+        assert CHAOS.to_dict()["kind"] == "dynamics"
+        with pytest.raises(ValueError, match="not a dynamics payload"):
+            DynamicsSpec.from_dict({"kind": "arrivals"})
+
+    def test_static_scenario_hash_unchanged_by_axis(self):
+        """dynamics=None contributes nothing to a scenario's hash dict,
+        so every pre-dynamics sweep-cache entry stays valid."""
+        static = ScenarioSpec(num_jobs=10, seed=3)
+        assert "dynamics" not in static.to_dict()
+        assert (
+            dataclasses.replace(static, dynamics=None).to_dict()
+            == static.to_dict()
+        )
+
+    def test_dynamics_parameters_affect_scenario_hash(self):
+        base = ScenarioSpec(num_jobs=10, seed=3, dynamics=CHAOS)
+        other = dataclasses.replace(
+            base, dynamics=dataclasses.replace(CHAOS, failures=9)
+        )
+        assert base.to_dict() != other.to_dict()
+        assert base.to_dict()["dynamics"] == CHAOS.to_dict()
+
+    def test_scenario_round_trip_preserves_dynamics(self):
+        spec = ScenarioSpec(num_jobs=10, seed=3, dynamics=CHAOS)
+        assert ScenarioSpec.from_dict(spec.to_dict()).dynamics == CHAOS
+
+    def test_resolve_preserves_dynamics(self):
+        spec = ScenarioSpec(num_jobs=10, seed=3, dynamics=CHAOS)
+        assert spec.resolve(8).dynamics == CHAOS
+
+
+class TestDescribe:
+    def test_static_fleet(self):
+        assert DynamicsSpec().describe() == "static fleet (no dynamics)"
+
+    def test_mentions_every_active_axis(self):
+        text = CHAOS.describe()
+        for fragment in ("failure/repair", "shrink", "grow", "preempt"):
+            assert fragment in text

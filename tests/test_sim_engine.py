@@ -124,3 +124,77 @@ class TestPastTimeTolerance:
         e.pop()
         assert e.tolerance(0.0) == pytest.approx(20.0)
         assert e.tolerance(4e12) == pytest.approx(40.0)
+
+
+class TestPriorityOrdering:
+    """Regression: event order is ``(time, priority, seq)`` on both engines.
+
+    Fleet-dynamics events carry :data:`~repro.sim.engine.FLEET_PRIORITY`
+    (0) so a mutation at time ``t`` always pops before job events at the
+    same ``t`` — regardless of how late it was scheduled (its sequence
+    number is necessarily higher than the bulk-scheduled arrivals').
+    Before priorities existed the tie-break was ``(time, seq)`` alone,
+    which made same-timestamp fleet mutations order-dependent on
+    scheduling history.
+    """
+
+    def _engines(self):
+        from repro.sim.engine import EventEngine, HeapEventEngine
+
+        return [EventEngine(), HeapEventEngine()]
+
+    def test_priority_beats_sequence_at_same_time(self):
+        from repro.sim.engine import DEFAULT_PRIORITY, FLEET_PRIORITY
+
+        for engine in self._engines():
+            engine.schedule(5.0, "job", payload="a")
+            engine.schedule(5.0, "job", payload="b")
+            # Scheduled last (highest seq), must still pop first.
+            engine.schedule(5.0, "fleet", payload="f", priority=FLEET_PRIORITY)
+            engine.schedule(5.0, "job", payload="c", priority=DEFAULT_PRIORITY)
+            order = []
+            while (ev := engine.pop()) is not None:
+                order.append(ev[2])
+            assert order == ["f", "a", "b", "c"], type(engine).__name__
+
+    def test_sequence_breaks_ties_within_a_priority(self):
+        from repro.sim.engine import FLEET_PRIORITY
+
+        for engine in self._engines():
+            for i in range(4):
+                engine.schedule(1.0, "fleet", payload=i, priority=FLEET_PRIORITY)
+            order = [engine.pop()[2] for _ in range(4)]
+            assert order == [0, 1, 2, 3], type(engine).__name__
+
+    def test_time_still_dominates_priority(self):
+        from repro.sim.engine import FLEET_PRIORITY
+
+        for engine in self._engines():
+            engine.schedule(2.0, "fleet", payload="late", priority=FLEET_PRIORITY)
+            engine.schedule(1.0, "job", payload="early")
+            assert engine.pop()[2] == "early", type(engine).__name__
+            assert engine.pop()[2] == "late", type(engine).__name__
+
+    def test_schedule_many_priority_interleaves_with_heap_events(self):
+        """Bulk fleet events (columnar run) vs heap-scheduled job events."""
+        from repro.sim.engine import FLEET_PRIORITY
+
+        for engine in self._engines():
+            engine.schedule_many(
+                [1.0, 3.0], "fleet", ["f1", "f3"], priority=FLEET_PRIORITY
+            )
+            engine.schedule(1.0, "job", payload="j1")
+            engine.schedule(3.0, "job", payload="j3")
+            engine.schedule(2.0, "job", payload="j2")
+            order = []
+            while (ev := engine.pop()) is not None:
+                order.append(ev[2])
+            assert order == ["f1", "j1", "j2", "f3", "j3"], type(engine).__name__
+
+    def test_default_priority_preserves_legacy_order(self):
+        """Without explicit priorities the old (time, seq) order holds."""
+        for engine in self._engines():
+            engine.schedule_many([1.0, 1.0], "bulk", ["m0", "m1"])
+            engine.schedule(1.0, "solo", payload="s")
+            order = [engine.pop()[2] for _ in range(3)]
+            assert order == ["m0", "m1", "s"], type(engine).__name__
