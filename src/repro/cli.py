@@ -36,11 +36,21 @@ Subcommands
     multi-process scheduler shards sharing one read-only topology
     segment, replay a deterministic scenario, and print throughput, the
     canonical log digest, and aggregate plus per-shard cache counters.
+``serve``
+    Run the allocation daemon: a MAPA scheduler (single or sharded)
+    behind a unix socket or TCP port speaking newline-delimited JSON,
+    with admission control, request batching and graceful drain into
+    the persistent scan tier.  ``--bench`` self-hosts a daemon and
+    reports sustained requests/sec.
+``client``
+    One request against a running daemon: submit/release/query a job,
+    fetch the live metrics snapshot, or drain the daemon.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -608,6 +618,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ["orphaned files", str(stats.orphans)],
             ["orphaned bytes", str(stats.orphan_bytes)],
         ]
+        if stats.scan_entries:
+            from .experiments.spill import ScanSpillStore
+
+            valid, corrupt = ScanSpillStore(root=store.root).verify()
+            rows.append(
+                ["scan partition audit", f"{valid} valid, {corrupt} corrupt"]
+            )
         print(
             format_table(
                 ["metric", "value"], rows, title="Sweep result cache (on disk)"
@@ -620,9 +637,180 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             "run output (`mapa trace`, `mapa scenario --fleet`)."
         )
         return 0
-    removed, freed = store.clear(orphans_only=args.orphans)
+    guard = {} if args.tmp_age is None else {"tmp_age": args.tmp_age}
+    removed, freed = store.clear(orphans_only=args.orphans, **guard)
     what = "orphaned file(s)" if args.orphans else "file(s)"
     print(f"removed {removed} {what} ({freed} bytes) from {store.root}")
+    return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    """A :class:`~repro.serve.DaemonConfig` from ``mapa serve`` flags."""
+    from .serve import DaemonConfig
+
+    return DaemonConfig(
+        fleet=args.fleet,
+        shards=args.shards,
+        gpu_policy=args.policy,
+        node_policy=args.node_policy,
+        queue_limit=args.queue_limit,
+        flush_window=args.flush_window,
+        quota_gpus=args.quota_gpus,
+        quota_requests=args.quota_requests,
+        spill_root=args.spill_dir,
+        metrics_json=args.metrics_json,
+        drain_grace=args.drain_grace,
+        shard_mode=args.mode,
+    )
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    """``mapa serve --bench``: self-hosted load run, prints req/s."""
+    import tempfile
+
+    from .serve import (
+        AllocationClient,
+        bench_jobs,
+        run_load,
+        start_daemon_thread,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="mapa-serve-") as tmp:
+        socket_path = args.socket or os.path.join(tmp, "mapa.sock")
+        handle = start_daemon_thread(
+            _serve_config(args), socket_path=socket_path
+        )
+        jobs = bench_jobs(args.bench_jobs, seed=args.seed, fleet=args.fleet)
+        with AllocationClient(socket_path=socket_path) as client:
+            report = run_load(
+                client,
+                jobs,
+                window=args.bench_window,
+                max_active=args.bench_active,
+            )
+            stats = client.stats()
+            summary = client.drain()
+        handle.join(timeout=60)
+    counters = stats["counters"]
+    rows = [
+        ["fleet", args.fleet],
+        ["backend", f"{args.shards} shards" if args.shards else "single"],
+        ["jobs submitted", str(report.submitted)],
+        ["requests (incl. releases)", str(report.requests)],
+        ["allocated / noroom", f"{report.allocated} / {report.noroom}"],
+        ["duration (s)", f"{report.duration:.2f}"],
+        ["requests/sec", f"{report.requests_per_sec:.0f}"],
+        ["dispatches", str(counters["dispatches"])],
+        ["batched dispatches", str(counters["batched_dispatches"])],
+        ["max batch", str(counters["max_batch"])],
+        ["spilled entries", str(summary.get("spilled_entries", 0))],
+    ]
+    line = _scan_cache_line(stats.get("cache"))
+    if line is not None:
+        rows.append(["scan cache", line])
+    print(format_table(["metric", "value"], rows, title="Serve bench"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``mapa serve``: run the allocation daemon in the foreground."""
+    import asyncio
+    import signal
+
+    if args.bench:
+        return _serve_bench(args)
+    if (args.socket is None) == (args.port is None):
+        print("serve: exactly one of --socket/--port is required",
+              file=sys.stderr)
+        return 2
+    from .serve import AllocationDaemon
+
+    try:
+        daemon = AllocationDaemon(_serve_config(args))
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        await daemon.start(socket_path=args.socket, port=args.port)
+        loop = asyncio.get_running_loop()
+
+        async def signal_drain() -> None:
+            await daemon.drain()
+            daemon._shutdown.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(signal_drain())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        where = args.socket or f"{args.host}:{daemon.port}"
+        print(f"mapa serve: listening on {where}", flush=True)
+        await daemon.serve_until_drained()
+
+    asyncio.run(run())
+    counters = daemon.metrics.as_dict()
+    print(
+        f"mapa serve: drained — {counters['allocated']} allocated, "
+        f"{counters['released']} released, "
+        f"{counters['forced_releases']} forced, "
+        f"{counters['spilled_entries']} cache entries spilled"
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """``mapa client``: one request against a running daemon."""
+    import json as _json
+
+    from .serve import AllocationClient
+
+    try:
+        client = AllocationClient(
+            socket_path=args.socket, host=args.host, port=args.port,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.action == "submit":
+                if args.job is None:
+                    print("client: submit needs --job", file=sys.stderr)
+                    return 2
+                response = client.submit(
+                    args.job,
+                    gpus=args.gpus,
+                    pattern=args.pattern,
+                    workload=args.workload,
+                    sensitive=not args.insensitive,
+                    tenant=args.tenant,
+                    wait=not args.no_wait,
+                )
+            elif args.action in ("release", "query"):
+                if args.job is None:
+                    print(f"client: {args.action} needs --job",
+                          file=sys.stderr)
+                    return 2
+                response = getattr(client, args.action)(args.job)
+            elif args.action == "stats":
+                response = client.stats()
+            elif args.action == "drain":
+                response = client.drain()
+            else:
+                response = client.ping()
+        except (ConnectionError, OSError) as exc:
+            print(f"client: {exc}", file=sys.stderr)
+            return 2
+    print(_json.dumps(response, indent=2, sort_keys=True))
+    status = response.get("status") if isinstance(response, dict) else None
+    if status == "error":
+        return 2
+    if status in ("rejected", "noroom", "unknown"):
+        return 1
     return 0
 
 
@@ -1048,6 +1236,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with `clear`: delete only orphaned debris, keep valid entries",
     )
     p_cache.add_argument(
+        "--tmp-age",
+        type=float,
+        default=None,
+        help="with `clear --orphans`: minimum age (seconds) before a "
+        "leaked .tmp-* file is considered abandoned and deleted "
+        "(default: 1 hour; 0 sweeps them all — only safe with no "
+        "writers running)",
+    )
+    p_cache.add_argument(
         "--fleet",
         default="dgx1-v100:3,dgx2:1",
         help="with `warm`/`spill`: fleet spec, topo[:count],… "
@@ -1083,6 +1280,180 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the allocation daemon (allocation-as-a-service)",
+        description=(
+            "Host a MAPA scheduler behind a long-running socket speaking "
+            "newline-delimited JSON (see `mapa client`).  The daemon "
+            "owns admission control (bounded wait queue, per-tenant "
+            "quotas), batches submits arriving within one flush window "
+            "into a single scheduler dispatch, and on drain spills the "
+            "warm scan cache to the persistent tier so a restart starts "
+            "hot.  --shards N swaps the in-process scheduler for the "
+            "sharded fleet scheduler behind the same protocol.  --bench "
+            "self-hosts a daemon, pumps a seeded scenario through it "
+            "and reports sustained requests/sec."
+        ),
+    )
+    p_serve.add_argument("--socket", help="unix socket path to listen on")
+    p_serve.add_argument(
+        "--port", type=int, help="TCP port to listen on (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    p_serve.add_argument(
+        "--fleet",
+        default="dgx1-v100:40,dgx1-p100:16,dgx2:8",
+        help="fleet spec, topo[:count],… (see `mapa topos`)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="scheduler shards (0 = single in-process scheduler)",
+    )
+    p_serve.add_argument(
+        "--mode",
+        default="process",
+        choices=("process", "inline"),
+        help="shard execution mode (inline = same-process, for tests)",
+    )
+    p_serve.add_argument(
+        "--policy",
+        default="preserve",
+        choices=POLICY_NAMES,
+        help="GPU-selection policy",
+    )
+    p_serve.add_argument(
+        "--node-policy",
+        default="first-fit",
+        choices=("first-fit", "pack", "spread"),
+        help="server-selection policy (shardable subset)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="max submits waiting or pending before queue-full rejection",
+    )
+    p_serve.add_argument(
+        "--flush-window",
+        type=float,
+        default=0.0,
+        help="seconds to coalesce arrivals into one dispatch (0 = "
+        "dispatch whatever each loop wake collected)",
+    )
+    p_serve.add_argument(
+        "--quota-gpus",
+        type=int,
+        help="per-tenant cap on outstanding GPUs (default: none)",
+    )
+    p_serve.add_argument(
+        "--quota-requests",
+        type=int,
+        help="per-tenant cap on outstanding jobs (default: none)",
+    )
+    p_serve.add_argument(
+        "--spill-dir",
+        help="cache root for the persistent scan tier (warm start on "
+        "boot, spill on drain)",
+    )
+    p_serve.add_argument(
+        "--metrics-json",
+        help="write the final metrics snapshot to this file on drain",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=2.0,
+        help="seconds to wait for voluntary releases before forcing",
+    )
+    p_serve.add_argument(
+        "--bench",
+        action="store_true",
+        help="self-hosted load run: start a daemon, pump a seeded "
+        "scenario through it, report requests/sec",
+    )
+    p_serve.add_argument(
+        "--bench-jobs",
+        type=int,
+        default=2000,
+        help="with --bench: jobs in the load run",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=11, help="with --bench: scenario seed"
+    )
+    p_serve.add_argument(
+        "--bench-window",
+        type=int,
+        default=64,
+        help="with --bench: max in-flight requests on the wire",
+    )
+    p_serve.add_argument(
+        "--bench-active",
+        type=int,
+        default=48,
+        help="with --bench: live allocations kept before releasing "
+        "the oldest",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running allocation daemon",
+        description=(
+            "One request against a `mapa serve` daemon: submit a GPU "
+            "request (blocking until allocated unless --no-wait), "
+            "release or query a job, fetch the metrics snapshot, or "
+            "drain the daemon.  Prints the JSON response; exit code 0 "
+            "on success, 1 on rejected/noroom/unknown, 2 on errors."
+        ),
+    )
+    p_client.add_argument(
+        "action",
+        choices=("submit", "release", "query", "stats", "drain", "ping"),
+        help="operation to perform",
+    )
+    p_client.add_argument("--socket", help="daemon's unix socket path")
+    p_client.add_argument("--port", type=int, help="daemon's TCP port")
+    p_client.add_argument(
+        "--host", default="127.0.0.1", help="daemon's TCP host"
+    )
+    p_client.add_argument("--job", help="job id (submit/release/query)")
+    p_client.add_argument(
+        "--gpus", type=int, default=1, help="GPUs to request (submit)"
+    )
+    p_client.add_argument(
+        "--pattern", default="ring", help="communication pattern (submit)"
+    )
+    p_client.add_argument(
+        "--workload",
+        default="resnet-50",
+        help="catalog workload profile (submit)",
+    )
+    p_client.add_argument(
+        "--tenant", default="default", help="tenant bucket (submit)"
+    )
+    p_client.add_argument(
+        "--insensitive",
+        action="store_true",
+        help="submit as bandwidth-insensitive",
+    )
+    p_client.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="answer noroom immediately instead of queueing",
+    )
+    p_client.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds",
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_fleet = sub.add_parser(
         "fleet",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..appgraph.application import ApplicationGraph
@@ -114,6 +115,31 @@ def partition_hash(
     ).hexdigest()
 
 
+@dataclass
+class SpillStats:
+    """Durability counters of one :class:`ScanSpillStore`'s lifetime.
+
+    ``corrupt_partitions`` counts partition files that *exist* but could
+    not be parsed or failed validation (truncated JSON from a torn
+    write, a foreign payload, a version mismatch) — every one of them
+    used to be swallowed silently, degrading warm starts with no
+    signal.  ``skipped_entries`` counts per-free-mask entries inside
+    otherwise valid partitions that failed to decode.  Both are
+    cumulative over the store's lifetime; ``mapa cache stats`` and the
+    serve daemon surface them as gauges.
+    """
+
+    corrupt_partitions: int = 0
+    skipped_entries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready snapshot (daemon metrics payload)."""
+        return {
+            "corrupt_partitions": self.corrupt_partitions,
+            "skipped_entries": self.skipped_entries,
+        }
+
+
 class ScanSpillStore:
     """Spill/load :class:`~repro.scoring.memo.ScanCache` partitions.
 
@@ -128,6 +154,7 @@ class ScanSpillStore:
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root or default_cache_dir()
         self.scan_root = os.path.join(self.root, SCAN_SUBDIR)
+        self.stats = SpillStats()
 
     # ------------------------------------------------------------------ #
     def _path(self, part_hash: str) -> str:
@@ -230,17 +257,55 @@ class ScanSpillStore:
             written += len(entries)
         return written
 
-    @staticmethod
-    def _read_partition(path: str) -> Optional[Dict[str, Any]]:
-        """Parse one partition file; ``None`` on absence or corruption."""
+    def _read_partition(self, path: str) -> Optional[Dict[str, Any]]:
+        """Parse one partition file; ``None`` on absence or corruption.
+
+        Absence (no file yet — the normal state of a partition about to
+        be written for the first time) is silent; an *existing* file
+        that fails to parse or validate bumps
+        :attr:`SpillStats.corrupt_partitions` so the damage is visible
+        instead of silently degrading the warm start.  The spill path's
+        read-merge-write then overwrites the corrupt file with fresh
+        data, so counted corruption also self-heals on the next spill.
+        """
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, json.JSONDecodeError, ValueError):
+            self.stats.corrupt_partitions += 1
             return None
         if not isinstance(payload, dict) or payload.get("version") != SPILL_VERSION:
+            self.stats.corrupt_partitions += 1
             return None
         return payload
+
+    def verify(self) -> Tuple[int, int]:
+        """Scan the tier; returns ``(valid, corrupt)`` partition counts.
+
+        A read-only audit for ``mapa cache stats`` and the serve
+        daemon's startup gauge: every partition file on disk is parsed
+        and validated without touching any cache (and without mutating
+        :attr:`stats` — the cumulative counters track real load/spill
+        traffic only).
+        """
+        valid = corrupt = 0
+        for path in self.partition_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, json.JSONDecodeError, ValueError):
+                corrupt += 1
+                continue
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != SPILL_VERSION
+            ):
+                corrupt += 1
+            else:
+                valid += 1
+        return valid, corrupt
 
     # ------------------------------------------------------------------ #
     # load
@@ -269,6 +334,7 @@ class ScanSpillStore:
                 continue
             topology_hash = payload.get("topology_hash")
             if not isinstance(topology_hash, str):
+                self.stats.corrupt_partitions += 1
                 continue
             if wanted is not None and topology_hash not in wanted:
                 continue
@@ -280,6 +346,7 @@ class ScanSpillStore:
                 )
                 pattern = ApplicationGraph("spill", num_gpus, edges)
             except (KeyError, TypeError, ValueError):
+                self.stats.corrupt_partitions += 1
                 continue
             pid = (pattern.num_gpus, pattern.edges)
             for slot in payload.get("entries", []):
@@ -299,6 +366,7 @@ class ScanSpillStore:
                         for w in slot["winners"]
                     }
                 except (KeyError, TypeError, ValueError):
+                    self.stats.skipped_entries += 1
                     continue
                 if not winners:
                     continue

@@ -28,6 +28,16 @@ CACHE_DIR_ENV = "MAPA_SWEEP_CACHE"
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".mapa_sweep_cache"
 
+#: Prefix :func:`repro.ioutils.atomic_write_text` gives its temp files.
+TMP_PREFIX = ".tmp-"
+
+#: Minimum age (seconds) before ``clear(orphans_only=True)`` considers a
+#: ``.tmp-*`` file abandoned.  A temp file younger than this may belong
+#: to a live concurrent writer between ``mkstemp`` and ``os.replace``,
+#: so it is left alone; one older was leaked by a killed writer (the
+#: write-then-rename window is milliseconds, not an hour).
+DEFAULT_TMP_AGE = 3600.0
+
 
 def default_cache_dir() -> str:
     """The cache root: ``$MAPA_SWEEP_CACHE`` or ``.mapa_sweep_cache``."""
@@ -228,7 +238,11 @@ class ResultStore:
             scan_bytes=scan_bytes,
         )
 
-    def clear(self, orphans_only: bool = False) -> Tuple[int, int]:
+    def clear(
+        self,
+        orphans_only: bool = False,
+        tmp_age: float = DEFAULT_TMP_AGE,
+    ) -> Tuple[int, int]:
         """Delete cached files; returns ``(files_removed, bytes_removed)``.
 
         ``orphans_only=True`` removes just the invalid debris — in both
@@ -237,11 +251,31 @@ class ResultStore:
         always-safe cleanup).  Otherwise every entry of both tiers goes.
         Empty fan-out directories are pruned either way.  Results can
         always be regenerated — the store is a cache, not a record.
+
+        ``tmp_age`` is the age guard for leaked ``.tmp-*`` files during
+        an orphans-only clear: a killed writer leaks its ``mkstemp``
+        temp file forever (nothing else ever ages them out), but a
+        *live* concurrent writer also owns a ``.tmp-*`` file for the
+        instant between create and rename — so only temp files whose
+        mtime is at least ``tmp_age`` seconds old are deleted.  Pass
+        ``0`` to sweep every temp file (safe only when no writer can be
+        running).  Full clears ignore the guard: they already assume
+        exclusive ownership of the store.
         """
+        import time
+
         removed = freed = 0
+        now = time.time()
         for path, kind in self._walk():
             if orphans_only and kind != "orphan":
                 continue
+            if orphans_only and os.path.basename(path).startswith(TMP_PREFIX):
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                if age < tmp_age:
+                    continue  # possibly a live writer's window
             try:
                 size = os.path.getsize(path)
                 os.remove(path)

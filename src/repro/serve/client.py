@@ -1,0 +1,152 @@
+"""Blocking client for the allocation daemon (``mapa client``).
+
+A thin synchronous wrapper over one socket connection speaking the
+:mod:`repro.serve.protocol` NDJSON wire format.  Two usage styles:
+
+* **Call-style** (:meth:`AllocationClient.submit` and friends): send a
+  request, block until *its* response arrives.  Responses are matched
+  by the echoed ``id``, so a deferred ``wait`` submit resolving late
+  never confuses a later call — out-of-order replies are stashed and
+  picked up when their caller asks.
+* **Pipelined** (:meth:`send` / :meth:`recv`): fire many requests
+  without waiting, then drain responses.  This is what the load
+  generator uses to keep the daemon's batch windows full.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Hashable, Optional
+
+from . import protocol
+
+__all__ = ["AllocationClient"]
+
+
+class AllocationClient:
+    """One connection to a running daemon.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket the daemon listens on; mutually exclusive with
+        ``host``/``port``.
+    host, port:
+        TCP endpoint alternative.
+    timeout:
+        Socket timeout (seconds) for connect and each read.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path/port is required")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+        self._stash: Dict[Any, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # low-level (pipelining)
+    # ------------------------------------------------------------------ #
+    def send(self, payload: Dict[str, Any]) -> Any:
+        """Fire one request without waiting; returns its ``id``."""
+        if "id" not in payload:
+            self._next_id += 1
+            payload["id"] = self._next_id
+        self._sock.sendall(protocol.encode_line(payload))
+        return payload["id"]
+
+    def recv(self) -> Dict[str, Any]:
+        """Block for the next response line (any id)."""
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and block for *its* response."""
+        req_id = self.send(payload)
+        if req_id in self._stash:
+            return self._stash.pop(req_id)
+        while True:
+            response = self.recv()
+            if response.get("id") == req_id:
+                return response
+            self._stash[response.get("id")] = response
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        job_id: Hashable,
+        gpus: int,
+        pattern: str = "ring",
+        workload: str = protocol.DEFAULT_WORKLOAD,
+        sensitive: bool = True,
+        tenant: str = protocol.DEFAULT_TENANT,
+        wait: bool = True,
+    ) -> Dict[str, Any]:
+        """Request GPUs; blocks until allocated/noroom/rejected."""
+        return self.call({
+            "op": "submit",
+            "job": job_id,
+            "gpus": gpus,
+            "pattern": pattern,
+            "workload": workload,
+            "sensitive": sensitive,
+            "tenant": tenant,
+            "wait": wait,
+        })
+
+    def release(self, job_id: Hashable) -> Dict[str, Any]:
+        """Free a placed job's GPUs (or cancel a waiting submit)."""
+        return self.call({"op": "release", "job": job_id})
+
+    def query(self, job_id: Hashable) -> Dict[str, Any]:
+        """Where a job currently is (active/waiting/unknown)."""
+        return self.call({"op": "query", "job": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's metrics snapshot (counters, gauges, caches)."""
+        return self.call({"op": "stats"})["stats"]
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and shut down; returns its summary."""
+        return self.call({"op": "drain"})
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self.call({"op": "ping"})
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "AllocationClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

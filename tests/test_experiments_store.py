@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 
 import pytest
 
@@ -80,6 +81,71 @@ class TestMisses:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump({"not": "a result"}, fh)
         assert store.load(cell) is None
+
+
+def _age(path, seconds=7200.0):
+    """Back-date a file's mtime so the clear guard sees it as stale."""
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+class TestOrphanTmpAge:
+    """``clear(orphans_only=True)`` vs leaked ``mkstemp`` temp files."""
+
+    def _plant_tmp(self, tmp_path, name):
+        fanout = tmp_path / "ab"
+        fanout.mkdir(exist_ok=True)
+        path = fanout / name
+        path.write_text("{}", encoding="utf-8")
+        return path
+
+    def test_stale_tmp_swept_fresh_tmp_kept(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        store.save(result)
+        stale = self._plant_tmp(tmp_path, ".tmp-stale.json")
+        _age(stale)
+        fresh = self._plant_tmp(tmp_path, ".tmp-fresh.json")
+
+        removed, freed = store.clear(orphans_only=True)
+
+        assert removed == 1
+        assert freed > 0
+        assert not stale.exists()
+        # a live writer may own this one — untouched until it ages out
+        assert fresh.exists()
+        assert store.load(cell) is not None
+
+    def test_non_tmp_orphans_ignore_the_guard(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        store.save(result)
+        junk = self._plant_tmp(tmp_path, "debris.txt")  # brand new
+        removed, _ = store.clear(orphans_only=True)
+        assert removed == 1
+        assert not junk.exists()
+
+    def test_zero_age_sweeps_everything(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        stale = self._plant_tmp(tmp_path, ".tmp-stale.json")
+        _age(stale)
+        fresh = self._plant_tmp(tmp_path, ".tmp-fresh.json")
+        removed, _ = store.clear(orphans_only=True, tmp_age=0)
+        assert removed == 2
+        assert not stale.exists() and not fresh.exists()
+
+    def test_full_clear_ignores_the_guard(self, tmp_path, cell, result):
+        store = ResultStore(str(tmp_path))
+        store.save(result)
+        fresh = self._plant_tmp(tmp_path, ".tmp-fresh.json")
+        store.clear()
+        assert not fresh.exists()
+        assert store.load(cell) is None
+
+    def test_disk_stats_counts_tmp_as_orphans(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        self._plant_tmp(tmp_path, ".tmp-leak.json")
+        stats = store.disk_stats()
+        assert stats.orphans == 1
+        assert stats.orphan_bytes > 0
 
 
 class TestDefaults:

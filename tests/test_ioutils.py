@@ -1,0 +1,79 @@
+"""Regression tests for crash-durable atomic writes.
+
+``atomic_write_text`` used to skip the pre-rename fsync entirely, so a
+power loss after ``os.replace`` could leave the *renamed* file empty or
+torn once the page cache was dropped.  These tests pin the ordering:
+the temp file's data hits disk before the rename makes it visible.
+"""
+
+import os
+
+import pytest
+
+from repro.ioutils import atomic_write_text, fsync_dir
+
+
+class TestDurableOrdering:
+    def test_file_fsynced_before_rename(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "entry.json")
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            # record whether the rename has happened yet
+            events.append(("fsync", os.path.exists(target)))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", os.path.basename(src)))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+
+        atomic_write_text(target, "payload")
+
+        kinds = [e[0] for e in events]
+        assert "fsync" in kinds
+        assert "replace" in kinds
+        first_fsync = kinds.index("fsync")
+        rename = kinds.index("replace")
+        # The data fsync precedes the rename, while the target does
+        # not exist yet — i.e. it flushed the temp file, not the result.
+        assert first_fsync < rename
+        assert events[first_fsync] == ("fsync", False)
+        assert events[rename][1].startswith(".tmp-")
+        with open(target, encoding="utf-8") as fh:
+            assert fh.read() == "payload"
+
+    def test_durable_false_skips_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        target = str(tmp_path / "scratch.json")
+        atomic_write_text(target, "fast", durable=False)
+        assert calls == []
+        with open(target, encoding="utf-8") as fh:
+            assert fh.read() == "fast"
+
+    def test_failed_rename_leaves_no_debris(self, tmp_path, monkeypatch):
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        target = str(tmp_path / "entry.json")
+        with pytest.raises(OSError):
+            atomic_write_text(target, "payload")
+        assert not os.path.exists(target)
+        assert [
+            name for name in os.listdir(tmp_path)
+            if name.startswith(".tmp-")
+        ] == []
+
+
+class TestFsyncDir:
+    def test_existing_directory_syncs(self, tmp_path):
+        assert fsync_dir(str(tmp_path)) is True
+
+    def test_missing_directory_reports_false(self, tmp_path):
+        assert fsync_dir(str(tmp_path / "nope")) is False

@@ -167,3 +167,70 @@ class TestSpillTierUnderChurn:
             dynamics=dynamics,
         )
         assert _digest(warmed.log) == reference
+
+
+class TestSpillCorruptionCounting:
+    """Corrupt partitions must be counted, never silently swallowed."""
+
+    def _spilled_store(self, tmp_path):
+        fleet = FleetSpec.parse("dgx1-v100:2,dgx1-p100:1")
+        trace = (
+            ScenarioSpec(num_jobs=40, seed=3, name="spill-corrupt")
+            .resolve(fleet.min_gpus_per_server())
+            .build()
+        )
+        store = ScanSpillStore(root=str(tmp_path))
+        sim = run_cluster(fleet.build(), trace, scan_spill=store)
+        assert sim.scheduler.spill_scan_cache() > 0
+        return store
+
+    def test_truncated_partition_counted_load_still_succeeds(self, tmp_path):
+        store = self._spilled_store(tmp_path)
+        paths = store.partition_paths()
+        assert len(paths) >= 2
+        victim = paths[0]
+        with open(victim, encoding="utf-8") as fh:
+            data = fh.read()
+        with open(victim, "w", encoding="utf-8") as fh:
+            fh.write(data[: len(data) // 2])  # torn write mid-file
+
+        fresh = ScanSpillStore(root=str(tmp_path))
+        cache = ScanCache()
+        seeded = fresh.load(cache)
+        # The surviving partitions still rehydrate...
+        assert seeded > 0
+        # ...and the damage is visible instead of silent.
+        assert fresh.stats.corrupt_partitions == 1
+        assert fresh.stats.as_dict() == {
+            "corrupt_partitions": 1,
+            "skipped_entries": 0,
+        }
+
+    def test_version_mismatch_counts_as_corrupt(self, tmp_path):
+        store = self._spilled_store(tmp_path)
+        victim = store.partition_paths()[0]
+        with open(victim, "w", encoding="utf-8") as fh:
+            json.dump({"version": 999, "entries": []}, fh)
+        fresh = ScanSpillStore(root=str(tmp_path))
+        fresh.load(ScanCache())
+        assert fresh.stats.corrupt_partitions == 1
+
+    def test_verify_audits_without_mutating_stats(self, tmp_path):
+        store = self._spilled_store(tmp_path)
+        paths = store.partition_paths()
+        with open(paths[0], "w", encoding="utf-8") as fh:
+            fh.write("not json at all")
+
+        fresh = ScanSpillStore(root=str(tmp_path))
+        valid, corrupt = fresh.verify()
+        assert corrupt == 1
+        assert valid == len(paths) - 1
+        # verify() is a read-only audit: cumulative traffic counters
+        # only move on real load/spill activity.
+        assert fresh.stats.corrupt_partitions == 0
+
+    def test_clean_tier_verifies_clean(self, tmp_path):
+        store = self._spilled_store(tmp_path)
+        valid, corrupt = store.verify()
+        assert corrupt == 0
+        assert valid == len(store.partition_paths())
