@@ -1,0 +1,252 @@
+"""Sweep-transport benchmark: binary tier + zero-copy return path.
+
+Three measurements pin the PR's perf claims, two of them CI-gated:
+
+* **worker-return payload** — what one simulated cell costs to send
+  back from a worker: the historical pickled
+  :class:`~repro.experiments.store.CellResult`, the JSON entry, the
+  ``.mlog`` payload (the inline rung), and the pickled
+  :class:`~repro.experiments.transport.CellHandle` descriptor (the
+  shm rung — what actually crosses the pipe).  **Gates**: ``.mlog`` is
+  ≥2x smaller than JSON, and the descriptor ≥2x smaller than pickle.
+* **cached-sweep re-read throughput** — a warm store replayed
+  summary-only through the JSON tier versus the binary tier (lazy
+  ``.mlog`` decode, column-level aggregation).  **Gate**: the binary
+  tier is ≥3x faster.
+* **scenario sampling** — the vectorised
+  :meth:`~repro.scenarios.mixes.JobMix.sample` name gather versus the
+  per-job reference loop over the same draws (not gated: both are
+  byte-identical by construction; the table just records the win).
+
+The run writes ``sweep_transport_stats.json`` under the results
+directory — the artifact the CI ``sweep-transport`` job uploads.
+
+Wall-clock numbers vary by machine; the byte-identity locks live in
+the unit and property tests.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_sweep_transport.py
+"""
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments import ResultStore, TraceSpec
+from repro.experiments.runner import SweepRunner, simulate_cell
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.transport import (
+    TransportConfig,
+    _release_worker_arena,
+    new_run_id,
+    pack_result,
+)
+from repro.ioutils import atomic_write_text
+from repro.scenarios import paper_mix
+from repro.sim.records import encode_mlog
+
+try:
+    from conftest import RESULTS_DIR, emit
+except ImportError:  # standalone run, outside pytest's benchmarks rootdir
+    RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+    def emit(experiment: str, text: str) -> None:
+        print(f"\n===== {experiment} =====\n{text}")
+
+#: Jobs per grid cell — large enough that per-job record parsing (the
+#: JSON tier's cost) dominates fixed overheads.
+NUM_JOBS = int(os.environ.get("MAPA_TRANSPORT_JOBS", "1200"))
+
+#: Re-read repetitions per tier (minima reported).
+REPS = int(os.environ.get("MAPA_TRANSPORT_REPS", "5"))
+
+#: Scenario-sampling micro-benchmark size.
+SAMPLE_JOBS = int(os.environ.get("MAPA_TRANSPORT_SAMPLE", "200000"))
+
+#: CI gates (see ISSUE acceptance criteria).
+PAYLOAD_GATE = 2.0
+REREAD_GATE = 3.0
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="bench-transport",
+        topologies=("dgx1-v100",),
+        policies=("baseline", "preserve", "greedy"),
+        disciplines=("fifo",),
+        trace=TraceSpec(num_jobs=NUM_JOBS),
+    )
+
+
+def measure_payload_sizes(results) -> Dict[str, float]:
+    """Bytes per return rung for one representative cell."""
+    result = results[0]
+    pickled = len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+    json_bytes = len(json.dumps(result.to_dict()).encode("utf-8"))
+    mlog_bytes = len(
+        encode_mlog(
+            result.log,
+            meta={"config_hash": result.config_hash, "label": result.label},
+        )
+    )
+    handle = pack_result(result, TransportConfig(run_id=new_run_id()))
+    handle_bytes = len(pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL))
+    _release_worker_arena()
+    return {
+        "pickle_bytes": pickled,
+        "json_bytes": json_bytes,
+        "mlog_bytes": mlog_bytes,
+        "handle_bytes": handle_bytes,
+        "json_over_mlog": json_bytes / mlog_bytes,
+        "pickle_over_handle": pickled / handle_bytes,
+    }
+
+
+def measure_reread(cells, results) -> Dict[str, float]:
+    """Summary-only warm-sweep wall time per tier (best of REPS)."""
+    with tempfile.TemporaryDirectory() as td:
+        json_store = ResultStore(td, binary=False)
+        for result in results:
+            json_store.save(result)
+        for cell in cells:  # read-through migration writes the .mlog twin
+            ResultStore(td).load(cell)
+
+        def reread(binary: bool) -> float:
+            best = float("inf")
+            for _ in range(REPS):
+                store = ResultStore(td, binary=binary)
+                t0 = time.perf_counter()
+                outcome = SweepRunner(store=store).run(list(cells))
+                outcome.summary_rows()
+                best = min(best, time.perf_counter() - t0)
+            assert store.hits == len(cells), "warm re-read missed the cache"
+            return best
+
+        json_s = reread(binary=False)
+        mlog_s = reread(binary=True)
+    total_jobs = NUM_JOBS * len(cells)
+    return {
+        "json_reread_s": json_s,
+        "mlog_reread_s": mlog_s,
+        "json_jobs_per_sec": total_jobs / json_s,
+        "mlog_jobs_per_sec": total_jobs / mlog_s,
+        "reread_speedup": json_s / mlog_s,
+    }
+
+
+def measure_sampling() -> Dict[str, float]:
+    """Vectorised vs per-job-loop JobMix name gather (same draws)."""
+    mix = paper_mix().resolve(8)
+    vec_s = loop_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        names, sizes = mix.sample(SAMPLE_JOBS, np.random.default_rng(2021))
+        vec_s = min(vec_s, time.perf_counter() - t0)
+    rng = np.random.default_rng(2021)
+    for _ in range(3):
+        rng = np.random.default_rng(2021)
+        t0 = time.perf_counter()
+        w_idx = rng.choice(
+            len(mix.workloads), size=SAMPLE_JOBS, p=mix.workload_weights
+        )
+        np.asarray(mix.gpu_sizes)[
+            rng.choice(
+                len(mix.gpu_sizes), size=SAMPLE_JOBS, p=mix.gpu_weights
+            )
+        ]
+        loop_names = tuple(mix.workloads[i] for i in w_idx)
+        loop_s = min(loop_s, time.perf_counter() - t0)
+    assert loop_names == names, "vectorised gather diverged from the loop"
+    return {
+        "sample_jobs": SAMPLE_JOBS,
+        "sample_vectorized_s": vec_s,
+        "sample_loop_s": loop_s,
+        "sample_speedup": loop_s / vec_s,
+    }
+
+
+def build_table() -> Tuple[str, dict]:
+    """The result table plus the stats payload the CI job uploads."""
+    cells = list(_spec().expand())
+    results = [simulate_cell(cell) for cell in cells]
+    payload = measure_payload_sizes(results)
+    reread = measure_reread(cells, results)
+    sampling = measure_sampling()
+    rows: List[List[object]] = [
+        ["pickled CellResult (B)", f"{payload['pickle_bytes']}"],
+        ["JSON entry (B)", f"{payload['json_bytes']}"],
+        [".mlog payload (B)", f"{payload['mlog_bytes']}"],
+        ["shm descriptor (B)", f"{payload['handle_bytes']}"],
+        ["JSON : .mlog", f"{payload['json_over_mlog']:.2f}x"],
+        ["pickle : descriptor", f"{payload['pickle_over_handle']:.0f}x"],
+        ["JSON-tier re-read (ms)", f"{1e3 * reread['json_reread_s']:.2f}"],
+        ["binary re-read (ms)", f"{1e3 * reread['mlog_reread_s']:.2f}"],
+        ["re-read speedup", f"{reread['reread_speedup']:.1f}x"],
+        [
+            "sampling gather speedup",
+            f"{sampling['sample_speedup']:.1f}x "
+            f"({SAMPLE_JOBS} draws)",
+        ],
+    ]
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Sweep transport — {len(cells)} cells x {NUM_JOBS} jobs "
+            f"(gates: payload ≥{PAYLOAD_GATE:.0f}x, "
+            f"re-read ≥{REREAD_GATE:.0f}x)"
+        ),
+    )
+    stats = {
+        "bench": "sweep_transport",
+        "cells": len(cells),
+        "num_jobs": NUM_JOBS,
+        "gates": {"payload": PAYLOAD_GATE, "reread": REREAD_GATE},
+        **payload,
+        **reread,
+        **sampling,
+    }
+    return text, stats
+
+
+def _assert_gates(stats: dict) -> None:
+    """The CI gates, shared by pytest and standalone runs."""
+    assert stats["json_over_mlog"] >= PAYLOAD_GATE, (
+        f".mlog payload only {stats['json_over_mlog']:.2f}x smaller "
+        f"than JSON (gate {PAYLOAD_GATE:.0f}x)"
+    )
+    assert stats["pickle_over_handle"] >= PAYLOAD_GATE, (
+        f"shm descriptor only {stats['pickle_over_handle']:.2f}x smaller "
+        f"than the pickled result (gate {PAYLOAD_GATE:.0f}x)"
+    )
+    assert stats["reread_speedup"] >= REREAD_GATE, (
+        f"binary-tier re-read only {stats['reread_speedup']:.2f}x faster "
+        f"than the JSON tier (gate {REREAD_GATE:.0f}x)"
+    )
+
+
+def _write_stats(stats: dict) -> None:
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, "sweep_transport_stats.json"),
+        json.dumps(stats, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def test_sweep_transport(benchmark):
+    text, stats = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("sweep_transport", text)
+    _write_stats(stats)
+    _assert_gates(stats)
+
+
+if __name__ == "__main__":
+    table_text, run_stats = build_table()
+    emit("sweep_transport", table_text)
+    _write_stats(run_stats)
+    _assert_gates(run_stats)
+    print("gates passed")

@@ -83,10 +83,34 @@ def log_to_csv(log, path: Optional[str] = None) -> str:
     return text
 
 
+def log_columns_to_csv(log, path: Optional[str] = None) -> str:
+    """Export a log's *numeric* columns as CSV, without rehydration.
+
+    The column-level sibling of :func:`log_to_csv`: reads through
+    :meth:`~repro.sim.records.SimulationLog.numeric_columns` (plus the
+    derived wait/execution times), so a log decoded lazily from the
+    binary tier or a shared-memory arena is exported straight from its
+    zero-copy buffers — no :class:`~repro.sim.records.JobRecord` is
+    ever materialised.  String columns (workload, pattern, allocation)
+    are deliberately absent; use :func:`log_to_csv` when you need them.
+    """
+    cols = log.numeric_columns()
+    names = list(cols) + ["wait_time", "execution_time"]
+    wait = cols["start_time"] - cols["submit_time"]
+    exec_time = cols["finish_time"] - cols["start_time"]
+    series = [cols[name] for name in cols] + [wait, exec_time]
+    rows = [
+        [float(col[i]) for col in series] for i in range(len(wait))
+    ]
+    return series_to_csv(names, rows, path)
+
+
 def sweep_to_csv(outcome, path: Optional[str] = None) -> str:
     """Export a :class:`~repro.experiments.runner.SweepOutcome`'s
     per-cell summary (one row per grid cell) — what ``mapa sweep
-    --format csv`` prints."""
+    --format csv`` prints.  Summary rows aggregate through the logs'
+    column readers, so a summary-only export of a cached or zero-copy
+    sweep never rehydrates per-job records."""
     from ..experiments.runner import SUMMARY_COLUMNS
 
     return series_to_csv(list(SUMMARY_COLUMNS), outcome.summary_rows(), path)

@@ -39,6 +39,29 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_sweep_summary(
+    outcome,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render a sweep's per-cell summary as the standard ASCII table.
+
+    The table twin of :func:`repro.analysis.export.sweep_to_csv`:
+    both read through
+    :meth:`~repro.experiments.runner.SweepOutcome.summary_rows`, whose
+    aggregation is column-level — rendering the summary of a cached or
+    zero-copy sweep never materialises a per-job record.
+    """
+    from ..experiments.runner import SUMMARY_COLUMNS
+
+    return format_table(
+        list(SUMMARY_COLUMNS),
+        outcome.summary_rows(),
+        title=title,
+        float_fmt=float_fmt,
+    )
+
+
 def format_series(
     name: str,
     points: Iterable[Sequence[float]],

@@ -263,17 +263,17 @@ def _run_sweep(args: argparse.Namespace, trace, trace_label: str) -> int:
     elif args.format == "csv":
         print(sweep_to_csv(outcome), end="")
     else:
+        from .analysis.tables import format_sweep_summary
+
         print(
-            format_table(
-                list(SUMMARY_COLUMNS),
-                rows,
+            format_sweep_summary(
+                outcome,
                 title=(
                     f"Sweep: {len(spec.topologies)} topologies × "
                     f"{len(spec.policies)} policies × "
                     f"{len(spec.disciplines)} disciplines, "
                     f"{trace_label}"
                 ),
-                float_fmt="{:.1f}",
             )
         )
     print(
@@ -609,6 +609,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             [
                 "sweep entry bytes",
                 f"{stats.total_bytes} ({stats.total_mib:.2f} MiB)",
+            ],
+            ["json entries", str(stats.json_entries)],
+            [
+                "json entry bytes",
+                f"{stats.json_bytes} ({stats.json_mib:.2f} MiB)",
+            ],
+            ["mlog payloads", str(stats.mlog_entries)],
+            [
+                "mlog payload bytes",
+                f"{stats.mlog_bytes} ({stats.mlog_mib:.2f} MiB)",
             ],
             ["scan partitions", str(stats.scan_entries)],
             [

@@ -24,6 +24,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
+from itertools import repeat
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -38,6 +39,15 @@ from ..topology.builders import by_name
 from .spec import CellConfig, ExperimentSpec
 from .spill import ScanSpillStore
 from .store import CellResult, ResultStore
+from .transport import (
+    DEFAULT_ARENA_BYTES,
+    ArenaReader,
+    CellHandle,
+    CellReturn,
+    TransportConfig,
+    new_run_id,
+    pack_result,
+)
 
 #: Environment variable naming the persistent scan-tier root.  Worker
 #: processes read it (the executor's fork/spawn children inherit the
@@ -171,6 +181,20 @@ def simulate_cell(cell: CellConfig) -> CellResult:
     )
 
 
+def simulate_cell_packed(
+    cell: CellConfig, config: TransportConfig
+) -> CellReturn:
+    """Worker entry point of the zero-copy return path.
+
+    Simulates the cell, then ships back a shared-memory / spilled /
+    inline ``.mlog`` descriptor instead of the pickled record list
+    (see :mod:`repro.experiments.transport` for the fallback ladder).
+    Module-level so the executor can pickle it; the transport config
+    travels per call because the persistent pool outlives any run.
+    """
+    return pack_result(simulate_cell(cell), config)
+
+
 @dataclass
 class SweepOutcome:
     """Everything a sweep produced, in expansion order."""
@@ -180,6 +204,10 @@ class SweepOutcome:
     results: Dict[CellConfig, CellResult]
     elapsed: float = 0.0
     jobs: int = 1
+    #: Parent-side reader of the workers' shared-memory arenas.  Logs
+    #: returned through the zero-copy path are lazy views into these
+    #: segments, so the reader lives exactly as long as the outcome.
+    transport: Optional[ArenaReader] = None
 
     @property
     def num_cells(self) -> int:
@@ -226,22 +254,24 @@ class SweepOutcome:
         return {c.policy: self.results[c].log for c in cells}
 
     def summary_rows(self) -> List[List[object]]:
-        """Per-cell summary metrics (the sweep CLI's table rows)."""
+        """Per-cell summary metrics (the sweep CLI's table rows).
+
+        Aggregates through :meth:`SimulationLog.numeric_columns`, so a
+        summary-only sweep over zero-copy or binary-tier logs never
+        materialises a single :class:`~repro.sim.records.JobRecord`.
+        The numpy reductions see the same float64 values in the same
+        order as the historical per-record comprehensions, so every
+        row is byte-identical to the record-at-a-time implementation.
+        """
         rows: List[List[object]] = []
         for cell in self.cells:
             result = self.results[cell]
             log = result.log
-            waits = [r.wait_time for r in log.records]
-            sens = [
-                r.execution_time
-                for r in log.sensitive()
-                if r.num_gpus > 1
-            ]
-            effbw = [
-                r.predicted_effective_bw
-                for r in log.sensitive()
-                if r.num_gpus > 1
-            ]
+            cols = log.numeric_columns()
+            waits = cols["start_time"] - cols["submit_time"]
+            mask = cols["bandwidth_sensitive"] & (cols["num_gpus"] > 1)
+            sens = (cols["finish_time"] - cols["start_time"])[mask]
+            effbw = cols["predicted_effective_bw"][mask]
             rows.append(
                 [
                     cell.topology,
@@ -249,9 +279,9 @@ class SweepOutcome:
                     cell.discipline,
                     len(log),
                     log.makespan,
-                    float(np.mean(waits)) if waits else 0.0,
-                    float(np.quantile(sens, 0.75)) if sens else 0.0,
-                    float(np.mean(effbw)) if effbw else 0.0,
+                    float(np.mean(waits)) if waits.size else 0.0,
+                    float(np.quantile(sens, 0.75)) if sens.size else 0.0,
+                    float(np.mean(effbw)) if effbw.size else 0.0,
                     3600.0 * log.throughput,
                     "cached" if result.cached else "simulated",
                 ]
@@ -293,6 +323,13 @@ class SweepRunner:
         partitions and spill fresh winners back after each simulated
         cell; passed to workers through :data:`SCAN_SPILL_ENV`.
         ``None`` (the default) leaves the tier disabled.
+    arena_bytes:
+        Size of each worker's per-run shared-memory arena for the
+        zero-copy return path.  ``0`` disables the arena — workers
+        then spill ``.mlog`` payloads into the store's binary tier or
+        inline them on the pipe; the descriptor path itself cannot be
+        disabled short of the codec's own fallback to plain pickled
+        results.
     """
 
     def __init__(
@@ -300,12 +337,14 @@ class SweepRunner:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         scan_spill: Optional[str] = None,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be ≥ 1")
         self.store = store
         self.jobs = jobs
         self.scan_spill = scan_spill
+        self.arena_bytes = arena_bytes
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
 
@@ -345,9 +384,23 @@ class SweepRunner:
             else:
                 missing.append(cell)
 
-        for cell, result in zip(missing, self._simulate(missing)):
-            if self.store is not None:
-                self.store.save(result)
+        reader = ArenaReader()
+        for cell, returned in zip(missing, self._simulate(missing)):
+            if isinstance(returned, CellHandle):
+                if self.store is not None:
+                    payload = reader.payload_bytes(returned)
+                    if payload is not None:
+                        # "stored" handles are already in the binary
+                        # tier; shm/inline payloads persist as-is —
+                        # no re-encode, no record materialisation.
+                        self.store.save_payload(
+                            returned.config_hash, payload
+                        )
+                result = reader.materialize(returned)
+            else:
+                result = returned
+                if self.store is not None:
+                    self.store.save(result)
             results[cell] = result
 
         return SweepOutcome(
@@ -356,9 +409,10 @@ class SweepRunner:
             results=results,
             elapsed=time.perf_counter() - started,
             jobs=self.jobs,
+            transport=reader,
         )
 
-    def _simulate(self, cells: Sequence[CellConfig]) -> List[CellResult]:
+    def _simulate(self, cells: Sequence[CellConfig]) -> List[CellReturn]:
         """Simulate cache-miss cells, serially or across worker processes."""
         if not cells:
             return []
@@ -379,10 +433,24 @@ class SweepRunner:
                 os.environ[SCAN_SPILL_ENV] = previous
             _reset_spill_state()
 
-    def _simulate_cells(self, cells: Sequence[CellConfig]) -> List[CellResult]:
+    def _simulate_cells(self, cells: Sequence[CellConfig]) -> List[CellReturn]:
+        """Run cache-miss cells; parallel runs return zero-copy handles.
+
+        The serial path stays in-process — no pickling, so descriptors
+        would only add copies — and returns plain results.
+        """
         if self.jobs == 1 or len(cells) == 1:
             return [simulate_cell(cell) for cell in cells]
-        return list(self._ensure_pool().map(simulate_cell, cells))
+        config = TransportConfig(
+            run_id=new_run_id(),
+            arena_bytes=self.arena_bytes,
+            store_root=self.store.root if self.store is not None else None,
+        )
+        return list(
+            self._ensure_pool().map(
+                simulate_cell_packed, cells, repeat(config)
+            )
+        )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """This runner's persistent executor, (re)built only when needed.

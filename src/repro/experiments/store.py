@@ -1,11 +1,21 @@
 """Content-addressed cache of sweep cell results.
 
 Each simulated cell persists its :class:`~repro.sim.records.SimulationLog`
-(plus summary metrics) as JSON under the cell's config hash, so an
-identical re-run — same trace, topology, policy, discipline, model —
-is served from disk instead of re-simulating.  Floats round-trip
-through JSON bit-exactly, so every table derived from a cached log is
-byte-identical to one derived from a fresh simulation.
+(plus summary metrics) under the cell's config hash, so an identical
+re-run — same trace, topology, policy, discipline, model — is served
+from disk instead of re-simulating.
+
+Two payload tiers share the fan-out layout.  The default **binary
+tier** stores the log as an ``.mlog`` payload (the columnar codec of
+:mod:`repro.sim.records` — versioned header, dtype manifest,
+per-column CRC), decoded lazily so summary-only readers never
+materialise per-job records.  The **JSON tier** is the reference
+encoding and the back-compat path: pre-binary stores keep working, and
+a JSON entry read through a binary store is transparently migrated (an
+``.mlog`` twin is written next to it on first load).  Both encodings
+round-trip floats bit-exactly, so every table derived from a cached
+log is byte-identical to one derived from a fresh simulation — and to
+each other.
 
 Writes are atomic (temp file + ``os.replace``) because sweep workers
 run in parallel and several processes may target the same store.
@@ -18,9 +28,18 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
-from ..ioutils import atomic_write_text
-from ..sim.records import SimulationLog
+from ..ioutils import atomic_write_bytes, atomic_write_text
+from ..sim.records import (
+    MlogEncodeError,
+    MlogError,
+    SimulationLog,
+    decode_mlog,
+    encode_mlog,
+)
 from .spec import CellConfig
+
+#: File suffix of the binary-tier payloads.
+MLOG_SUFFIX = ".mlog"
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "MAPA_SWEEP_CACHE"
@@ -88,13 +107,17 @@ class CellResult:
 class StoreStats:
     """Disk-usage summary of one :class:`ResultStore` (``mapa cache stats``).
 
-    Two tiers share the cache root: sweep-cell *entries* directly under
-    it, and spilled scan-cache partitions (*scan entries*) under the
-    ``scan/`` subtree (see :mod:`repro.experiments.spill`).  ``orphans``
-    counts files in neither tier — leftover temp files from interrupted
-    pre-atomic-write runs, misplaced hashes (entry not in its own
-    two-character fan-out directory), or stray non-JSON files, in
-    either subtree.
+    Three payload tiers share the cache root: sweep-cell results as
+    binary ``.mlog`` payloads and/or JSON entries directly under it
+    (one cell may own both — a migrated entry keeps its JSON twin for
+    back-compat), and spilled scan-cache partitions (*scan entries*)
+    under the ``scan/`` subtree (see :mod:`repro.experiments.spill`).
+    ``entries`` counts **distinct cached cells** (the union of both
+    sweep tiers); ``json_entries``/``mlog_entries`` break the files
+    down per tier.  ``orphans`` counts files in no tier — leftover
+    temp files from interrupted pre-atomic-write runs, misplaced
+    hashes (entry not in its own two-character fan-out directory), or
+    stray files of neither suffix, in either subtree.
     """
 
     entries: int
@@ -103,10 +126,14 @@ class StoreStats:
     orphan_bytes: int
     scan_entries: int = 0
     scan_bytes: int = 0
+    json_entries: int = 0
+    json_bytes: int = 0
+    mlog_entries: int = 0
+    mlog_bytes: int = 0
 
     @property
     def total_mib(self) -> float:
-        """Cell-entry payload size in MiB."""
+        """Cell-entry payload size in MiB (both sweep tiers)."""
         return self.total_bytes / (1024 * 1024)
 
     @property
@@ -114,49 +141,180 @@ class StoreStats:
         """Spilled scan-partition payload size in MiB."""
         return self.scan_bytes / (1024 * 1024)
 
+    @property
+    def json_mib(self) -> float:
+        """JSON-tier payload size in MiB."""
+        return self.json_bytes / (1024 * 1024)
+
+    @property
+    def mlog_mib(self) -> float:
+        """Binary-tier (``.mlog``) payload size in MiB."""
+        return self.mlog_bytes / (1024 * 1024)
+
+    def tier_rows(self) -> List[Tuple[str, int, int]]:
+        """``(tier, files, bytes)`` rows shared by the CLI and daemon."""
+        return [
+            ("json", self.json_entries, self.json_bytes),
+            ("mlog", self.mlog_entries, self.mlog_bytes),
+            ("scan", self.scan_entries, self.scan_bytes),
+        ]
+
 
 class ResultStore:
-    """Filesystem-backed map from config hash to :class:`CellResult`."""
+    """Filesystem-backed map from config hash to :class:`CellResult`.
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    ``binary=True`` (the default) saves new results to the ``.mlog``
+    tier and lazily decodes loads from it; ``binary=False`` pins the
+    store to the JSON reference tier (used by the migration smoke and
+    as the automatic fallback for logs the binary codec cannot
+    represent).  Loading always understands both tiers.
+    """
+
+    def __init__(self, root: Optional[str] = None, binary: bool = True) -> None:
         self.root = root or default_cache_dir()
+        self.binary = binary
         self.hits = 0
         self.misses = 0
+        #: Loads served by the binary / JSON tier, and JSON entries
+        #: that gained an ``.mlog`` twin via read-through migration.
+        self.mlog_hits = 0
+        self.json_hits = 0
+        self.migrations = 0
 
     # ------------------------------------------------------------------ #
     def _path(self, config_hash: str) -> str:
-        """Entry path: two-character fan-out directory + hash file name."""
+        """JSON entry path: two-character fan-out dir + hash file name."""
         return os.path.join(self.root, config_hash[:2], f"{config_hash}.json")
 
+    def _mlog_path(self, config_hash: str) -> str:
+        """Binary-tier path of a cell (same fan-out, ``.mlog`` suffix)."""
+        return os.path.join(
+            self.root, config_hash[:2], f"{config_hash}{MLOG_SUFFIX}"
+        )
+
+    def payload_path(self, config_hash: str) -> str:
+        """Public binary-tier path (sweep workers spill directly here)."""
+        return self._mlog_path(config_hash)
+
     def __contains__(self, cell: CellConfig) -> bool:
-        """Whether a cell's result is already on disk."""
-        return os.path.exists(self._path(cell.config_hash()))
+        """Whether a cell's result is already on disk (either tier)."""
+        config_hash = cell.config_hash()
+        return os.path.exists(self._mlog_path(config_hash)) or os.path.exists(
+            self._path(config_hash)
+        )
+
+    def _load_mlog(self, config_hash: str) -> Optional[CellResult]:
+        """Decode the binary-tier entry, or ``None`` when absent/invalid."""
+        try:
+            with open(self._mlog_path(config_hash), "rb") as fh:
+                payload = fh.read()
+        except OSError:
+            return None
+        try:
+            meta, log = decode_mlog(payload, lazy=True)
+        except MlogError:
+            return None
+        stored_hash = meta.get("config_hash")
+        if stored_hash is not None and stored_hash != config_hash:
+            return None  # misfiled payload — treat as a miss
+        return CellResult(
+            config_hash=config_hash,
+            label=str(meta.get("label", "")),
+            log=log,
+            cached=True,
+        )
+
+    def _load_json(self, config_hash: str) -> Optional[CellResult]:
+        """Decode the JSON reference entry, or ``None`` when absent/invalid."""
+        try:
+            with open(self._path(config_hash), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+        try:
+            return CellResult.from_dict(payload, cached=True)
+        except (KeyError, TypeError):
+            return None
 
     def load(self, cell: CellConfig) -> Optional[CellResult]:
         """Return the cached result for ``cell``, or ``None`` on a miss.
 
-        Unreadable or truncated entries (e.g. from an interrupted run on
-        a pre-atomic-write store) count as misses.
+        The binary tier is tried first (and decoded lazily — numeric
+        summaries never materialise per-job records); the JSON tier is
+        the fallback, and a JSON hit on a binary store triggers
+        read-through migration: the decoded log is re-encoded and an
+        ``.mlog`` twin written next to the entry, so the next load is
+        binary.  Unreadable or truncated entries (e.g. from an
+        interrupted run on a pre-atomic-write store) count as misses.
         """
-        path = self._path(cell.config_hash())
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError, ValueError):
-            self.misses += 1
-            return None
-        try:
-            result = CellResult.from_dict(payload, cached=True)
-        except (KeyError, TypeError):
+        config_hash = cell.config_hash()
+        if self.binary:
+            result = self._load_mlog(config_hash)
+            if result is not None:
+                self.hits += 1
+                self.mlog_hits += 1
+                return result
+        result = self._load_json(config_hash)
+        if result is None:
             self.misses += 1
             return None
         self.hits += 1
+        self.json_hits += 1
+        if self.binary and not os.path.exists(self._mlog_path(config_hash)):
+            try:
+                payload = encode_mlog(
+                    result.log,
+                    meta={"config_hash": config_hash, "label": result.label},
+                )
+                atomic_write_bytes(self._mlog_path(config_hash), payload)
+            except (MlogEncodeError, OSError):
+                pass  # migration is best-effort; JSON stays authoritative
+            else:
+                self.migrations += 1
         return result
 
     def save(self, result: CellResult) -> str:
-        """Atomically persist ``result``; returns the entry's path."""
+        """Atomically persist ``result``; returns the entry's path.
+
+        Binary stores write the ``.mlog`` payload; logs the codec
+        cannot represent (and JSON-pinned stores) take the JSON
+        reference path instead.
+        """
+        if self.binary:
+            try:
+                payload = encode_mlog(
+                    result.log,
+                    meta={
+                        "config_hash": result.config_hash,
+                        "label": result.label,
+                    },
+                )
+            except MlogEncodeError:
+                pass  # fall back to the reference encoding below
+            else:
+                return atomic_write_bytes(
+                    self._mlog_path(result.config_hash), payload
+                )
         path = self._path(result.config_hash)
         return atomic_write_text(path, json.dumps(result.to_dict()))
+
+    def save_payload(self, config_hash: str, payload: bytes) -> str:
+        """Atomically persist an already-encoded ``.mlog`` payload.
+
+        The zero-copy sweep path uses this from worker processes: a
+        worker whose shared-memory arena is full spills the encoded
+        payload straight into the binary tier and returns only a
+        descriptor.
+        """
+        return atomic_write_bytes(self._mlog_path(config_hash), payload)
+
+    def load_payload(self, config_hash: str) -> Optional[bytes]:
+        """Raw binary-tier payload bytes, or ``None`` when absent."""
+        try:
+            with open(self._mlog_path(config_hash), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
 
     # ------------------------------------------------------------------ #
     # maintenance (the ``mapa cache`` subcommand)
@@ -166,63 +324,106 @@ class ResultStore:
     #: here so the store never imports the spill module).
     SCAN_SUBDIR = "scan"
 
-    def _walk(self) -> Iterator[Tuple[str, str]]:
-        """Yield ``(path, kind)`` for every file under the root.
+    def _scan(self) -> Iterator[Tuple["os.DirEntry[str]", str]]:
+        """Yield ``(direntry, kind)`` for every file under the root.
 
-        ``kind`` is ``"entry"`` (a sweep-cell result in its own
+        ``kind`` is ``"entry"`` (a JSON sweep-cell result in its own
         two-character fan-out directory, named ``<config_hash>.json``
-        with the directory as the hash prefix), ``"scan"`` (a spilled
-        scan-cache partition obeying the same discipline under the
-        ``scan/`` subtree), or ``"orphan"`` — stray temp files,
-        misplaced hashes, non-JSON debris, in either subtree.
+        with the directory as the hash prefix), ``"mlog"`` (a
+        binary-tier payload obeying the same discipline), ``"scan"``
+        (a spilled scan-cache partition under the ``scan/`` subtree),
+        or ``"orphan"`` — stray temp files, misplaced hashes, debris
+        of neither suffix, in either subtree.
+
+        Built on :func:`os.scandir` so callers sizing the store get the
+        dirent-cached ``stat`` without ever *opening* a payload —
+        ``disk_stats`` must scale with entry count, not cache bytes.
         """
         if not os.path.isdir(self.root):
             return
-        for dirpath, _, filenames in os.walk(self.root):
-            rel = os.path.relpath(dirpath, self.root)
-            parts = rel.split(os.sep)
-            scan_tier = parts[0] == self.SCAN_SUBDIR
-            fanout = parts[1] if scan_tier and len(parts) == 2 else (
-                rel if not scan_tier and len(parts) == 1 else None
-            )
-            for name in filenames:
-                path = os.path.join(dirpath, name)
-                stem, ext = os.path.splitext(name)
-                valid = (
-                    ext == ".json"
-                    and fanout is not None
-                    and fanout != os.curdir
-                    and len(fanout) == 2
-                    and stem[:2] == fanout
-                    and len(stem) > 2
-                )
-                if not valid:
-                    yield path, "orphan"
-                elif scan_tier:
-                    yield path, "scan"
-                else:
-                    yield path, "entry"
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(self.root, ())]
+        while stack:
+            dirpath, parts = stack.pop()
+            try:
+                it = os.scandir(dirpath)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            with it:
+                for dirent in it:
+                    if dirent.is_dir(follow_symlinks=False):
+                        stack.append((dirent.path, parts + (dirent.name,)))
+                        continue
+                    scan_tier = bool(parts) and parts[0] == self.SCAN_SUBDIR
+                    fanout = (
+                        parts[1] if scan_tier and len(parts) == 2 else (
+                            parts[0]
+                            if not scan_tier and len(parts) == 1
+                            else None
+                        )
+                    )
+                    stem, ext = os.path.splitext(dirent.name)
+                    valid = (
+                        ext in (".json", MLOG_SUFFIX)
+                        and fanout is not None
+                        and len(fanout) == 2
+                        and stem[:2] == fanout
+                        and len(stem) > 2
+                    )
+                    if not valid:
+                        yield dirent, "orphan"
+                    elif scan_tier:
+                        # the scan tier is JSON-only; an .mlog there
+                        # is debris
+                        yield dirent, (
+                            "scan" if ext == ".json" else "orphan"
+                        )
+                    else:
+                        yield dirent, (
+                            "entry" if ext == ".json" else "mlog"
+                        )
+
+    def _walk(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(path, kind)`` for every file under the root."""
+        for dirent, kind in self._scan():
+            yield dirent.path, kind
 
     def entry_paths(self) -> List[str]:
-        """Paths of every valid cell entry currently on disk (sorted)."""
+        """Paths of every valid JSON cell entry on disk (sorted)."""
         return sorted(path for path, kind in self._walk() if kind == "entry")
+
+    def mlog_paths(self) -> List[str]:
+        """Paths of every binary-tier payload on disk (sorted)."""
+        return sorted(path for path, kind in self._walk() if kind == "mlog")
 
     def scan_entry_paths(self) -> List[str]:
         """Paths of every spilled scan partition on disk (sorted)."""
         return sorted(path for path, kind in self._walk() if kind == "scan")
 
     def disk_stats(self) -> StoreStats:
-        """Per-tier counts and byte totals for ``mapa cache stats``."""
-        entries = total = orphans = orphan_bytes = 0
-        scan_entries = scan_bytes = 0
-        for path, kind in self._walk():
+        """Per-tier counts and byte totals for ``mapa cache stats``.
+
+        Sizes come exclusively from the directory scan's ``stat``
+        results — no payload is ever opened or parsed, so the call
+        costs one ``stat`` per file regardless of how many gigabytes
+        the cache holds.  ``entries`` counts distinct cells: a
+        migrated cell (JSON + ``.mlog`` side by side) is one entry.
+        """
+        json_entries = json_bytes = orphans = orphan_bytes = 0
+        mlog_entries = mlog_bytes = scan_entries = scan_bytes = 0
+        cells = set()
+        for dirent, kind in self._scan():
             try:
-                size = os.path.getsize(path)
+                size = dirent.stat(follow_symlinks=False).st_size
             except OSError:  # pragma: no cover - racing deletion
                 continue
             if kind == "entry":
-                entries += 1
-                total += size
+                json_entries += 1
+                json_bytes += size
+                cells.add(os.path.splitext(dirent.name)[0])
+            elif kind == "mlog":
+                mlog_entries += 1
+                mlog_bytes += size
+                cells.add(os.path.splitext(dirent.name)[0])
             elif kind == "scan":
                 scan_entries += 1
                 scan_bytes += size
@@ -230,12 +431,16 @@ class ResultStore:
                 orphans += 1
                 orphan_bytes += size
         return StoreStats(
-            entries=entries,
-            total_bytes=total,
+            entries=len(cells),
+            total_bytes=json_bytes + mlog_bytes,
             orphans=orphans,
             orphan_bytes=orphan_bytes,
             scan_entries=scan_entries,
             scan_bytes=scan_bytes,
+            json_entries=json_entries,
+            json_bytes=json_bytes,
+            mlog_entries=mlog_entries,
+            mlog_bytes=mlog_bytes,
         )
 
     def clear(

@@ -28,6 +28,36 @@ def fsync_dir(directory: str) -> bool:
         os.close(fd)
 
 
+def atomic_write_bytes(path: str, data: bytes, durable: bool = True) -> str:
+    """Binary twin of :func:`atomic_write_text`; returns ``path``.
+
+    Same temp-file + ``os.replace`` discipline and the same
+    ``durable`` fsync semantics, for payloads that are already bytes
+    (the result store's ``.mlog`` tier and shared-memory spill files).
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".tmp-", suffix=os.path.splitext(path)[1], dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        if durable:
+            fsync_dir(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def atomic_write_text(path: str, text: str, durable: bool = True) -> str:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 

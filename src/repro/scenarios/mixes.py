@@ -138,7 +138,12 @@ class JobMix:
         """Draw ``num_jobs`` (workload name, GPU count) pairs.
 
         Workloads are drawn first, sizes second — a fixed draw order, so
-        a given generator state always yields the same trace.
+        a given generator state always yields the same trace.  Both the
+        draws and the post-processing are vectorised: one
+        :meth:`~numpy.random.Generator.choice` call per axis, then a
+        single fancy-index gather through the name table instead of a
+        per-job Python loop (the gather reuses the interned name
+        objects, so results are identical to indexing one at a time).
         """
         w_idx = rng.choice(
             len(self.workloads), size=num_jobs, p=self.workload_weights
@@ -146,7 +151,8 @@ class JobMix:
         sizes = np.asarray(self.gpu_sizes)[
             rng.choice(len(self.gpu_sizes), size=num_jobs, p=self.gpu_weights)
         ]
-        names = tuple(self.workloads[int(i)] for i in w_idx)
+        name_table = np.asarray(self.workloads, dtype=object)
+        names = tuple(name_table[w_idx].tolist())
         return names, sizes
 
     # ------------------------------------------------------------------ #

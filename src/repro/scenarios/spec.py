@@ -43,22 +43,34 @@ def generate_scenario(
     The stochastic core of the subsystem: draw the job mix, then the
     submit times, from the one generator, in that fixed order.  Job ids
     are 1-based submission-order indices, matching the paper's traces.
+
+    Post-processing is vectorised: the catalog is consulted once per
+    *distinct* workload (not once per job) and the numeric columns
+    convert to native Python values through one ``tolist`` each —
+    ``ndarray.tolist`` yields exactly the ints/floats the historical
+    per-element ``int(...)``/``float(...)`` conversions did, so traces
+    (and every cache hash derived from them) are byte-identical.
     """
     names, sizes = mix.sample(num_jobs, rng)
     submits = arrival.sample(num_jobs, rng)
-    jobs = []
-    for i in range(num_jobs):
-        workload = get_workload(names[i])
-        jobs.append(
-            Job(
-                job_id=i + 1,
-                workload=workload.name,
-                num_gpus=int(sizes[i]),
-                pattern=workload.pattern,
-                bandwidth_sensitive=workload.bandwidth_sensitive,
-                submit_time=float(submits[i]),
+    catalog = {name: get_workload(name) for name in set(names)}
+    jobs = [
+        Job(
+            job_id=i + 1,
+            workload=workload.name,
+            num_gpus=gpus,
+            pattern=workload.pattern,
+            bandwidth_sensitive=workload.bandwidth_sensitive,
+            submit_time=submit,
+        )
+        for i, (workload, gpus, submit) in enumerate(
+            zip(
+                (catalog[name] for name in names),
+                np.asarray(sizes).tolist(),
+                np.asarray(submits, dtype=np.float64).tolist(),
             )
         )
+    ]
     return JobFile(jobs)
 
 

@@ -40,15 +40,18 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Hashable, List, Optional, Tuple
 
 from ..cluster.scheduler import MultiServerScheduler
 from ..cluster.sharding import ShardedFleetScheduler
-from ..ioutils import atomic_write_text
+from ..ioutils import atomic_write_bytes, atomic_write_text
 from ..scenarios.fleet import FleetSpec
 from ..scoring.memo import ScanCache
+from ..sim.records import SimulationLog, encode_mlog
 from . import protocol
 from .protocol import ProtocolError, SubmitSpec
 
@@ -339,12 +342,19 @@ class _Op:
 class _Lease:
     """One placed job in the daemon's ledger."""
 
-    __slots__ = ("tenant", "num_gpus", "ticket")
+    __slots__ = ("tenant", "num_gpus", "ticket", "placed_at")
 
-    def __init__(self, tenant: str, num_gpus: int, ticket: _Ticket) -> None:
+    def __init__(
+        self,
+        tenant: str,
+        num_gpus: int,
+        ticket: _Ticket,
+        placed_at: float = 0.0,
+    ) -> None:
         self.tenant = tenant
         self.num_gpus = num_gpus
         self.ticket = ticket
+        self.placed_at = placed_at
 
 
 class AllocationDaemon:
@@ -358,6 +368,14 @@ class AllocationDaemon:
         self._pending: List[_Op] = []
         self._waiting: Deque[_Op] = deque()
         self._ledger: Dict[Hashable, _Lease] = {}
+        # Service log: one row per completed lease (released or forced),
+        # in the same columnar shape as a simulation run so the drain
+        # snapshot can be written through the ``.mlog`` codec.
+        self._epoch = time.monotonic()
+        self._service_log = SimulationLog(
+            self.config.gpu_policy, self.config.fleet
+        )
+        self._release_seq = 0
         self._tenants: Dict[str, List[int]] = {}
         self._known: set = set()
         self._draining = False
@@ -656,7 +674,10 @@ class AllocationDaemon:
         if ticket is None:
             return False
         self._ledger[op.job_id] = _Lease(
-            op.spec.tenant, op.spec.num_gpus, ticket
+            op.spec.tenant,
+            op.spec.num_gpus,
+            ticket,
+            placed_at=time.monotonic() - self._epoch,
         )
         self.metrics.allocated += 1
         replies.append((op.future, self._allocated_builder(op, ticket)))
@@ -682,12 +703,43 @@ class AllocationDaemon:
                 lambda job=op.job_id: {"status": "noroom", "job": job},
             ))
 
+    def _record_release(self, lease: _Lease) -> None:
+        """Append one completed lease to the columnar service log.
+
+        Rows reuse the :class:`~repro.sim.records.SimulationLog` schema
+        (workload = tenant, pattern = ``"serve"``, submit/start = the
+        placement time relative to the daemon epoch) so a drain can
+        serialise the daemon's service history through the same
+        ``.mlog`` codec the sweep transport uses.
+        """
+        now = time.monotonic() - self._epoch
+        ticket = lease.ticket
+        allocation = (
+            tuple(ticket.gpus) if ticket.gpus is not None else ()
+        )
+        self._service_log.append_fields(
+            self._release_seq,
+            lease.tenant,
+            lease.num_gpus,
+            "serve",
+            False,
+            lease.placed_at,
+            lease.placed_at,
+            now,
+            allocation,
+            0.0,
+            0.0,
+            0.0,
+        )
+        self._release_seq += 1
+
     def _batch_release(self, op: _Op, replies) -> None:
         job_id = op.job_id
         lease = self._ledger.pop(job_id, None)
         if lease is not None:
             server, num_gpus = self.backend.release(job_id)
             self._forget(job_id, lease.tenant, lease.num_gpus)
+            self._record_release(lease)
             self.metrics.released += 1
             replies.append((
                 op.future,
@@ -793,6 +845,18 @@ class AllocationDaemon:
                 "valid_partitions": valid,
                 "corrupt_partitions": corrupt,
             }
+            # Same per-tier breakdown ``mapa cache stats`` prints: the
+            # spill root is the shared cache root, so sweep entries,
+            # .mlog payloads and scan partitions all live under it.
+            from ..experiments.store import ResultStore
+
+            snapshot["store_tiers"] = {
+                tier: {"files": files, "bytes": nbytes}
+                for tier, files, nbytes in ResultStore(
+                    self.config.spill_root
+                ).disk_stats().tier_rows()
+            }
+        snapshot["service_log_rows"] = len(self._service_log)
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -836,6 +900,7 @@ class AllocationDaemon:
             lease = self._ledger.pop(job_id)
             self.backend.release(job_id)
             self._forget(job_id, lease.tenant, lease.num_gpus)
+            self._record_release(lease)
             forced += 1
         self.backend.flush()
         self.metrics.forced_releases = forced
@@ -845,6 +910,20 @@ class AllocationDaemon:
         if self.config.metrics_json:
             atomic_write_text(
                 self.config.metrics_json, json.dumps(snapshot, indent=2)
+            )
+            # Binary twin: the service log (one row per completed
+            # lease) through the same codec the sweep transport uses,
+            # so drain snapshots are readable with decode_mlog.
+            atomic_write_bytes(
+                os.path.splitext(self.config.metrics_json)[0] + ".mlog",
+                encode_mlog(
+                    self._service_log,
+                    meta={
+                        "kind": "serve-drain",
+                        "forced_releases": forced,
+                        "released": self.metrics.released,
+                    },
+                ),
             )
         self._drain_summary = {
             "status": "ok",

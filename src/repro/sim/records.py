@@ -26,6 +26,9 @@ the golden harness are untouched.
 from __future__ import annotations
 
 import io
+import json
+import struct
+import zlib
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -69,6 +72,106 @@ class JobRecord:
 _MIN_CAPACITY = 64
 
 
+# ---------------------------------------------------------------------- #
+# binary columnar codec (the ``.mlog`` format)
+# ---------------------------------------------------------------------- #
+#: Magic bytes opening every ``.mlog`` payload.
+MLOG_MAGIC = b"MLOG"
+
+#: Payload schema version; bumped on incompatible layout changes, and
+#: checked on decode so an old reader fails with a clean error instead
+#: of misinterpreting bytes.
+MLOG_VERSION = 1
+
+#: Byte alignment of the column blobs inside an ``.mlog`` payload, so
+#: zero-copy ``frombuffer`` views land on aligned addresses.
+_MLOG_ALIGN = 64
+
+#: The fixed column manifest: ``(name, little-endian dtype)`` in payload
+#: order.  ``alloc_values``/``alloc_offsets`` are the ragged allocation
+#: column in flattened CSR form (``offsets`` has ``n + 1`` entries).
+MLOG_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("job_id", "<i8"),
+    ("workload_code", "<i4"),
+    ("pattern_code", "<i4"),
+    ("num_gpus", "<i8"),
+    ("bandwidth_sensitive", "|b1"),
+    ("submit_time", "<f8"),
+    ("start_time", "<f8"),
+    ("finish_time", "<f8"),
+    ("agg_bw", "<f8"),
+    ("predicted_effective_bw", "<f8"),
+    ("measured_effective_bw", "<f8"),
+    ("alloc_values", "<i8"),
+    ("alloc_offsets", "<i8"),
+)
+
+_MLOG_DTYPES = dict(MLOG_COLUMNS)
+
+
+class MlogError(ValueError):
+    """Base class of every ``.mlog`` codec failure."""
+
+
+class MlogFormatError(MlogError):
+    """A payload that cannot be decoded: wrong magic, unknown version,
+    truncated or bit-flipped bytes, CRC mismatch.  Decoding never
+    returns partial data — any inconsistency raises this."""
+
+
+class MlogEncodeError(MlogError):
+    """A log the binary codec cannot represent losslessly (e.g.
+    non-integer job ids); callers fall back to the JSON reference
+    encoder."""
+
+
+def _require_int(value: Any, what: str) -> int:
+    """``value`` as a plain int, or :class:`MlogEncodeError`."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise MlogEncodeError(f"{what} {value!r} is not an integer")
+    return int(value)
+
+
+def _dictionary_encode(
+    names: Sequence[str],
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """``names`` as int32 codes into a first-seen-order name table."""
+    codes = np.empty(len(names), dtype=np.int32)
+    table: Dict[str, int] = {}
+    for i, name in enumerate(names):
+        code = table.get(name)
+        if code is None:
+            if not isinstance(name, str):
+                raise MlogEncodeError(f"column value {name!r} is not a string")
+            code = table[name] = len(table)
+        codes[i] = code
+    return codes, tuple(table)
+
+
+@dataclass(frozen=True)
+class LogColumns:
+    """A :class:`SimulationLog` snapshotted as contiguous typed arrays.
+
+    The numeric fields are copies of the log's column buffers (trimmed
+    to length); the string columns are dictionary-encoded as int32
+    codes into the ``workload_names`` / ``pattern_names`` tables
+    (first-seen order, so encoding is deterministic); allocations are
+    flattened CSR-style into ``alloc_values`` + ``alloc_offsets``.
+    ``arrays`` holds exactly the columns of :data:`MLOG_COLUMNS`.
+    """
+
+    policy: str
+    topology: str
+    num_records: int
+    workload_names: Tuple[str, ...]
+    pattern_names: Tuple[str, ...]
+    arrays: Dict[str, np.ndarray]
+
+    def nbytes(self) -> int:
+        """Total payload bytes across all column arrays."""
+        return sum(int(a.nbytes) for a in self.arrays.values())
+
+
 class SimulationLog:
     """Ordered, columnar collection of job records plus summary accessors.
 
@@ -101,13 +204,27 @@ class SimulationLog:
         self._measured = np.empty(_MIN_CAPACITY, dtype=np.float64)
         self._max_finish = 0.0  # running max: O(1) makespan
         self._materialised: Optional[List[JobRecord]] = None
+        # Lazy-decode state (set by ``from_columns(..., lazy=True)``):
+        # the dictionary-encoded string/allocation columns, thawed into
+        # the plain lists above only when something actually needs
+        # per-record objects.  ``_buffer_owner`` pins whatever owns the
+        # memory the numeric views alias (a shared-memory segment, a
+        # bytes payload) for as long as this log lives.
+        self._lazy: Optional[Dict[str, Any]] = None
+        self._buffer_owner: Any = None
 
     # ------------------------------------------------------------------ #
     # appends
     # ------------------------------------------------------------------ #
     def _grow(self) -> None:
-        """Double the numeric buffers (geometric growth, amortised O(1))."""
-        cap = 2 * self._num_gpus.shape[0]
+        """Double the numeric buffers (geometric growth, amortised O(1)).
+
+        Also the copy-on-append path for logs rebuilt zero-copy from a
+        decoded payload: their views are exactly-sized (capacity == n)
+        and read-only, so the first append lands here and replaces them
+        with owned, writable buffers.
+        """
+        cap = max(2 * self._num_gpus.shape[0], _MIN_CAPACITY)
         for name in (
             "_num_gpus",
             "_sensitive",
@@ -143,6 +260,8 @@ class SimulationLog:
         The simulation core's hot path: no :class:`JobRecord` is built
         (``records`` materialises lazily if anyone asks).
         """
+        if self._lazy is not None:
+            self._thaw()
         i = self._n
         if i == self._num_gpus.shape[0]:
             self._grow()
@@ -183,8 +302,38 @@ class SimulationLog:
     # ------------------------------------------------------------------ #
     # materialisation
     # ------------------------------------------------------------------ #
+    def _thaw(self) -> None:
+        """Decode the dictionary-encoded string/allocation columns.
+
+        Logs rebuilt with ``from_columns(..., lazy=True)`` defer this
+        until something needs per-record objects (``records``,
+        ``to_dict``, ``to_csv``, ``by_workload``, an append); the
+        columnar summary accessors never trigger it, which is what lets
+        sweep aggregation skip per-job rehydration entirely.
+        """
+        lazy = self._lazy
+        if lazy is None:
+            return
+        self._lazy = None
+        n = self._n
+        self._job_id = lazy["job_id"].tolist()
+        workload_names = lazy["workload_names"]
+        self._workload = [
+            workload_names[c] for c in lazy["workload_code"].tolist()
+        ]
+        pattern_names = lazy["pattern_names"]
+        self._pattern = [
+            pattern_names[c] for c in lazy["pattern_code"].tolist()
+        ]
+        offsets = lazy["alloc_offsets"].tolist()
+        values = lazy["alloc_values"].tolist()
+        self._allocation = [
+            tuple(values[offsets[i] : offsets[i + 1]]) for i in range(n)
+        ]
+
     def _record_at(self, i: int) -> JobRecord:
         """Materialise record ``i`` from the column buffers."""
+        self._thaw()
         return JobRecord(
             job_id=self._job_id[i],
             workload=self._workload[i],
@@ -209,6 +358,7 @@ class SimulationLog:
         object construction once.
         """
         if self._materialised is None:
+            self._thaw()
             n = self._n
             gpus = self._num_gpus[:n].tolist()
             sens = self._sensitive[:n].tolist()
@@ -248,7 +398,7 @@ class SimulationLog:
     # ------------------------------------------------------------------ #
     def by_workload(self, workload: str) -> List[JobRecord]:
         """Records of one workload (e.g. ``"vgg16"``)."""
-        records = self.records
+        records = self.records  # thaws the string columns if needed
         return [
             records[i]
             for i, name in enumerate(self._workload)
@@ -295,6 +445,36 @@ class SimulationLog:
         return [r.execution_time for r in records]
 
     # ------------------------------------------------------------------ #
+    # column-level readers (no JobRecord materialisation, no thaw)
+    # ------------------------------------------------------------------ #
+    def numeric_columns(self) -> Dict[str, np.ndarray]:
+        """Read-only views of the numeric columns, trimmed to length.
+
+        Zero-copy — the arrays alias the log's buffers (or, for a log
+        decoded lazily from an ``.mlog`` payload, the payload itself) —
+        so summary aggregation over a cached sweep never rehydrates
+        per-job records.  Keys match :class:`JobRecord` field names.
+        """
+        n = self._n
+        out = {
+            "num_gpus": self._num_gpus[:n],
+            "bandwidth_sensitive": self._sensitive[:n],
+            "submit_time": self._submit[:n],
+            "start_time": self._start[:n],
+            "finish_time": self._finish[:n],
+            "agg_bw": self._agg_bw[:n],
+            "predicted_effective_bw": self._predicted[:n],
+            "measured_effective_bw": self._measured[:n],
+        }
+        for arr in out.values():
+            arr.flags.writeable = False
+        return out
+
+    def wait_times(self) -> np.ndarray:
+        """Per-job queueing delay (start − submit), vectorised."""
+        n = self._n
+        return self._start[:n] - self._submit[:n]
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot of the whole log.
 
@@ -306,6 +486,7 @@ class SimulationLog:
         payload is byte-identical to one built from dataclass
         instances.
         """
+        self._thaw()
         n = self._n
         return {
             "policy": self.policy_name,
@@ -364,8 +545,164 @@ class SimulationLog:
         return log
 
     # ------------------------------------------------------------------ #
+    # binary columnar codec
+    # ------------------------------------------------------------------ #
+    def to_columns(self) -> LogColumns:
+        """Snapshot the log as contiguous typed arrays (see :class:`LogColumns`).
+
+        The numeric buffers are copied (trimmed to length), the string
+        columns dictionary-encoded in first-seen order, allocations
+        flattened CSR-style — everything :meth:`from_columns` needs to
+        rebuild a log whose :meth:`to_dict` payload is byte-identical.
+        Raises :class:`MlogEncodeError` for content the binary layout
+        cannot hold losslessly (non-integer job ids or GPU indices).
+        """
+        n = self._n
+        arrays: Dict[str, np.ndarray] = {
+            "num_gpus": np.array(self._num_gpus[:n], dtype=np.int64),
+            "bandwidth_sensitive": np.array(self._sensitive[:n], dtype=np.bool_),
+            "submit_time": np.array(self._submit[:n], dtype=np.float64),
+            "start_time": np.array(self._start[:n], dtype=np.float64),
+            "finish_time": np.array(self._finish[:n], dtype=np.float64),
+            "agg_bw": np.array(self._agg_bw[:n], dtype=np.float64),
+            "predicted_effective_bw": np.array(self._predicted[:n], dtype=np.float64),
+            "measured_effective_bw": np.array(self._measured[:n], dtype=np.float64),
+        }
+        if self._lazy is not None:
+            # Still in coded form — re-snapshot the coded columns
+            # directly, no thaw (re-encoding a lazily decoded log is
+            # exactly the store's migration/save path).
+            lz = self._lazy
+            workload_names = tuple(lz["workload_names"])
+            pattern_names = tuple(lz["pattern_names"])
+            arrays["job_id"] = np.array(lz["job_id"], dtype=np.int64)
+            arrays["workload_code"] = np.array(lz["workload_code"], dtype=np.int32)
+            arrays["pattern_code"] = np.array(lz["pattern_code"], dtype=np.int32)
+            arrays["alloc_values"] = np.array(lz["alloc_values"], dtype=np.int64)
+            arrays["alloc_offsets"] = np.array(lz["alloc_offsets"], dtype=np.int64)
+        else:
+            job_id = np.empty(n, dtype=np.int64)
+            try:
+                for i, jid in enumerate(self._job_id):
+                    job_id[i] = _require_int(jid, "job_id")
+            except OverflowError:
+                raise MlogEncodeError("job_id does not fit int64") from None
+            arrays["job_id"] = job_id
+            arrays["workload_code"], workload_names = _dictionary_encode(
+                self._workload
+            )
+            arrays["pattern_code"], pattern_names = _dictionary_encode(
+                self._pattern
+            )
+            offsets = np.empty(n + 1, dtype=np.int64)
+            offsets[0] = 0
+            values = np.empty(
+                sum(len(a) for a in self._allocation), dtype=np.int64
+            )
+            pos = 0
+            try:
+                for i, alloc in enumerate(self._allocation):
+                    for gpu in alloc:
+                        values[pos] = _require_int(gpu, "allocation gpu")
+                        pos += 1
+                    offsets[i + 1] = pos
+            except OverflowError:
+                raise MlogEncodeError("allocation gpu does not fit int64") from None
+            arrays["alloc_values"] = values
+            arrays["alloc_offsets"] = offsets
+        return LogColumns(
+            policy=self.policy_name,
+            topology=self.topology_name,
+            num_records=n,
+            workload_names=workload_names,
+            pattern_names=pattern_names,
+            arrays=arrays,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: LogColumns,
+        lazy: bool = False,
+        owner: Any = None,
+    ) -> "SimulationLog":
+        """Rebuild a log from a :meth:`to_columns` snapshot.
+
+        The numeric buffers alias ``columns``' arrays directly (no
+        copy — the arrays may be read-only views into a shared-memory
+        segment or a decoded payload; the first append copies them out
+        via the growth path).  ``lazy=True`` defers decoding the
+        string/allocation columns until per-record objects are actually
+        requested; the columnar summary accessors never trigger it.
+        ``owner`` is pinned on the log to keep whatever backs the
+        arrays (a shared-memory handle, a payload buffer) alive.
+        """
+        try:
+            arrays = {
+                name: np.asarray(columns.arrays[name], dtype=np.dtype(dt))
+                for name, dt in MLOG_COLUMNS
+            }
+        except (KeyError, TypeError, ValueError):
+            raise MlogFormatError(
+                "column set does not match the .mlog manifest"
+            ) from None
+        n = columns.num_records
+        offsets = arrays["alloc_offsets"]
+        values = arrays["alloc_values"]
+        if n < 0 or len(offsets) != n + 1:
+            raise MlogFormatError("allocation offsets length mismatch")
+        if n:
+            diffs = np.diff(offsets)
+            if offsets[0] != 0 or diffs.min() < 0 or offsets[-1] != len(values):
+                raise MlogFormatError("allocation offsets are inconsistent")
+        elif len(values):
+            raise MlogFormatError("allocation values without records")
+        for name, codes, table in (
+            ("workload", arrays["workload_code"], columns.workload_names),
+            ("pattern", arrays["pattern_code"], columns.pattern_names),
+        ):
+            if len(codes) != n:
+                raise MlogFormatError(f"{name} column length mismatch")
+            if n and (codes.min() < 0 or codes.max() >= len(table)):
+                raise MlogFormatError(f"{name} code outside the name table")
+        log = cls(columns.policy, columns.topology)
+        log._n = n
+        log._buffer_owner = owner if owner is not None else arrays
+        if n:
+            for attr, col in (
+                ("_num_gpus", "num_gpus"),
+                ("_sensitive", "bandwidth_sensitive"),
+                ("_submit", "submit_time"),
+                ("_start", "start_time"),
+                ("_finish", "finish_time"),
+                ("_agg_bw", "agg_bw"),
+                ("_predicted", "predicted_effective_bw"),
+                ("_measured", "measured_effective_bw"),
+            ):
+                arr = arrays[col]
+                if len(arr) != n:
+                    raise MlogFormatError(f"{col} column length mismatch")
+                setattr(log, attr, arr)
+            log._max_finish = float(arrays["finish_time"].max())
+            if len(arrays["job_id"]) != n:
+                raise MlogFormatError("job_id column length mismatch")
+            log._lazy = {
+                "job_id": arrays["job_id"],
+                "workload_code": arrays["workload_code"],
+                "workload_names": tuple(columns.workload_names),
+                "pattern_code": arrays["pattern_code"],
+                "pattern_names": tuple(columns.pattern_names),
+                "alloc_values": values,
+                "alloc_offsets": offsets,
+            }
+            if not lazy:
+                log._thaw()
+        return log
+
+    # ------------------------------------------------------------------ #
     def to_csv(self) -> str:
         """The log as CSV, one row per record (tuples space-joined)."""
+        self._thaw()
         cols = [f.name for f in fields(JobRecord)]
         n = self._n
         buf = io.StringIO()
@@ -390,3 +727,190 @@ class SimulationLog:
                 f"{meas}\n"
             )
         return buf.getvalue()
+
+
+# ---------------------------------------------------------------------- #
+# the ``.mlog`` payload: header + dtype manifest + per-column CRC
+# ---------------------------------------------------------------------- #
+#: Fixed-size preamble: magic, format version, header length.
+_MLOG_PREAMBLE = struct.Struct("<4sIQ")
+
+
+def _align(offset: int) -> int:
+    """``offset`` rounded up to the payload alignment."""
+    return (offset + _MLOG_ALIGN - 1) // _MLOG_ALIGN * _MLOG_ALIGN
+
+
+def encode_mlog(
+    log_or_columns: "SimulationLog | LogColumns",
+    meta: Optional[Mapping[str, Any]] = None,
+) -> bytes:
+    """Serialise a log (or a :class:`LogColumns` snapshot) as ``.mlog``.
+
+    Layout: a fixed preamble (magic ``MLOG``, format version, header
+    length), a JSON header carrying the log metadata, the string name
+    tables and the column manifest — each column's dtype, byte offset
+    (relative to the aligned data section), byte length and CRC-32 —
+    then the aligned raw column bytes.  ``meta`` is an optional
+    JSON-ready mapping stored verbatim in the header (the result store
+    puts the cell's ``config_hash``/``label`` there).
+
+    Raises :class:`MlogEncodeError` when the log's content cannot be
+    represented losslessly; callers then fall back to the JSON path.
+    """
+    if isinstance(log_or_columns, SimulationLog):
+        columns = log_or_columns.to_columns()
+    else:
+        columns = log_or_columns
+    manifest = []
+    offset = 0
+    blobs = []
+    for name, dtype in MLOG_COLUMNS:
+        arr = np.ascontiguousarray(columns.arrays[name], dtype=np.dtype(dtype))
+        blob = arr.tobytes()
+        offset = _align(offset)
+        manifest.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "offset": offset,
+                "nbytes": len(blob),
+                "crc32": zlib.crc32(blob) & 0xFFFFFFFF,
+            }
+        )
+        blobs.append((offset, blob))
+        offset += len(blob)
+    header = {
+        "format": "mapa-mlog",
+        "version": MLOG_VERSION,
+        "policy": columns.policy,
+        "topology": columns.topology,
+        "n": columns.num_records,
+        "workloads": list(columns.workload_names),
+        "patterns": list(columns.pattern_names),
+        "meta": dict(meta) if meta else {},
+        "columns": manifest,
+    }
+    header_blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    data_start = _align(_MLOG_PREAMBLE.size + len(header_blob))
+    out = bytearray(data_start + offset)
+    _MLOG_PREAMBLE.pack_into(
+        out, 0, MLOG_MAGIC, MLOG_VERSION, len(header_blob)
+    )
+    out[_MLOG_PREAMBLE.size : _MLOG_PREAMBLE.size + len(header_blob)] = (
+        header_blob
+    )
+    for blob_offset, blob in blobs:
+        start = data_start + blob_offset
+        out[start : start + len(blob)] = blob
+    return bytes(out)
+
+
+def _header_error(why: str) -> MlogFormatError:
+    return MlogFormatError(f"invalid .mlog payload: {why}")
+
+
+def decode_mlog(
+    payload: "bytes | bytearray | memoryview",
+    lazy: bool = False,
+    owner: Any = None,
+) -> Tuple[Dict[str, Any], "SimulationLog"]:
+    """Decode an ``.mlog`` payload; returns ``(meta, log)``.
+
+    The log's numeric buffers are zero-copy views into ``payload``
+    (read-only when the payload is immutable); ``lazy=True`` defers
+    string/allocation decoding exactly as
+    :meth:`SimulationLog.from_columns` does.  ``owner`` (default: the
+    payload itself) is pinned on the log so the backing memory outlives
+    every view.
+
+    Every validation failure — wrong magic, unknown version, truncated
+    or overlapping columns, a CRC mismatch from a bit flip — raises
+    :class:`MlogFormatError`; partial data is never returned.
+    """
+    buf = memoryview(payload)
+    if buf.ndim != 1 or buf.itemsize != 1:
+        buf = buf.cast("B")
+    if len(buf) < _MLOG_PREAMBLE.size:
+        raise _header_error("shorter than the preamble")
+    magic, version, header_len = _MLOG_PREAMBLE.unpack_from(buf, 0)
+    if magic != MLOG_MAGIC:
+        raise _header_error("bad magic (not an .mlog payload)")
+    if version != MLOG_VERSION:
+        raise MlogFormatError(
+            f"unsupported .mlog version {version} (expected {MLOG_VERSION})"
+        )
+    header_end = _MLOG_PREAMBLE.size + header_len
+    if header_end > len(buf):
+        raise _header_error("truncated header")
+    try:
+        header = json.loads(bytes(buf[_MLOG_PREAMBLE.size : header_end]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _header_error(f"unparseable header ({exc})") from None
+    if not isinstance(header, dict) or header.get("format") != "mapa-mlog":
+        raise _header_error("wrong container format")
+    if header.get("version") != MLOG_VERSION:
+        raise _header_error("header/preamble version mismatch")
+    n = header.get("n")
+    workloads = header.get("workloads")
+    patterns = header.get("patterns")
+    manifest = header.get("columns")
+    if (
+        not isinstance(n, int)
+        or n < 0
+        or not isinstance(workloads, list)
+        or not isinstance(patterns, list)
+        or not all(isinstance(w, str) for w in workloads)
+        or not all(isinstance(p, str) for p in patterns)
+        or not isinstance(manifest, list)
+        or not isinstance(header.get("policy"), str)
+        or not isinstance(header.get("topology"), str)
+    ):
+        raise _header_error("malformed header fields")
+    if [c.get("name") if isinstance(c, dict) else None for c in manifest] != [
+        name for name, _ in MLOG_COLUMNS
+    ]:
+        raise _header_error("column manifest does not match this version")
+    data_start = _align(header_end)
+    arrays: Dict[str, np.ndarray] = {}
+    for spec, (name, dtype) in zip(manifest, MLOG_COLUMNS):
+        if spec.get("dtype") != dtype:
+            raise _header_error(f"column {name}: unexpected dtype")
+        offset, nbytes, crc = (
+            spec.get("offset"), spec.get("nbytes"), spec.get("crc32")
+        )
+        if (
+            not isinstance(offset, int)
+            or not isinstance(nbytes, int)
+            or not isinstance(crc, int)
+            or offset < 0
+            or nbytes < 0
+        ):
+            raise _header_error(f"column {name}: malformed manifest entry")
+        start = data_start + offset
+        stop = start + nbytes
+        if stop > len(buf):
+            raise _header_error(f"column {name}: truncated payload")
+        blob = buf[start:stop]
+        if (zlib.crc32(blob) & 0xFFFFFFFF) != crc:
+            raise _header_error(f"column {name}: CRC mismatch")
+        dt = np.dtype(dtype)
+        if nbytes % dt.itemsize:
+            raise _header_error(f"column {name}: ragged byte length")
+        arr = np.frombuffer(buf, dtype=dt, count=nbytes // dt.itemsize,
+                            offset=start)
+        arr.flags.writeable = False
+        arrays[name] = arr
+    columns = LogColumns(
+        policy=header["policy"],
+        topology=header["topology"],
+        num_records=n,
+        workload_names=tuple(workloads),
+        pattern_names=tuple(patterns),
+        arrays=arrays,
+    )
+    meta = header.get("meta")
+    log = SimulationLog.from_columns(
+        columns, lazy=lazy, owner=owner if owner is not None else buf
+    )
+    return (dict(meta) if isinstance(meta, dict) else {}), log

@@ -156,3 +156,111 @@ class TestDefaults:
     def test_fallback(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         assert default_cache_dir() == DEFAULT_CACHE_DIR
+
+
+class TestBinaryTier:
+    def test_save_writes_mlog_and_load_is_binary_hit(
+        self, tmp_path, cell, result
+    ):
+        store = ResultStore(str(tmp_path))
+        path = store.save(result)
+        assert path.endswith(".mlog")
+        assert not os.path.exists(store._path(result.config_hash))
+        loaded = store.load(cell)
+        assert loaded is not None
+        assert store.mlog_hits == 1 and store.json_hits == 0
+        assert loaded.log.to_dict() == result.log.to_dict()
+
+    def test_json_pinned_store_never_writes_mlog(
+        self, tmp_path, cell, result
+    ):
+        store = ResultStore(str(tmp_path), binary=False)
+        path = store.save(result)
+        assert path.endswith(".json")
+        assert store.load(cell) is not None
+        assert store.json_hits == 1
+        assert store.mlog_paths() == []
+
+    def test_json_hit_migrates_read_through(self, tmp_path, cell, result):
+        ResultStore(str(tmp_path), binary=False).save(result)
+        store = ResultStore(str(tmp_path))
+        first = store.load(cell)
+        assert first is not None
+        assert store.json_hits == 1 and store.migrations == 1
+        assert os.path.exists(store.payload_path(result.config_hash))
+        # Second load is served from the freshly-written binary twin.
+        second = store.load(cell)
+        assert store.mlog_hits == 1
+        assert second.log.to_dict() == first.log.to_dict()
+
+    def test_corrupt_mlog_falls_back_to_json(self, tmp_path, cell, result):
+        ResultStore(str(tmp_path), binary=False).save(result)
+        store = ResultStore(str(tmp_path))
+        with open(store.payload_path(result.config_hash), "wb") as fh:
+            fh.write(b"MLOG garbage")
+        loaded = store.load(cell)
+        assert loaded is not None
+        assert store.json_hits == 1 and store.mlog_hits == 0
+        assert loaded.log.to_dict() == result.log.to_dict()
+
+    def test_payload_round_trip(self, tmp_path, result):
+        from repro.sim.records import decode_mlog, encode_mlog
+
+        store = ResultStore(str(tmp_path))
+        payload = encode_mlog(result.log, meta={"config_hash": "deadbeef"})
+        store.save_payload("deadbeef", payload)
+        assert store.load_payload("deadbeef") == payload
+        meta, log = decode_mlog(payload, lazy=True)
+        assert meta["config_hash"] == "deadbeef"
+        assert log.to_dict() == result.log.to_dict()
+        assert store.load_payload("not-there") is None
+
+    def test_disk_stats_and_clear_cover_both_tiers(
+        self, tmp_path, cell, result
+    ):
+        ResultStore(str(tmp_path), binary=False).save(result)
+        store = ResultStore(str(tmp_path))
+        store.load(cell)  # migrate: entry now has a JSON and an .mlog file
+        stats = store.disk_stats()
+        assert stats.entries == 1
+        assert stats.json_entries == 1 and stats.mlog_entries == 1
+        assert stats.json_bytes > 0 and stats.mlog_bytes > 0
+        rows = dict(
+            (tier, (files, nbytes))
+            for tier, files, nbytes in stats.tier_rows()
+        )
+        assert rows["json"] == (1, stats.json_bytes)
+        assert rows["mlog"] == (1, stats.mlog_bytes)
+        removed, freed = store.clear()
+        assert removed == 2 and freed > 0
+        after = store.disk_stats()
+        assert after.entries == 0
+        assert after.json_entries == after.mlog_entries == 0
+
+
+class TestDiskStatsNeverOpens:
+    def test_disk_stats_sizes_entries_without_open(
+        self, tmp_path, cell, result, monkeypatch
+    ):
+        """Regression: stats must come from the dirent/stat, never from
+        reading payload bytes — a multi-GiB tier would make ``mapa
+        cache stats`` unusable otherwise."""
+        store = ResultStore(str(tmp_path))
+        store.save(result)
+        ResultStore(str(tmp_path), binary=False).save(result)
+
+        opened = []
+        real_open = open
+
+        def spy_open(file, *args, **kwargs):
+            opened.append(str(file))
+            return real_open(file, *args, **kwargs)
+
+        import builtins
+
+        monkeypatch.setattr(builtins, "open", spy_open)
+        monkeypatch.setattr(os, "open", spy_open)
+        stats = store.disk_stats()
+        assert opened == []
+        assert stats.entries == 1
+        assert stats.json_entries == 1 and stats.mlog_entries == 1

@@ -45,6 +45,8 @@ TIMING_TABLES = {
     "fleet_shard.txt",
     "scan_cache.txt",
     "scan_hotpath.txt",
+    "serve.txt",
+    "sweep_transport.txt",
 }
 
 GOLDEN_TABLES = sorted(

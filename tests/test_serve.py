@@ -320,6 +320,37 @@ class TestDrain:
         assert "scan_lookups" in snapshot["cache"]
         assert snapshot["gauges"]["outstanding_jobs"] == 0
 
+    def test_drain_writes_service_log_mlog(self, serve, tmp_path):
+        """The drain's binary twin: one columnar service-log row per
+        completed lease (released or forced), decodable with the sweep
+        cache's own reader."""
+        from repro.sim.records import decode_mlog
+
+        metrics_path = str(tmp_path / "metrics.json")
+        spill_root = str(tmp_path / "cache")
+        socket_path, handle = serve(
+            metrics_json=metrics_path, spill_root=spill_root
+        )
+        with AllocationClient(socket_path=socket_path) as client:
+            client.submit("done", 1, tenant="alpha")
+            client.release("done")
+            client.submit("stuck", 2, tenant="beta", wait=False)
+            client.drain()
+        handle.join(timeout=30)
+        with open(str(tmp_path / "metrics.mlog"), "rb") as fh:
+            meta, log = decode_mlog(fh.read())
+        assert meta["kind"] == "serve-drain"
+        assert meta["forced_releases"] == 1
+        rows = log.records
+        assert [r.workload for r in rows] == ["alpha", "beta"]
+        assert all(r.pattern == "serve" for r in rows)
+        assert rows[0].num_gpus == 1 and rows[1].num_gpus == 2
+        assert all(r.finish_time >= r.start_time >= 0.0 for r in rows)
+        with open(metrics_path, encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        assert snapshot["service_log_rows"] == 2
+        assert set(snapshot["store_tiers"]) == {"json", "mlog", "scan"}
+
 
 class TestWarmRestart:
     def test_drain_spills_and_restart_rehydrates(self, serve, tmp_path):
